@@ -1,0 +1,64 @@
+//! Shared helpers for the baseline implementations.
+
+use nulpa_graph::VertexId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic, magnitude-uncorrelated label order for tie-breaking
+/// (same rationale as the core crate: a smallest-raw-label rule funnels
+/// every tie toward community 0).
+#[inline]
+pub fn scramble(label: VertexId) -> u32 {
+    (label ^ 0x5bd1_e995).wrapping_mul(0x9e37_79b9).rotate_left(13)
+}
+
+/// Seeded Fisher–Yates shuffle for processing orders.
+pub fn shuffle<T>(items: &mut [T], seed: u64) {
+    items.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+}
+
+/// Fold (weight, then scrambled label) maxima: returns the winning label.
+pub fn argmax_label(best: Option<(VertexId, f64)>, label: VertexId, w: f64) -> Option<(VertexId, f64)> {
+    match best {
+        Some((bl, bw)) if w > bw || (w == bw && scramble(label) < scramble(bl)) => Some((label, w)),
+        None => Some((label, w)),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scramble_is_injective_on_small_range() {
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..10_000u32 {
+            assert!(seen.insert(scramble(l)));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let mut a: Vec<u32> = (0..100).collect();
+        let mut b: Vec<u32> = (0..100).collect();
+        shuffle(&mut a, 7);
+        shuffle(&mut b, 7);
+        assert_eq!(a, b);
+        let mut c: Vec<u32> = (0..100).collect();
+        shuffle(&mut c, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn argmax_prefers_weight_then_scramble() {
+        let r = argmax_label(None, 3, 1.0);
+        let r = argmax_label(r, 5, 2.0);
+        assert_eq!(r.unwrap().0, 5);
+        // tie at weight 2.0: scramble decides, deterministically
+        let winner = argmax_label(r, 9, 2.0).unwrap().0;
+        let expected = if scramble(9) < scramble(5) { 9 } else { 5 };
+        assert_eq!(winner, expected);
+    }
+}

@@ -1,0 +1,341 @@
+//! Leiden community detection (Traag, Waltman & van Eck 2019).
+//!
+//! The paper's appendix sketches an *indirect comparison with
+//! state-of-the-art Leiden implementations*; this baseline completes the
+//! quality spectrum above Louvain. Leiden augments each Louvain level
+//! with a **refinement phase** that re-partitions every community from
+//! singletons, moving vertices only *within* their community — which
+//! splits internally-disconnected or badly-connected communities before
+//! aggregation. Its headline guarantee, and the property our tests
+//! check: every returned community is **internally connected** (Louvain
+//! can violate this; Leiden cannot).
+//!
+//! Structure per level:
+//! 1. local moving (as Louvain, greedy ΔQ, shuffled sweeps);
+//! 2. refinement: singletons inside each community, constrained merges;
+//! 3. aggregation on the *refined* partition, with the coarse graph's
+//!    initial labels taken from the unrefined partition.
+
+use crate::common::shuffle;
+use nulpa_graph::{Csr, DuplicatePolicy, GraphBuilder, VertexId};
+use nulpa_metrics::{compact_labels, modularity};
+use std::collections::BTreeMap;
+
+/// Leiden configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LeidenConfig {
+    /// Resolution γ (1.0 = classic modularity).
+    pub resolution: f64,
+    /// Local-moving pass cap per level.
+    pub max_passes: u32,
+    /// Maximum aggregation levels.
+    pub max_levels: u32,
+    /// Stop when a level improves modularity by less than this.
+    pub min_gain: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for LeidenConfig {
+    fn default() -> Self {
+        LeidenConfig {
+            resolution: 1.0,
+            max_passes: 50,
+            max_levels: 10,
+            min_gain: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a Leiden run.
+#[derive(Clone, Debug)]
+pub struct LeidenResult {
+    /// Community of each original vertex (dense `0..k`).
+    pub labels: Vec<VertexId>,
+    /// Aggregation levels performed.
+    pub levels: u32,
+    /// Modularity of the flattened partition after each level.
+    pub modularity_per_level: Vec<f64>,
+}
+
+/// Run Leiden.
+pub fn leiden(g: &Csr, config: &LeidenConfig) -> LeidenResult {
+    let n = g.num_vertices();
+    let mut labels_global: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut current = g.clone();
+    let mut modularity_per_level = Vec::new();
+    let mut levels = 0;
+    let mut last_q = modularity(g, &labels_global);
+
+    for level in 0..config.max_levels {
+        let seed = config.seed ^ (level as u64) << 8;
+        let coarse_labels = local_moving(&current, config, seed);
+        let refined = refine(&current, &coarse_labels, config, seed ^ 0x5e_f14e);
+        let (refined_c, k_ref) = compact_labels(&refined);
+
+        // flatten the refined partition onto the original vertices
+        for l in labels_global.iter_mut() {
+            *l = refined_c[*l as usize];
+        }
+        levels = level + 1;
+
+        let q = modularity(g, &labels_global);
+        modularity_per_level.push(q);
+        if k_ref == current.num_vertices() || q - last_q < config.min_gain {
+            break;
+        }
+        last_q = q;
+        current = aggregate(&current, &refined_c, k_ref);
+    }
+
+    LeidenResult {
+        labels: labels_global,
+        levels,
+        modularity_per_level,
+    }
+}
+
+/// Greedy local moving, identical in spirit to the Louvain phase.
+fn local_moving(g: &Csr, config: &LeidenConfig, seed: u64) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let m2 = g.total_weight();
+    if m2 == 0.0 {
+        return (0..n as VertexId).collect();
+    }
+    let m = m2 / 2.0;
+    let k: Vec<f64> = g.vertices().map(|v| g.weighted_degree(v)).collect();
+    let mut sigma_tot = k.clone();
+    let mut labels: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut order: Vec<VertexId> = g.vertices().filter(|&v| g.degree(v) > 0).collect();
+    let mut neigh: BTreeMap<VertexId, f64> = BTreeMap::new();
+
+    for pass in 0..config.max_passes {
+        shuffle(&mut order, seed ^ (pass as u64) << 32);
+        let mut moves = 0usize;
+        for &v in &order {
+            let d = labels[v as usize];
+            let k_v = k[v as usize];
+            neigh.clear();
+            for (j, w) in g.neighbors(v) {
+                if j != v {
+                    *neigh.entry(labels[j as usize]).or_insert(0.0) += w as f64;
+                }
+            }
+            if neigh.is_empty() {
+                continue;
+            }
+            sigma_tot[d as usize] -= k_v;
+            let gain = |c: VertexId, k_to_c: f64| {
+                k_to_c / m - config.resolution * sigma_tot[c as usize] * k_v / (2.0 * m * m)
+            };
+            let mut best_c = d;
+            let mut best_gain = gain(d, neigh.get(&d).copied().unwrap_or(0.0));
+            for (&c, &k_to_c) in &neigh {
+                if c != d {
+                    let gc = gain(c, k_to_c);
+                    if gc > best_gain + 1e-15 {
+                        best_gain = gc;
+                        best_c = c;
+                    }
+                }
+            }
+            sigma_tot[best_c as usize] += k_v;
+            if best_c != d {
+                labels[v as usize] = best_c;
+                moves += 1;
+            }
+        }
+        if moves == 0 {
+            break;
+        }
+    }
+    labels
+}
+
+/// Leiden's refinement: each community of `coarse` is re-partitioned from
+/// singletons; a vertex may only merge with refined communities inside
+/// its own coarse community, and only for a positive modularity gain.
+fn refine(g: &Csr, coarse: &[VertexId], config: &LeidenConfig, seed: u64) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let m2 = g.total_weight();
+    if m2 == 0.0 {
+        return (0..n as VertexId).collect();
+    }
+    let m = m2 / 2.0;
+    let k: Vec<f64> = g.vertices().map(|v| g.weighted_degree(v)).collect();
+    // refined partition starts as singletons
+    let mut refined: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut sigma_ref = k.clone();
+
+    let mut order: Vec<VertexId> = g.vertices().filter(|&v| g.degree(v) > 0).collect();
+    shuffle(&mut order, seed);
+
+    let mut neigh: BTreeMap<VertexId, f64> = BTreeMap::new();
+    for &v in &order {
+        // Leiden only merges vertices that are still singletons in the
+        // refined partition (each vertex moves at most once).
+        if refined[v as usize] != v || sigma_ref[v as usize] != k[v as usize] {
+            continue;
+        }
+        let k_v = k[v as usize];
+        neigh.clear();
+        for (j, w) in g.neighbors(v) {
+            if j != v && coarse[j as usize] == coarse[v as usize] {
+                *neigh.entry(refined[j as usize]).or_insert(0.0) += w as f64;
+            }
+        }
+        if neigh.is_empty() {
+            continue;
+        }
+        sigma_ref[v as usize] -= k_v;
+        let gain = |c: VertexId, k_to_c: f64| {
+            k_to_c / m - config.resolution * sigma_ref[c as usize] * k_v / (2.0 * m * m)
+        };
+        let mut best: Option<(VertexId, f64)> = None;
+        for (&c, &k_to_c) in &neigh {
+            if c == v {
+                continue;
+            }
+            let gc = gain(c, k_to_c);
+            if gc > 0.0 && best.is_none_or(|(_, bg)| gc > bg + 1e-15) {
+                best = Some((c, gc));
+            }
+        }
+        match best {
+            Some((c, _)) => {
+                refined[v as usize] = c;
+                sigma_ref[c as usize] += k_v;
+            }
+            None => sigma_ref[v as usize] += k_v, // stay singleton
+        }
+    }
+    refined
+}
+
+/// Aggregate on the refined partition (same scheme as Louvain's).
+fn aggregate(g: &Csr, compacted: &[VertexId], k: usize) -> Csr {
+    let mut b = GraphBuilder::new(k)
+        .keep_self_loops(true)
+        .duplicate_policy(DuplicatePolicy::SumWeights)
+        .reserve(g.num_edges().min(4 * k));
+    for u in g.vertices() {
+        for (v, w) in g.neighbors(u) {
+            b.push_edge(compacted[u as usize], compacted[v as usize], w);
+        }
+    }
+    b.build()
+}
+
+/// `true` when every community induces a connected subgraph — Leiden's
+/// guarantee, exposed for tests and the harness.
+pub fn communities_connected(g: &Csr, labels: &[VertexId]) -> bool {
+    // Count intra-community BFS components per community: connected iff
+    // every community has exactly one.
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut components = std::collections::HashMap::new();
+    for start in g.vertices() {
+        let su = start as usize;
+        if seen[su] {
+            continue;
+        }
+        let c = labels[su];
+        *components.entry(c).or_insert(0u32) += 1;
+        seen[su] = true;
+        let mut stack = vec![start];
+        while let Some(u) = stack.pop() {
+            for &j in g.neighbor_ids(u) {
+                let ju = j as usize;
+                if labels[ju] == c && !seen[ju] {
+                    seen[ju] = true;
+                    stack.push(j);
+                }
+            }
+        }
+    }
+    components.values().all(|&c| c == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::louvain::{louvain, LouvainConfig};
+    use nulpa_graph::gen::{
+        caveman_ground_truth, caveman_weighted, erdos_renyi, planted_partition, web_crawl,
+    };
+    use nulpa_graph::Csr;
+    use nulpa_metrics::{check_labels, community_count, nmi, same_partition};
+
+    fn cfg() -> LeidenConfig {
+        LeidenConfig::default()
+    }
+
+    #[test]
+    fn caveman_exact() {
+        let g = caveman_weighted(5, 6, 1.0);
+        let r = leiden(&g, &cfg());
+        assert!(same_partition(&r.labels, &caveman_ground_truth(5, 6)));
+    }
+
+    #[test]
+    fn communities_always_connected() {
+        for seed in [1, 2, 3] {
+            let g = web_crawl(1500, 6, 0.1, seed);
+            let r = leiden(&g, &cfg());
+            assert!(communities_connected(&g, &r.labels), "seed {seed}");
+        }
+        let g = erdos_renyi(300, 900, 4);
+        let r = leiden(&g, &cfg());
+        assert!(communities_connected(&g, &r.labels));
+    }
+
+    #[test]
+    fn quality_in_louvain_band() {
+        let pp = planted_partition(&[70, 70, 70], 12.0, 1.0, 9);
+        let q_leiden = modularity(&pp.graph, &leiden(&pp.graph, &cfg()).labels);
+        let q_louvain = modularity(
+            &pp.graph,
+            &louvain(&pp.graph, &LouvainConfig::default()).labels,
+        );
+        assert!(
+            q_leiden > 0.9 * q_louvain,
+            "leiden {q_leiden} vs louvain {q_louvain}"
+        );
+        let r = leiden(&pp.graph, &cfg());
+        assert!(nmi(&r.labels, &pp.ground_truth) > 0.9);
+    }
+
+    #[test]
+    fn modularity_monotone_across_levels() {
+        let g = web_crawl(2000, 6, 0.1, 7);
+        let r = leiden(&g, &cfg());
+        for pair in r.modularity_per_level.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn valid_and_deterministic() {
+        let g = erdos_renyi(200, 600, 11);
+        let a = leiden(&g, &cfg());
+        assert!(check_labels(&g, &a.labels).is_ok());
+        assert_eq!(a.labels, leiden(&g, &cfg()).labels);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(4);
+        let r = leiden(&g, &cfg());
+        assert_eq!(community_count(&r.labels), 4);
+    }
+
+    #[test]
+    fn connectivity_checker_detects_disconnection() {
+        // path 0-1-2-3; labels {0,1,0,1}: both communities disconnected
+        let g = nulpa_graph::gen::path(4);
+        assert!(!communities_connected(&g, &[0, 1, 0, 1]));
+        assert!(communities_connected(&g, &[0, 0, 1, 1]));
+        assert!(communities_connected(&g, &[0, 0, 0, 0]));
+    }
+}

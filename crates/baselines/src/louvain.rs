@@ -1,0 +1,311 @@
+//! Multi-level Louvain (the cuGraph-Louvain stand-in).
+//!
+//! The paper contrasts ν-LPA with cuGraph's GPU Louvain to quantify the
+//! LPA/Louvain trade-off: Louvain is ~37× slower but finds ~9.6 % higher
+//! modularity. Any faithful Louvain exposes that trade-off, so this is a
+//! complete sequential/multi-level implementation (Blondel et al. 2008):
+//!
+//! 1. **Local moving** — vertices greedily adopt the neighbouring
+//!    community with the best modularity gain ΔQ (paper Eq. 2), repeated
+//!    in shuffled passes until no vertex moves.
+//! 2. **Aggregation** — communities collapse into super-vertices
+//!    (intra-community weight becomes a self loop); repeat on the coarse
+//!    graph until the vertex count stops shrinking.
+
+use crate::common::shuffle;
+use nulpa_graph::{Csr, DuplicatePolicy, GraphBuilder, VertexId};
+use nulpa_metrics::{compact_labels, modularity};
+use std::collections::BTreeMap;
+
+/// Louvain configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LouvainConfig {
+    /// Resolution γ (1.0 = classic modularity).
+    pub resolution: f64,
+    /// Stop a level's local-moving once a full pass moves no vertex, or
+    /// after this many passes.
+    pub max_passes: u32,
+    /// Maximum aggregation levels.
+    pub max_levels: u32,
+    /// Stop when a level improves modularity by less than this.
+    pub min_gain: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for LouvainConfig {
+    fn default() -> Self {
+        LouvainConfig {
+            resolution: 1.0,
+            max_passes: 50,
+            max_levels: 10,
+            min_gain: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a Louvain run.
+#[derive(Clone, Debug)]
+pub struct LouvainResult {
+    /// Community of each original vertex (dense `0..k`).
+    pub labels: Vec<VertexId>,
+    /// Aggregation levels performed.
+    pub levels: u32,
+    /// Modularity of the flattened partition after each level.
+    pub modularity_per_level: Vec<f64>,
+    /// Local-moving passes summed over levels.
+    pub total_passes: u32,
+}
+
+/// Run multi-level Louvain.
+pub fn louvain(g: &Csr, config: &LouvainConfig) -> LouvainResult {
+    let n = g.num_vertices();
+    let mut labels_global: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut current = g.clone();
+    let mut modularity_per_level = Vec::new();
+    let mut levels = 0;
+    let mut total_passes = 0;
+    let mut last_q = modularity(g, &labels_global);
+
+    for level in 0..config.max_levels {
+        let (local, passes) = local_moving(&current, config, config.seed ^ level as u64);
+        total_passes += passes;
+        let (compacted, k) = compact_labels(&local);
+
+        // flatten: original vertex -> its super-vertex's new community
+        for l in labels_global.iter_mut() {
+            *l = compacted[*l as usize];
+        }
+        levels = level + 1;
+
+        let q = modularity(g, &labels_global);
+        modularity_per_level.push(q);
+        if k == current.num_vertices() || q - last_q < config.min_gain {
+            break;
+        }
+        last_q = q;
+        current = aggregate(&current, &compacted, k);
+    }
+
+    LouvainResult {
+        labels: labels_global,
+        levels,
+        modularity_per_level,
+        total_passes,
+    }
+}
+
+/// One level's greedy local-moving phase. Returns (labels, passes).
+fn local_moving(g: &Csr, config: &LouvainConfig, seed: u64) -> (Vec<VertexId>, u32) {
+    let n = g.num_vertices();
+    let m2 = g.total_weight(); // 2m
+    if m2 == 0.0 {
+        return ((0..n as VertexId).collect(), 0);
+    }
+    let m = m2 / 2.0;
+
+    // weighted degrees (self loop stored once contributes its full σ share)
+    let k: Vec<f64> = g.vertices().map(|v| g.weighted_degree(v)).collect();
+    let mut sigma_tot = k.clone();
+    let mut labels: Vec<VertexId> = (0..n as VertexId).collect();
+
+    let mut order: Vec<VertexId> = g.vertices().filter(|&v| g.degree(v) > 0).collect();
+    let mut passes = 0;
+    // BTreeMap: deterministic iteration order makes tie-breaks reproducible
+    let mut neigh: BTreeMap<VertexId, f64> = BTreeMap::new();
+
+    for pass in 0..config.max_passes {
+        passes = pass + 1;
+        shuffle(&mut order, seed ^ (pass as u64) << 32);
+        let mut moves = 0usize;
+
+        for &v in &order {
+            let d = labels[v as usize];
+            let k_v = k[v as usize];
+
+            neigh.clear();
+            for (j, w) in g.neighbors(v) {
+                if j == v {
+                    continue; // self loops stay internal wherever v goes
+                }
+                *neigh.entry(labels[j as usize]).or_insert(0.0) += w as f64;
+            }
+            if neigh.is_empty() {
+                continue;
+            }
+
+            // remove v from its community, then insert into the best
+            sigma_tot[d as usize] -= k_v;
+            let gain = |c: VertexId, k_to_c: f64| {
+                k_to_c / m - config.resolution * sigma_tot[c as usize] * k_v / (2.0 * m * m)
+            };
+            let mut best_c = d;
+            let mut best_gain = gain(d, neigh.get(&d).copied().unwrap_or(0.0));
+            for (&c, &k_to_c) in &neigh {
+                if c == d {
+                    continue;
+                }
+                let gc = gain(c, k_to_c);
+                // strict improvement with a deterministic tie-break
+                if gc > best_gain + 1e-15 {
+                    best_gain = gc;
+                    best_c = c;
+                }
+            }
+            sigma_tot[best_c as usize] += k_v;
+            if best_c != d {
+                labels[v as usize] = best_c;
+                moves += 1;
+            }
+        }
+
+        if moves == 0 {
+            break;
+        }
+    }
+    (labels, passes)
+}
+
+/// Collapse communities into super-vertices; intra-community weight
+/// becomes a self loop carrying the full σ_c (sum of intra directed
+/// edges), preserving the total directed weight.
+fn aggregate(g: &Csr, compacted: &[VertexId], k: usize) -> Csr {
+    let mut b = GraphBuilder::new(k)
+        .keep_self_loops(true)
+        .duplicate_policy(DuplicatePolicy::SumWeights)
+        .reserve(g.num_edges().min(4 * k));
+    for u in g.vertices() {
+        let cu = compacted[u as usize];
+        for (v, w) in g.neighbors(u) {
+            let cv = compacted[v as usize];
+            b.push_edge(cu, cv, w);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nulpa_graph::gen::{
+        caveman_ground_truth, caveman_weighted, complete, erdos_renyi, planted_partition,
+        two_cliques_bridge,
+    };
+    use nulpa_graph::Csr;
+    use nulpa_metrics::{check_labels, community_count, nmi, same_partition};
+
+    fn cfg() -> LouvainConfig {
+        LouvainConfig::default()
+    }
+
+    #[test]
+    fn two_cliques_exact_even_with_unit_bridge() {
+        // Louvain's ΔQ is tie-free here (unlike LPA's weight ties)
+        let g = two_cliques_bridge(5);
+        let r = louvain(&g, &cfg());
+        assert!(same_partition(&r.labels, &caveman_ground_truth(2, 5)));
+    }
+
+    #[test]
+    fn caveman_exact() {
+        let g = caveman_weighted(6, 6, 1.0);
+        let r = louvain(&g, &cfg());
+        assert!(same_partition(&r.labels, &caveman_ground_truth(6, 6)));
+    }
+
+    #[test]
+    fn beats_lpa_quality_on_planted_graph() {
+        // the paper's headline trade-off: Louvain modularity > LPA's
+        let pp = planted_partition(&[60, 60, 60], 12.0, 0.5, 23);
+        let q_louvain = modularity(&pp.graph, &louvain(&pp.graph, &cfg()).labels);
+        let q_flpa = modularity(&pp.graph, &crate::flpa::flpa(&pp.graph, 1).labels);
+        assert!(
+            q_louvain >= q_flpa - 1e-9,
+            "louvain {q_louvain} vs flpa {q_flpa}"
+        );
+        let r = louvain(&pp.graph, &cfg());
+        assert!(nmi(&r.labels, &pp.ground_truth) > 0.9);
+    }
+
+    #[test]
+    fn modularity_never_decreases_across_levels() {
+        let g = erdos_renyi(200, 800, 6);
+        let r = louvain(&g, &cfg());
+        for pair in r.modularity_per_level.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-6, "levels: {:?}", r.modularity_per_level);
+        }
+    }
+
+    #[test]
+    fn positive_modularity_on_random_graph() {
+        // even ER graphs have exploitable fluctuations; Q must be > 0
+        let g = erdos_renyi(300, 900, 2);
+        let r = louvain(&g, &cfg());
+        assert!(modularity(&g, &r.labels) > 0.0);
+        assert!(check_labels(&g, &r.labels).is_ok());
+    }
+
+    #[test]
+    fn complete_graph_one_community() {
+        let g = complete(10);
+        let r = louvain(&g, &cfg());
+        assert_eq!(community_count(&r.labels), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(5);
+        let r = louvain(&g, &cfg());
+        assert_eq!(r.labels.len(), 5);
+        assert_eq!(community_count(&r.labels), 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = erdos_renyi(150, 500, 9);
+        assert_eq!(louvain(&g, &cfg()).labels, louvain(&g, &cfg()).labels);
+    }
+
+    #[test]
+    fn resolution_controls_granularity() {
+        let g = caveman_weighted(6, 6, 1.0);
+        let fine = louvain(
+            &g,
+            &LouvainConfig {
+                resolution: 2.0,
+                ..cfg()
+            },
+        );
+        let coarse = louvain(
+            &g,
+            &LouvainConfig {
+                resolution: 0.2,
+                ..cfg()
+            },
+        );
+        assert!(community_count(&fine.labels) >= community_count(&coarse.labels));
+    }
+
+    #[test]
+    fn aggregation_preserves_total_weight() {
+        let g = caveman_weighted(4, 5, 1.0);
+        let labels = caveman_ground_truth(4, 5);
+        let (compacted, k) = compact_labels(&labels);
+        let coarse = aggregate(&g, &compacted, k);
+        assert_eq!(coarse.num_vertices(), 4);
+        assert!((coarse.total_weight() - g.total_weight()).abs() < 1e-6);
+        // modularity of the coarse identity partition equals the fine one
+        let fine_q = modularity(&g, &labels);
+        let coarse_q = modularity(&coarse, &(0..4).collect::<Vec<_>>());
+        assert!((fine_q - coarse_q).abs() < 1e-9);
+    }
+
+    #[test]
+    fn passes_counted() {
+        let g = caveman_weighted(3, 5, 1.0);
+        let r = louvain(&g, &cfg());
+        assert!(r.total_passes >= 1);
+        assert!(r.levels >= 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! SLPA — Speaker–Listener Label Propagation (Xie, Szymanski & Liu 2011).
+//!
+//! Second of the paper's three evaluated LPA relatives. Every vertex keeps
+//! a *memory* of labels (initially its own id). For `T` rounds, each
+//! listener vertex asks every neighbour to "speak" one label sampled from
+//! the speaker's memory (frequency-proportional, edge-weight biased at
+//! the listener) and appends the most popular spoken label to its memory.
+//! Post-processing thresholds memory frequencies: labels above `r` form
+//! (possibly overlapping) communities; the disjoint projection takes each
+//! vertex's most frequent label.
+
+use crate::common::scramble;
+use nulpa_graph::{Csr, VertexId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, HashMap};
+
+/// SLPA configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SlpaConfig {
+    /// Speaking rounds `T` (Xie et al. suggest ≥ 20).
+    pub rounds: u32,
+    /// Post-processing threshold `r` in `[0, 0.5]`: labels whose memory
+    /// frequency is below it are discarded from the overlap sets.
+    pub threshold: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SlpaConfig {
+    fn default() -> Self {
+        SlpaConfig {
+            rounds: 20,
+            threshold: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of an SLPA run.
+#[derive(Clone, Debug)]
+pub struct SlpaResult {
+    /// Overlapping memberships after thresholding: per vertex, labels with
+    /// memory frequency ≥ threshold, sorted by descending frequency.
+    pub memberships: Vec<Vec<(VertexId, f64)>>,
+    /// Disjoint projection: most frequent memory label per vertex.
+    pub labels: Vec<VertexId>,
+    /// Rounds performed.
+    pub rounds: u32,
+}
+
+/// Run SLPA.
+pub fn slpa(g: &Csr, config: &SlpaConfig) -> SlpaResult {
+    assert!((0.0..=0.5).contains(&config.threshold), "threshold in [0, 0.5]");
+    let n = g.num_vertices();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    // memories as label -> count maps; BTreeMap so the cumulative walk in
+    // the speaker's sampling is deterministic
+    let mut memory: Vec<BTreeMap<VertexId, u32>> = (0..n as VertexId)
+        .map(|v| BTreeMap::from([(v, 1u32)]))
+        .collect();
+    let mut memory_len = vec![1u32; n];
+
+    let mut spoken: HashMap<VertexId, f64> = HashMap::new();
+    let mut order: Vec<VertexId> = g.vertices().filter(|&v| g.degree(v) > 0).collect();
+    for round in 0..config.rounds {
+        // asynchronous listening in a fresh random order each round, as
+        // the reference SLPA prescribes ("one node is selected... in a
+        // random order")
+        crate::common::shuffle(&mut order, config.seed ^ 0x517a ^ round as u64);
+        for &u in &order {
+            spoken.clear();
+            for (j, w) in g.neighbors(u) {
+                if j == u {
+                    continue;
+                }
+                // the speaker samples a label from its memory,
+                // frequency-proportionally
+                let mem = &memory[j as usize];
+                let total = memory_len[j as usize];
+                let mut pick = rng.gen_range(0..total);
+                let mut label = u; // placeholder, always overwritten
+                for (&l, &c) in mem.iter() {
+                    if pick < c {
+                        label = l;
+                        break;
+                    }
+                    pick -= c;
+                }
+                *spoken.entry(label).or_insert(0.0) += w as f64;
+            }
+            // the listener adopts the most popular spoken label
+            let Some((&best, _)) = spoken
+                .iter()
+                .max_by(|a, b| {
+                    a.1.partial_cmp(b.1)
+                        .unwrap()
+                        .then_with(|| scramble(*b.0).cmp(&scramble(*a.0)))
+                })
+            else {
+                continue;
+            };
+            *memory[u as usize].entry(best).or_insert(0) += 1;
+            memory_len[u as usize] += 1;
+        }
+    }
+
+    // post-processing
+    let mut memberships = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for u in 0..n {
+        let total = memory_len[u] as f64;
+        let mut freqs: Vec<(VertexId, f64)> = memory[u]
+            .iter()
+            .map(|(&l, &c)| (l, c as f64 / total))
+            .collect();
+        freqs.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap()
+                .then_with(|| scramble(a.0).cmp(&scramble(b.0)))
+        });
+        labels.push(freqs[0].0);
+        freqs.retain(|&(_, f)| f >= config.threshold);
+        if freqs.is_empty() {
+            freqs.push((labels[u], 1.0));
+        }
+        memberships.push(freqs);
+    }
+
+    SlpaResult {
+        memberships,
+        labels,
+        rounds: config.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nulpa_graph::gen::{caveman_ground_truth, caveman_weighted, planted_partition};
+    use nulpa_graph::Csr;
+    use nulpa_metrics::{check_labels, modularity, nmi, same_partition};
+
+    fn cfg() -> SlpaConfig {
+        SlpaConfig::default()
+    }
+
+    #[test]
+    fn caveman_recovered() {
+        let g = caveman_weighted(4, 8, 0.5);
+        let r = slpa(&g, &cfg());
+        assert!(same_partition(&r.labels, &caveman_ground_truth(4, 8)));
+    }
+
+    #[test]
+    fn memory_lengths_grow_with_rounds() {
+        let g = caveman_weighted(2, 5, 0.5);
+        let r = slpa(&g, &SlpaConfig { rounds: 7, ..cfg() });
+        // every membership frequency is a multiple of 1/(rounds+1)
+        for m in &r.memberships {
+            for &(_, f) in m {
+                let steps = f * 8.0;
+                assert!((steps - steps.round()).abs() < 1e-9, "f = {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn planted_quality_and_nmi() {
+        let pp = planted_partition(&[60, 60, 60], 12.0, 0.5, 5);
+        let r = slpa(&pp.graph, &cfg());
+        assert!(modularity(&pp.graph, &r.labels) > 0.3);
+        assert!(nmi(&r.labels, &pp.ground_truth) > 0.5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pp = planted_partition(&[40, 40], 8.0, 1.0, 2);
+        assert_eq!(slpa(&pp.graph, &cfg()).labels, slpa(&pp.graph, &cfg()).labels);
+        let other = slpa(
+            &pp.graph,
+            &SlpaConfig {
+                seed: 99,
+                ..cfg()
+            },
+        );
+        // different randomness usually gives a different label vector
+        // (identical partitions are fine; identical raw labels unlikely)
+        let _ = other;
+    }
+
+    #[test]
+    fn threshold_bounds_membership_count() {
+        let pp = planted_partition(&[50, 50], 8.0, 1.0, 4);
+        let r = slpa(
+            &pp.graph,
+            &SlpaConfig {
+                threshold: 0.4,
+                ..cfg()
+            },
+        );
+        // at threshold 0.4, at most 2 labels can clear it
+        assert!(r.memberships.iter().all(|m| m.len() <= 2));
+        assert!(check_labels(&pp.graph, &r.labels).is_ok());
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = Csr::empty(3);
+        let r = slpa(&g, &cfg());
+        assert_eq!(r.labels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_bad_threshold() {
+        slpa(&Csr::empty(1), &SlpaConfig { threshold: 0.9, ..cfg() });
+    }
+}

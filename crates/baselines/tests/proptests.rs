@@ -1,0 +1,100 @@
+//! Property-based tests across all baseline implementations: every
+//! algorithm must return structurally valid labels on arbitrary graphs,
+//! including degenerate ones.
+
+use nulpa_baselines::{
+    copra, flpa, gunrock_lp, gve_lpa, labelrank, leiden, louvain, networkit_plp, slpa,
+    CopraConfig, GunrockConfig, GveLpaConfig, LabelRankConfig, LeidenConfig, LouvainConfig,
+    PlpConfig, SlpaConfig,
+};
+use nulpa_graph::GraphBuilder;
+use nulpa_metrics::{check_labels, modularity};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = nulpa_graph::Csr> {
+    (2..40usize).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0.1f32..4.0), 0..100).prop_map(
+            move |edges| {
+                GraphBuilder::new(n)
+                    .add_undirected_edges(edges.into_iter().filter(|(u, v, _)| u != v))
+                    .build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_baselines_return_valid_labels(g in arb_graph()) {
+        let runs: Vec<(&str, Vec<u32>)> = vec![
+            ("flpa", flpa(&g, 1).labels),
+            ("plp", networkit_plp(&g, &PlpConfig::default()).labels),
+            ("gunrock", gunrock_lp(&g, &GunrockConfig::default()).labels),
+            ("louvain", louvain(&g, &LouvainConfig::default()).labels),
+            ("leiden", leiden(&g, &LeidenConfig::default()).labels),
+            ("gve", gve_lpa(&g, &GveLpaConfig::default()).labels),
+            ("copra", copra(&g, &CopraConfig::default()).labels),
+            ("slpa", slpa(&g, &SlpaConfig::default()).labels),
+            ("labelrank", labelrank(&g, &LabelRankConfig::default()).labels),
+        ];
+        for (name, labels) in runs {
+            prop_assert!(check_labels(&g, &labels).is_ok(), "{} invalid", name);
+            let q = modularity(&g, &labels);
+            prop_assert!((-0.5 - 1e-9..=1.0).contains(&q), "{}: Q = {}", name, q);
+        }
+    }
+
+    #[test]
+    fn louvain_never_below_singletons(g in arb_graph()) {
+        // Louvain's greedy moves only accept positive ΔQ, so it can never
+        // end below the all-singletons baseline
+        let singles: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        let q0 = modularity(&g, &singles);
+        let q = modularity(&g, &louvain(&g, &LouvainConfig::default()).labels);
+        prop_assert!(q >= q0 - 1e-9, "{} < {}", q, q0);
+    }
+
+    #[test]
+    fn leiden_communities_connected(g in arb_graph()) {
+        let r = leiden(&g, &LeidenConfig::default());
+        prop_assert!(nulpa_baselines::communities_connected(&g, &r.labels));
+    }
+
+    #[test]
+    fn copra_memberships_well_formed(g in arb_graph()) {
+        let r = copra(&g, &CopraConfig::default());
+        for (v, m) in r.memberships.iter().enumerate() {
+            prop_assert!(!m.is_empty(), "vertex {} has no membership", v);
+            let sum: f64 = m.iter().map(|&(_, b)| b).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6, "vertex {}: sum {}", v, sum);
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_keep_identity_everywhere(extra in 1usize..5) {
+        // graph with deliberate isolated tail vertices
+        let n = 6 + extra;
+        let g = GraphBuilder::new(n)
+            .add_undirected_edges([(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)])
+            .build();
+        // LPA-family baselines keep raw vertex-id labels, so isolated
+        // vertices retain their own id (Louvain/Leiden compact labels to
+        // dense 0..k, so they are checked for singleton-ness instead)
+        for labels in [
+            flpa(&g, 1).labels,
+            networkit_plp(&g, &PlpConfig::default()).labels,
+            gve_lpa(&g, &GveLpaConfig::default()).labels,
+        ] {
+            for (v, &l) in labels.iter().enumerate().skip(6) {
+                prop_assert_eq!(l, v as u32);
+            }
+        }
+        let lv = louvain(&g, &LouvainConfig::default()).labels;
+        for v in 6..n {
+            // isolated vertex sits alone in its (renamed) community
+            prop_assert!(lv.iter().enumerate().all(|(u, &l)| u == v || l != lv[v]));
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Criterion companion to Fig. 5: native wall time with `f32` vs `f64`
+//! hashtable values. On a CPU the effect is smaller than on a GPU
+//! (bandwidth pressure is lower) but the direction must hold at scale.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nulpa_core::{lpa_native, LpaConfig, ValueType};
+use nulpa_graph::gen::web_crawl;
+
+fn benches(c: &mut Criterion) {
+    let g = web_crawl(8000, 8, 0.08, 2);
+    let mut group = c.benchmark_group("native_value_type");
+    group.sample_size(10);
+    for (label, vt) in [("f32", ValueType::F32), ("f64", ValueType::F64)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &vt, |b, &vt| {
+            let cfg = LpaConfig::default().with_value_type(vt);
+            b.iter(|| black_box(lpa_native(&g, &cfg).iterations));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(datatype, benches);
+criterion_main!(datatype);

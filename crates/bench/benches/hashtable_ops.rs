@@ -1,0 +1,93 @@
+//! The hashtable against the data structure the paper criticises:
+//! per-vertex flat open addressing vs `std::collections::BTreeMap`
+//! (NetworKit's `std::map`) and `HashMap`, on the label-accumulation
+//! workload. Also measures `clear` and `max_key` in isolation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nulpa_hashtab::{capacity_for_degree, secondary_prime, ProbeStrategy, TableMut, EMPTY_KEY};
+use std::collections::{BTreeMap, HashMap};
+
+fn label_stream(degree: usize, distinct: usize) -> Vec<u32> {
+    (0..degree)
+        .map(|i| ((i % distinct) as u32).wrapping_mul(0x9e37_79b9) & 0xffff)
+        .collect()
+}
+
+fn benches(c: &mut Criterion) {
+    let degree = 256;
+    let distinct = 24;
+    let stream = label_stream(degree, distinct);
+    let cap = capacity_for_degree(degree);
+    let p2 = secondary_prime(cap);
+
+    let mut group = c.benchmark_group("accumulate_256_neighbours");
+    group.sample_size(30);
+
+    group.bench_function("vertex_table_quadratic_double", |b| {
+        let mut keys = vec![EMPTY_KEY; cap];
+        let mut values = vec![0.0f32; cap];
+        b.iter(|| {
+            let mut t = TableMut::<f32>::new(&mut keys, &mut values, p2);
+            t.clear();
+            for &k in &stream {
+                t.accumulate(ProbeStrategy::QuadraticDouble, k, 1.0);
+            }
+            black_box(t.max_key())
+        });
+    });
+
+    group.bench_function("btreemap_networkit_style", |b| {
+        b.iter(|| {
+            let mut m: BTreeMap<u32, f32> = BTreeMap::new();
+            for &k in &stream {
+                *m.entry(k).or_insert(0.0) += 1.0;
+            }
+            black_box(
+                m.iter()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(&k, &v)| (k, v)),
+            )
+        });
+    });
+
+    group.bench_function("hashmap_std", |b| {
+        b.iter(|| {
+            let mut m: HashMap<u32, f32> = HashMap::new();
+            for &k in &stream {
+                *m.entry(k).or_insert(0.0) += 1.0;
+            }
+            black_box(
+                m.iter()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(&k, &v)| (k, v)),
+            )
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("table_primitives");
+    group.sample_size(30);
+    group.bench_function("clear_1023", |b| {
+        let mut keys = vec![EMPTY_KEY; 1023];
+        let mut values = vec![0.0f32; 1023];
+        b.iter(|| {
+            let mut t = TableMut::<f32>::new(&mut keys, &mut values, 2047);
+            t.clear();
+            black_box(t.capacity())
+        });
+    });
+    group.bench_function("max_key_1023", |b| {
+        let mut keys = vec![EMPTY_KEY; 1023];
+        let mut values = vec![0.0f32; 1023];
+        let mut t = TableMut::<f32>::new(&mut keys, &mut values, 2047);
+        t.clear();
+        for k in 0..512u32 {
+            t.accumulate(ProbeStrategy::QuadraticDouble, k * 3 + 1, (k % 7) as f32);
+        }
+        b.iter(|| black_box(t.max_key()));
+    });
+    group.finish();
+}
+
+criterion_group!(hashtable_ops, benches);
+criterion_main!(hashtable_ops);

@@ -1,0 +1,33 @@
+//! Criterion companion to Fig. 6a: wall time of all five implementations
+//! on one host-structured web crawl.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nulpa_baselines::{
+    flpa, gunrock_lp, louvain, networkit_plp, GunrockConfig, LouvainConfig, PlpConfig,
+};
+use nulpa_core::{lpa_native, LpaConfig};
+use nulpa_graph::gen::web_crawl;
+
+fn benches(c: &mut Criterion) {
+    let g = web_crawl(6000, 8, 0.08, 3);
+    let mut group = c.benchmark_group("implementations_web6k");
+    group.sample_size(10);
+
+    group.bench_function("flpa", |b| b.iter(|| black_box(flpa(&g, 1).changes)));
+    group.bench_function("networkit_plp", |b| {
+        b.iter(|| black_box(networkit_plp(&g, &PlpConfig::default()).iterations))
+    });
+    group.bench_function("gunrock_sync_lp", |b| {
+        b.iter(|| black_box(gunrock_lp(&g, &GunrockConfig::default()).iterations))
+    });
+    group.bench_function("louvain", |b| {
+        b.iter(|| black_box(louvain(&g, &LouvainConfig::default()).levels))
+    });
+    group.bench_function("nu_lpa_native", |b| {
+        b.iter(|| black_box(lpa_native(&g, &LpaConfig::default()).iterations))
+    });
+    group.finish();
+}
+
+criterion_group!(implementations, benches);
+criterion_main!(implementations);

@@ -1,0 +1,61 @@
+//! Criterion microbenchmark of the four probe strategies (Fig. 3's axis)
+//! in the two load regimes an LPA run actually visits:
+//!
+//! * **high load** — iteration 1: every neighbour carries a distinct
+//!   label, the table fills to `D / (nextPow2(D) − 1)`, worst when
+//!   `D = 2^k − 1` (exactly 100 %). This is the regime where probing
+//!   strategy matters and the paper's hybrid wins.
+//! * **low load** — near convergence: a handful of distinct labels,
+//!   almost every accumulate is a first-probe hit.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nulpa_hashtab::{capacity_for_degree, secondary_prime, ProbeStrategy, TableMut, EMPTY_KEY};
+
+/// Distinct pseudo-random keys (scrambled ids), `count` of them.
+fn distinct_keys(count: usize, seed: u32) -> Vec<u32> {
+    (0..count as u32)
+        .map(|i| (i ^ seed).wrapping_mul(0x9e37_79b9) & 0x7fff_ffff)
+        .collect()
+}
+
+fn bench_regime(c: &mut Criterion, name: &str, degree: usize, distinct: usize) {
+    let cap = capacity_for_degree(degree);
+    let p2 = secondary_prime(cap);
+    let base = distinct_keys(distinct, 0xabcd);
+    // neighbour stream: `degree` lookups cycling over the distinct keys
+    let stream: Vec<u32> = (0..degree).map(|i| base[i % distinct]).collect();
+
+    let mut group = c.benchmark_group(name);
+    group.sample_size(20);
+    for strategy in ProbeStrategy::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                let mut keys = vec![EMPTY_KEY; cap];
+                let mut values = vec![0.0f32; cap];
+                b.iter(|| {
+                    let mut t = TableMut::<f32>::new(&mut keys, &mut values, p2);
+                    t.clear();
+                    for &k in &stream {
+                        black_box(t.accumulate(strategy, k, 1.0));
+                    }
+                    black_box(t.max_key())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    // 100 % load: D = 2^k − 1 distinct keys (the paper's hard case)
+    bench_regime(c, "accumulate/high_load_full", 1023, 1023);
+    // ~60 % load
+    bench_regime(c, "accumulate/high_load_60pct", 600, 600);
+    // converged regime: 1024 lookups over 4 labels
+    bench_regime(c, "accumulate/low_load_converged", 1024, 4);
+}
+
+criterion_group!(probe_strategies, benches);
+criterion_main!(probe_strategies);

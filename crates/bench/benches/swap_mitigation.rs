@@ -1,0 +1,37 @@
+//! Criterion companion to Fig. 1: host cost of the swap-prevention
+//! schedules on the GPU simulator (Off runs to the iteration cap; the
+//! mitigated schedules converge, so they are *faster* despite the extra
+//! checks — the figure's point).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nulpa_core::{lpa_gpu, LpaConfig, SwapMode};
+use nulpa_graph::gen::web_crawl;
+
+fn benches(c: &mut Criterion) {
+    let g = web_crawl(4000, 8, 0.08, 4);
+    let modes = [
+        SwapMode::Off,
+        SwapMode::PickLess { every: 4 },
+        SwapMode::CrossCheck { every: 1 },
+        SwapMode::Hybrid {
+            cc_every: 2,
+            pl_every: 4,
+        },
+    ];
+    let mut group = c.benchmark_group("gpu_sim_swap_mode");
+    group.sample_size(10);
+    for mode in modes {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.label()),
+            &mode,
+            |b, &mode| {
+                let cfg = LpaConfig::default().with_swap_mode(mode);
+                b.iter(|| black_box(lpa_gpu(&g, &cfg).iterations));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(swap_mitigation, benches);
+criterion_main!(swap_mitigation);

@@ -1,0 +1,24 @@
+//! Criterion companion to Fig. 4: wall time of the *simulated* GPU run at
+//! different switch degrees. (The figure binary reports simulated cycles;
+//! this bench guards against host-side performance regressions of the
+//! simulator itself across the partition spectrum.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nulpa_core::{lpa_gpu, LpaConfig};
+use nulpa_graph::gen::web_crawl;
+
+fn benches(c: &mut Criterion) {
+    let g = web_crawl(4000, 8, 0.08, 1);
+    let mut group = c.benchmark_group("gpu_sim_switch_degree");
+    group.sample_size(10);
+    for sd in [2u32, 16, 32, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(sd), &sd, |b, &sd| {
+            let cfg = LpaConfig::default().with_switch_degree(sd);
+            b.iter(|| black_box(lpa_gpu(&g, &cfg).stats.sim_cycles));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(switch_degree, benches);
+criterion_main!(switch_degree);

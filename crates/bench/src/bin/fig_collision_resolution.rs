@@ -1,0 +1,65 @@
+//! Figure 3: collision-resolution strategies for the per-vertex
+//! hashtables — Linear, Quadratic, Double, and the paper's hybrid
+//! Quadratic-double.
+//!
+//! Runs the GPU-simulator backend with each strategy on the figure
+//! datasets and reports geometric-mean relative simulated runtime
+//! (normalized per graph to the fastest strategy), plus the underlying
+//! drivers: probes per accumulation and warp-divergence ratio.
+//!
+//! Paper result: quadratic-double fastest — 2.8× / 3.7× / 3.2× faster
+//! than linear / quadratic / double respectively.
+
+use nulpa_bench::{geomean, print_header, BenchArgs};
+use nulpa_core::{lpa_gpu, LpaConfig};
+use nulpa_graph::datasets::figure_specs;
+use nulpa_hashtab::ProbeStrategy;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let strategies = ProbeStrategy::all();
+
+    let mut rel_cycles = vec![Vec::new(); strategies.len()];
+    let mut probes_per_edge = vec![Vec::new(); strategies.len()];
+    let mut divergence = vec![Vec::new(); strategies.len()];
+
+    for spec in figure_specs() {
+        let d = spec.generate(args.scale);
+        let g = &d.graph;
+        eprintln!("running {} (|V|={}, |E|={})", spec.name, g.num_vertices(), g.num_edges());
+        let mut graph_cycles = Vec::new();
+        for (i, s) in strategies.iter().enumerate() {
+            let cfg = LpaConfig::default().with_probe(*s);
+            let r = lpa_gpu(g, &cfg);
+            graph_cycles.push(r.stats.sim_cycles.max(1) as f64);
+            probes_per_edge[i].push(r.stats.probes as f64 / g.num_edges().max(1) as f64);
+            divergence[i].push(r.stats.divergence_ratio());
+        }
+        let min_c = graph_cycles.iter().cloned().fold(f64::MAX, f64::min);
+        for (i, c) in graph_cycles.iter().enumerate() {
+            rel_cycles[i].push(c / min_c);
+        }
+    }
+
+    print_header("Fig. 3: relative runtime by collision-resolution strategy");
+    println!(
+        "{:<18} {:>14} {:>16} {:>12}",
+        "strategy", "rel. runtime", "probes/edge-scan", "divergence"
+    );
+    for (i, s) in strategies.iter().enumerate() {
+        println!(
+            "{:<18} {:>14.3} {:>16.3} {:>12.3}",
+            s.label(),
+            geomean(&rel_cycles[i]),
+            geomean(&probes_per_edge[i]),
+            geomean(&divergence[i]),
+        );
+    }
+    let qd = geomean(&rel_cycles[3]);
+    println!(
+        "\nquadratic-double vs linear/quadratic/double: {:.2}x / {:.2}x / {:.2}x (paper: 2.8x / 3.7x / 3.2x)",
+        geomean(&rel_cycles[0]) / qd,
+        geomean(&rel_cycles[1]) / qd,
+        geomean(&rel_cycles[2]) / qd,
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 4: the thread-/block-per-vertex switch degree.
+//!
+//! Sweeps the switch degree over 2–256 (powers of two) on the figure
+//! datasets and reports geometric-mean relative simulated runtime,
+//! normalized per graph to the fastest setting.
+//!
+//! Paper result: a switch degree of 32 (the warp width) is fastest.
+
+use nulpa_bench::{geomean, print_header, BenchArgs};
+use nulpa_core::{lpa_gpu, LpaConfig};
+use nulpa_graph::datasets::figure_specs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let degrees: Vec<u32> = (1..=8).map(|k| 1u32 << k).collect(); // 2..256
+
+    let mut rel = vec![Vec::new(); degrees.len()];
+    for spec in figure_specs() {
+        let d = spec.generate(args.scale);
+        let g = &d.graph;
+        eprintln!("running {} (|V|={}, |E|={})", spec.name, g.num_vertices(), g.num_edges());
+        let mut cycles = Vec::new();
+        for &sd in &degrees {
+            let cfg = LpaConfig::default().with_switch_degree(sd);
+            let r = lpa_gpu(g, &cfg);
+            cycles.push(r.stats.sim_cycles.max(1) as f64);
+        }
+        let min_c = cycles.iter().cloned().fold(f64::MAX, f64::min);
+        for (i, c) in cycles.iter().enumerate() {
+            rel[i].push(c / min_c);
+        }
+    }
+
+    print_header("Fig. 4: relative runtime by switch degree");
+    println!("{:>8} {:>14}", "switch", "rel. runtime");
+    let mut best = (0u32, f64::MAX);
+    for (i, &sd) in degrees.iter().enumerate() {
+        let r = geomean(&rel[i]);
+        println!("{:>8} {:>14.3}", sd, r);
+        if r < best.1 {
+            best = (sd, r);
+        }
+    }
+    println!("\nfastest switch degree: {} (paper: 32)", best.0);
+}

@@ -1,0 +1,38 @@
+//! Table 1: the dataset list with `|V|`, `|E|`, `D_avg`, and `|Γ|` — the
+//! number of communities ν-LPA finds. Runs the native ν-LPA backend on
+//! every stand-in at the requested scale and prints the same columns the
+//! paper reports (plus the original graphs' sizes for reference).
+
+use nulpa_bench::{print_header, BenchArgs};
+use nulpa_core::{lpa_native, LpaConfig};
+use nulpa_graph::datasets::all_specs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    print_header("Table 1: datasets (synthetic stand-ins) and |Γ| under ν-LPA");
+    println!(
+        "{:<17} {:>9} {:>10} {:>7} {:>9}   (paper: |V|, |E|)",
+        "Graph", "|V|", "|E|", "D_avg", "|Γ|"
+    );
+
+    let mut group = None;
+    for spec in all_specs() {
+        if group != Some(spec.category) {
+            group = Some(spec.category);
+            println!("--- {} ---", spec.category.label());
+        }
+        let d = spec.generate(args.scale);
+        let g = &d.graph;
+        let r = lpa_native(g, &LpaConfig::default());
+        println!(
+            "{:<17} {:>9} {:>10} {:>7.1} {:>9}   ({:.2}M, {:.0}M)",
+            format!("{}{}", spec.name, if spec.directed { "*" } else { "" }),
+            g.num_vertices(),
+            g.num_edges(),
+            g.avg_degree(),
+            r.num_communities(),
+            spec.paper_vertices as f64 / 1e6,
+            spec.paper_edges as f64 / 1e6,
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared utilities for the figure/table binaries.
+
+use nulpa_graph::datasets::{DEFAULT_SCALE, TEST_SCALE};
+use std::time::{Duration, Instant};
+
+/// Command-line arguments shared by every harness binary.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchArgs {
+    /// Fraction of the paper's dataset sizes to generate.
+    pub scale: f64,
+    /// Wall-clock repetitions per measurement (paper: 5).
+    pub repeats: usize,
+}
+
+impl BenchArgs {
+    /// Parse `--scale <f>`, `--quick`, `--repeats <n>` from `std::env`.
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e} (supported: --scale <f>, --quick, --repeats <n>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Testable parser over any argument iterator.
+    pub fn parse_from<I>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut scale = DEFAULT_SCALE;
+        let mut repeats = 5;
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => {
+                    scale = TEST_SCALE;
+                    repeats = 2;
+                }
+                "--scale" => {
+                    scale = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--scale needs a float")?;
+                }
+                "--repeats" => {
+                    repeats = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--repeats needs an integer")?;
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(BenchArgs { scale, repeats })
+    }
+}
+
+/// Median wall time of `repeats` runs of `f` (the paper averages five
+/// runs; the median is more robust on a shared machine).
+pub fn median_time<T>(repeats: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    assert!(repeats >= 1);
+    let mut times = Vec::with_capacity(repeats);
+    let mut last = None;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let out = f();
+        times.push(t0.elapsed());
+        last = Some(out);
+    }
+    times.sort();
+    (times[times.len() / 2], last.unwrap())
+}
+
+/// Geometric mean of a series of positive ratios (the paper's "mean
+/// relative runtime" aggregation).
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let s: f64 = xs.iter().map(|&x| x.max(1e-300).ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// Print a figure/table header with a separator line.
+pub fn print_header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[0.5, 2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_time_returns_result() {
+        let (d, v) = median_time(3, || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() < 1_000_000_000);
+    }
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_defaults() {
+        let a = BenchArgs::parse_from(strs(&[])).unwrap();
+        assert_eq!(a.scale, nulpa_graph::datasets::DEFAULT_SCALE);
+        assert_eq!(a.repeats, 5);
+    }
+
+    #[test]
+    fn args_quick_and_overrides() {
+        let a = BenchArgs::parse_from(strs(&["--quick"])).unwrap();
+        assert_eq!(a.scale, nulpa_graph::datasets::TEST_SCALE);
+        assert_eq!(a.repeats, 2);
+        let a = BenchArgs::parse_from(strs(&["--scale", "0.001", "--repeats", "7"])).unwrap();
+        assert_eq!(a.scale, 0.001);
+        assert_eq!(a.repeats, 7);
+    }
+
+    #[test]
+    fn args_errors() {
+        assert!(BenchArgs::parse_from(strs(&["--scale"])).is_err());
+        assert!(BenchArgs::parse_from(strs(&["--scale", "x"])).is_err());
+        assert!(BenchArgs::parse_from(strs(&["--bogus"])).is_err());
+    }
+}

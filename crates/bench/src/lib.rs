@@ -1,0 +1,24 @@
+//! # nulpa-bench
+//!
+//! Benchmark harness regenerating every table and figure of the ν-LPA
+//! paper's evaluation. One binary per artefact (see DESIGN.md §4):
+//!
+//! | binary | artefact |
+//! |---|---|
+//! | `table_dataset` | Table 1 (dataset statistics + `\|Γ\|`) |
+//! | `fig_swap_prevention` | Fig. 1 (CC/PL/Hybrid sweep) |
+//! | `fig_collision_resolution` | Fig. 3 (probing strategies) |
+//! | `fig_switch_degree` | Fig. 4 (kernel switch degree sweep) |
+//! | `fig_datatype` | Fig. 5 (f32 vs f64 hashtable values) |
+//! | `fig_compare` | Fig. 6a/b/c (runtime, speedup, modularity vs baselines) |
+//! | `fig_coalesced` | Fig. 7 (open addressing vs coalesced chaining) |
+//!
+//! Every binary accepts `--scale <f>` (fraction of the paper's graph
+//! sizes; default 1/2000) and `--quick` (tiny test scale), prints the
+//! same rows/series the paper reports, and is deterministic.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{geomean, median_time, print_header, BenchArgs};

@@ -1,0 +1,629 @@
+//! ν-LPA on the SIMT simulator (paper Algorithm 1).
+//!
+//! This is the reproduction of the paper's CUDA implementation, run on the
+//! execution-model simulator of [`nulpa_simt`]:
+//!
+//! * Unprocessed vertices are partitioned by degree into a
+//!   **thread-per-vertex** kernel (degree < `switch_degree`) and a
+//!   **block-per-vertex** kernel (paper §4.3).
+//! * Per-vertex hashtables live in two global `2|E|` buffers, addressed by
+//!   CSR offsets (paper §4.2, Fig. 2); the thread kernel uses the unshared
+//!   (atomic-free) table path, the block kernel the shared path with
+//!   `atomicCAS`/`atomicAdd` charging.
+//! * Label writes go through a [`DeferredStore`]: within a wave everyone
+//!   sees wave-start labels (lockstep visibility — the very mechanism that
+//!   causes community swaps); across waves updates are visible
+//!   (asynchronous LPA).
+//! * Swap mitigation (paper §4.1): the Pick-Less gate restricts moves to
+//!   strictly smaller labels every ρ iterations; Cross-Check validates and
+//!   reverts "bad" moves (`C[c*] ≠ c*`) in a follow-up pass.
+//!
+//! Everything a lane does is metered (global reads/writes, atomics, probe
+//! steps), so the returned [`KernelStats`] carries the simulated cycles,
+//! divergence, and probe counts that the Fig. 1/3/4/5/7 harnesses report.
+
+use crate::config::{LpaConfig, ValueType};
+use crate::partition::partition_candidates;
+use crate::result::LpaResult;
+use nulpa_graph::{Csr, VertexId};
+use nulpa_hashtab::{HashValue, ProbeStrategy, TableAddr, TableMut, TableSlot, EMPTY_KEY};
+use nulpa_simt::{DeferredStore, KernelStats, LaneMeter, WaveScheduler, Width};
+use std::cell::{Cell, RefCell};
+
+/// Run ν-LPA on the simulated device configured in `config`.
+pub fn lpa_gpu(g: &Csr, config: &LpaConfig) -> LpaResult {
+    config.validate().expect("invalid LPA config");
+    match config.value_type {
+        ValueType::F32 => lpa_gpu_typed::<f32>(g, config),
+        ValueType::F64 => lpa_gpu_typed::<f64>(g, config),
+    }
+}
+
+/// Word-address layout of the simulated global memory, for the locality
+/// model. Regions in order: labels, processed flags, CSR targets, CSR
+/// weights, hash keys, hash values.
+#[derive(Clone, Copy)]
+struct AddrMap {
+    labels: usize,
+    processed: usize,
+    targets: usize,
+    weights: usize,
+    keys: usize,
+    values: usize,
+}
+
+impl AddrMap {
+    fn new(n: usize, m: usize) -> Self {
+        let labels = 0;
+        let processed = labels + n;
+        let targets = processed + n;
+        let weights = targets + m;
+        let keys = weights + m;
+        let values = keys + 2 * m;
+        AddrMap {
+            labels,
+            processed,
+            targets,
+            weights,
+            keys,
+            values,
+        }
+    }
+
+    fn table(&self, slot: &TableSlot) -> TableAddr {
+        TableAddr {
+            keys: self.keys + slot.start,
+            values: self.values + slot.start,
+            shared_space: false,
+        }
+    }
+}
+
+/// Processed-flag store with lockstep visibility.
+///
+/// In Algorithm 1 a vertex marks *itself* processed at the start of its
+/// body and marks its *neighbours* unprocessed after a move. Under
+/// lockstep, all self-marks of a wave happen before the wave's
+/// neighbour-unmarks in program order, so when two swap partners both
+/// move, both end up unprocessed — which is exactly why the swap cycle
+/// persists on hardware. Staging the writes and applying self-marks
+/// before unmarks at the wave boundary reproduces that outcome
+/// deterministically (a serial interleave of immediate writes would
+/// accidentally break the symmetry and hide the paper's pathology).
+struct FlagStore {
+    committed: Vec<bool>,
+    pending_set: Vec<usize>,
+    pending_clear: Vec<usize>,
+}
+
+impl FlagStore {
+    fn new(n: usize) -> Self {
+        FlagStore {
+            committed: vec![false; n],
+            pending_set: Vec::new(),
+            pending_clear: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.committed[i]
+    }
+
+    #[inline]
+    fn stage_set(&mut self, i: usize) {
+        self.pending_set.push(i);
+    }
+
+    #[inline]
+    fn stage_clear(&mut self, i: usize) {
+        self.pending_clear.push(i);
+    }
+
+    /// Immediate write (separate-kernel semantics, e.g. Cross-Check).
+    #[inline]
+    fn write_through(&mut self, i: usize, v: bool) {
+        self.committed[i] = v;
+    }
+
+    fn flush(&mut self) {
+        for i in self.pending_set.drain(..) {
+            self.committed[i] = true;
+        }
+        for i in self.pending_clear.drain(..) {
+            self.committed[i] = false;
+        }
+    }
+}
+
+/// Mutable simulation state shared by the kernel closures. The simulator
+/// executes lanes serially, so `RefCell` is sufficient (and panics loudly
+/// if that invariant is ever broken).
+struct GpuState<V: HashValue> {
+    labels: RefCell<DeferredStore<VertexId>>,
+    processed: RefCell<FlagStore>,
+    buf_k: RefCell<Vec<u32>>,
+    buf_v: RefCell<Vec<V>>,
+    changed: Cell<usize>,
+}
+
+fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig) -> LpaResult {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let sched = WaveScheduler::new(config.device, config.cost);
+    // Shared-memory tables (ablation): the thread kernel runs on an
+    // occupancy-limited device — each thread reserves its worst-case table
+    // (2 * switch_degree slots of key + value) in the SM's shared memory.
+    let low_sched = if config.shared_tables {
+        let bytes = 2 * config.switch_degree as usize * (4 + std::mem::size_of::<V>());
+        WaveScheduler::new(config.device.with_shared_mem_per_thread(bytes), config.cost)
+    } else {
+        sched
+    };
+    let addr = AddrMap::new(n, m);
+    let buf_len = TableSlot::buffer_len(m);
+
+    let state = GpuState::<V> {
+        labels: RefCell::new(DeferredStore::new((0..n as VertexId).collect())),
+        processed: RefCell::new(FlagStore::new(n)),
+        buf_k: RefCell::new(vec![EMPTY_KEY; buf_len]),
+        buf_v: RefCell::new(vec![V::zero(); buf_len]),
+        changed: Cell::new(0),
+    };
+
+    let mut stats = KernelStats::new();
+    let mut changed_per_iter = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        let pick_less = config.swap_mode.pick_less_on(iter);
+        let do_cc = config.swap_mode.cross_check_on(iter);
+        let prev_labels = do_cc.then(|| state.labels.borrow().as_slice().to_vec());
+
+        // Candidate set: unprocessed, non-isolated vertices (vertex
+        // pruning); with pruning disabled, all non-isolated vertices.
+        let candidates: Vec<VertexId> = {
+            let processed = state.processed.borrow();
+            (0..n as VertexId)
+                .filter(|&v| {
+                    (!config.pruning || !processed.get(v as usize)) && g.degree(v) > 0
+                })
+                .collect()
+        };
+        let part = partition_candidates(g, candidates.into_iter(), config.switch_degree);
+        state.changed.set(0);
+
+        // --- thread-per-vertex kernel (low-degree) --------------------
+        let st_low = low_sched.launch_thread_per_item(
+            &part.low,
+            |v, lane| {
+                process_vertex_thread(g, &state, v, pick_less, config, lane, addr)
+            },
+            |_| {
+                state.labels.borrow_mut().flush();
+                state.processed.borrow_mut().flush();
+            },
+        );
+        stats.add(&st_low);
+
+        // --- block-per-vertex kernel (high-degree) --------------------
+        let st_high = sched.launch_block_per_item(
+            &part.high,
+            |v, ctx| {
+                process_vertex_block(g, &state, v, pick_less, config.probe, ctx, addr)
+            },
+            |_| {
+                state.labels.borrow_mut().flush();
+                state.processed.borrow_mut().flush();
+            },
+        );
+        stats.add(&st_high);
+
+        // --- Cross-Check pass (separate kernel; immediate writes) -----
+        if let Some(prev) = prev_labels {
+            let changed_vertices: Vec<VertexId> = {
+                let labels = state.labels.borrow();
+                (0..n as VertexId)
+                    .filter(|&v| labels.get(v as usize) != prev[v as usize])
+                    .collect()
+            };
+            let st_cc = sched.launch_thread_per_item(
+                &changed_vertices,
+                |v, lane| {
+                    let cost = &config.cost;
+                    let mut labels = state.labels.borrow_mut();
+                    let c = labels.get(v as usize);
+                    lane.global_read(cost, addr.labels + v as usize, Width::W32);
+                    lane.global_read(cost, addr.labels + c as usize, Width::W32);
+                    // A change is good iff the leader vertex c is in its own
+                    // community (paper §4.1); otherwise revert atomically.
+                    if labels.get(c as usize) != c {
+                        labels.write_through(v as usize, prev[v as usize]);
+                        lane.atomic(cost, addr.labels + v as usize, Width::W32);
+                        state.processed.borrow_mut().write_through(v as usize, false);
+                        lane.global_write(cost, addr.processed + v as usize, Width::W32);
+                        // a reverted move no longer counts as a change
+                        state.changed.set(state.changed.get().saturating_sub(1));
+                    }
+                },
+                |_| {},
+            );
+            stats.add(&st_cc);
+        }
+
+        let changed = state.changed.get();
+        changed_per_iter.push(changed);
+        if !pick_less && (changed as f64 / n.max(1) as f64) < config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    let labels = state.labels.into_inner().into_inner();
+    LpaResult {
+        labels,
+        iterations,
+        converged,
+        changed_per_iter,
+        stats,
+    }
+}
+
+/// Algorithm 1's per-vertex body, thread-per-vertex flavour: one lane owns
+/// the whole vertex, so the hashtable needs no atomics.
+#[allow(clippy::too_many_arguments)]
+fn process_vertex_thread<V: HashValue>(
+    g: &Csr,
+    state: &GpuState<V>,
+    v: VertexId,
+    pick_less: bool,
+    config: &LpaConfig,
+    lane: &mut LaneMeter,
+    addr: AddrMap,
+) {
+    let probe = config.probe;
+    let cost = &config.cost;
+    // Mark vertex as processed (visible at the wave boundary).
+    state.processed.borrow_mut().stage_set(v as usize);
+    lane.global_write(cost, addr.processed + v as usize, Width::W32);
+
+    let degree = g.degree(v);
+    let slot = TableSlot::for_vertex(g.offset(v), degree);
+    if slot.capacity == 0 {
+        return;
+    }
+    let taddr = if config.shared_tables {
+        addr.table(&slot).in_shared_memory()
+    } else {
+        addr.table(&slot)
+    };
+
+    let mut buf_k = state.buf_k.borrow_mut();
+    let mut buf_v = state.buf_v.borrow_mut();
+    let range = slot.start..slot.start + slot.capacity;
+    let mut table = TableMut::<V>::new(&mut buf_k[range.clone()], &mut buf_v[range], slot.p2);
+
+    // hashtableClear (one lane clears every slot).
+    for s in 0..slot.capacity {
+        if taddr.shared_space {
+            lane.shared(cost, Width::W32);
+            lane.shared(cost, V::WIDTH);
+        } else {
+            lane.global_write(cost, taddr.keys + s, Width::W32);
+            lane.global_write(cost, taddr.values + s, V::WIDTH);
+        }
+    }
+    table.clear();
+
+    // Scan neighbours, accumulating weighted labels.
+    let labels = state.labels.borrow();
+    let off = g.offset(v);
+    for (k, (j, w)) in g.neighbors(v).enumerate() {
+        lane.global_read(cost, addr.targets + off + k, Width::W32);
+        lane.global_read(cost, addr.weights + off + k, Width::W32);
+        if j == v {
+            continue;
+        }
+        let c_j = labels.get(j as usize);
+        lane.global_read(cost, addr.labels + j as usize, Width::W32);
+        let outcome = table.accumulate_metered(probe, c_j, V::from_weight(w), taddr, lane, cost);
+        debug_assert!(outcome.is_done(), "table sized by layout cannot fill");
+    }
+
+    // hashtableMaxKey (sequential scan for a single lane).
+    for s in 0..slot.capacity {
+        if taddr.shared_space {
+            lane.shared(cost, Width::W32);
+            lane.shared(cost, V::WIDTH);
+        } else {
+            lane.global_read(cost, taddr.keys + s, Width::W32);
+            lane.global_read(cost, taddr.values + s, V::WIDTH);
+        }
+    }
+    let best = table.max_key();
+    drop(labels);
+
+    lane.alu(cost, 2);
+    if let Some((c_star, _)) = best {
+        let cur = state.labels.borrow().get(v as usize);
+        if c_star != cur && (!pick_less || c_star < cur) {
+            state.labels.borrow_mut().stage(v as usize, c_star);
+            lane.global_write(cost, addr.labels + v as usize, Width::W32);
+            state.changed.set(state.changed.get() + 1);
+            lane.atomic(cost, addr.processed, Width::W32); // ΔN_T → ΔN
+            let mut processed = state.processed.borrow_mut();
+            for &j in g.neighbor_ids(v) {
+                processed.stage_clear(j as usize);
+                lane.global_write(cost, addr.processed + j as usize, Width::W32);
+            }
+        }
+    }
+}
+
+/// Algorithm 1's per-vertex body, block-per-vertex flavour: a whole block
+/// cooperates — strided clears and neighbour scans, shared-path hashtable
+/// costs, a tree reduction for `hashtableMaxKey`.
+fn process_vertex_block<V: HashValue>(
+    g: &Csr,
+    state: &GpuState<V>,
+    v: VertexId,
+    pick_less: bool,
+    probe: ProbeStrategy,
+    ctx: &mut nulpa_simt::BlockCtx<'_>,
+    addr: AddrMap,
+) {
+    let cost = *ctx.cost;
+    state.processed.borrow_mut().stage_set(v as usize);
+    ctx.lane(0).global_write(&cost, addr.processed + v as usize, Width::W32);
+
+    let degree = g.degree(v);
+    let slot = TableSlot::for_vertex(g.offset(v), degree);
+    if slot.capacity == 0 {
+        return;
+    }
+    let taddr = addr.table(&slot);
+
+    let mut buf_k = state.buf_k.borrow_mut();
+    let mut buf_v = state.buf_v.borrow_mut();
+    let range = slot.start..slot.start + slot.capacity;
+    let mut table = TableMut::<V>::new(&mut buf_k[range.clone()], &mut buf_v[range], slot.p2);
+
+    // Parallel clear, strided across lanes.
+    ctx.for_each_strided(slot.capacity, |s, lane| {
+        lane.global_write(&cost, taddr.keys + s, Width::W32);
+        lane.global_write(&cost, taddr.values + s, V::WIDTH);
+    });
+    table.clear();
+    ctx.barrier();
+
+    // Parallel neighbour scan: lane k % B handles neighbour k. The
+    // shared-path table charges atomicCAS + atomicAdd per accumulation.
+    let labels = state.labels.borrow();
+    let off = g.offset(v);
+    let targets = g.neighbor_ids(v);
+    let weights = g.neighbor_weights(v);
+    ctx.for_each_strided(degree, |k, lane| {
+        lane.global_read(&cost, addr.targets + off + k, Width::W32);
+        lane.global_read(&cost, addr.weights + off + k, Width::W32);
+        let j = targets[k];
+        if j == v {
+            return;
+        }
+        let c_j = labels.get(j as usize);
+        lane.global_read(&cost, addr.labels + j as usize, Width::W32);
+        let outcome = table.accumulate_metered_shared(
+            probe,
+            c_j,
+            V::from_weight(weights[k]),
+            taddr,
+            lane,
+            &cost,
+        );
+        debug_assert!(outcome.is_done(), "table sized by layout cannot fill");
+    });
+    drop(labels);
+    ctx.barrier();
+
+    // Parallel max: strided scan of the table, then a tree reduction.
+    ctx.for_each_strided(slot.capacity, |s, lane| {
+        lane.global_read(&cost, taddr.keys + s, Width::W32);
+        lane.global_read(&cost, taddr.values + s, V::WIDTH);
+    });
+    ctx.charge_reduction(slot.capacity.min(ctx.num_lanes()));
+    ctx.barrier();
+    let best = table.max_key();
+
+    if let Some((c_star, _)) = best {
+        let cur = state.labels.borrow().get(v as usize);
+        ctx.lane(0).alu(&cost, 2);
+        if c_star != cur && (!pick_less || c_star < cur) {
+            state.labels.borrow_mut().stage(v as usize, c_star);
+            ctx.lane(0).global_write(&cost, addr.labels + v as usize, Width::W32);
+            state.changed.set(state.changed.get() + 1);
+            ctx.lane(0).atomic(&cost, addr.processed, Width::W32); // ΔN_T → ΔN
+            let mut processed = state.processed.borrow_mut();
+            ctx.for_each_strided(degree, |k, lane| {
+                let j = targets[k];
+                processed.stage_clear(j as usize);
+                lane.global_write(&cost, addr.processed + j as usize, Width::W32);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LpaConfig, SwapMode};
+    use crate::seq::lpa_seq;
+    use nulpa_graph::gen::{
+        caveman_ground_truth, caveman_weighted, complete, erdos_renyi, planted_partition,
+        two_cliques_light_bridge,
+    };
+    use nulpa_graph::GraphBuilder;
+    use nulpa_metrics::{check_labels, community_count, modularity, nmi, same_partition};
+    use nulpa_simt::DeviceConfig;
+
+    fn cfg() -> LpaConfig {
+        // tiny device => multiple waves even on small test graphs
+        LpaConfig::default().with_device(DeviceConfig::tiny())
+    }
+
+    #[test]
+    fn two_cliques_recovered() {
+        let g = two_cliques_light_bridge(6);
+        let r = lpa_gpu(&g, &cfg());
+        assert!(check_labels(&g, &r.labels).is_ok());
+        assert!(same_partition(&r.labels, &caveman_ground_truth(2, 6)));
+    }
+
+    #[test]
+    fn caveman_recovered_with_stats() {
+        let g = caveman_weighted(5, 8, 0.5);
+        let r = lpa_gpu(&g, &cfg());
+        assert!(same_partition(&r.labels, &caveman_ground_truth(5, 8)));
+        assert!(r.stats.sim_cycles > 0);
+        assert!(r.stats.probes > 0);
+        assert!(r.stats.waves > 0);
+    }
+
+    #[test]
+    fn complete_graph_single_community() {
+        let g = complete(12);
+        let r = lpa_gpu(&g, &cfg());
+        assert_eq!(community_count(&r.labels), 1);
+    }
+
+    #[test]
+    fn quality_close_to_sequential_reference() {
+        // seed 5 recovers the planted partition exactly under all
+        // backends; asynchronous LPA occasionally merges two blocks on
+        // other seeds (inherent variability, paper §4: "potentially
+        // introducing variability in results")
+        let pp = planted_partition(&[60, 60, 60], 12.0, 0.5, 5);
+        let r_gpu = lpa_gpu(&pp.graph, &cfg());
+        let r_seq = lpa_seq(&pp.graph, &cfg());
+        let q_gpu = modularity(&pp.graph, &r_gpu.labels);
+        let q_seq = modularity(&pp.graph, &r_seq.labels);
+        assert!(q_gpu > 0.9 * q_seq, "gpu {q_gpu} vs seq {q_seq}");
+        assert!(nmi(&r_gpu.labels, &pp.ground_truth) > 0.9);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = erdos_renyi(150, 450, 3);
+        let a = lpa_gpu(&g, &cfg());
+        let b = lpa_gpu(&g, &cfg());
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn swap_pathology_without_mitigation() {
+        // A perfect matching of symmetric pairs: vertex 2i — 2i+1. With no
+        // mitigation and lockstep waves, pairs co-resident in a wave swap
+        // labels forever and the run hits the iteration cap.
+        let mut b = GraphBuilder::new(64);
+        for i in 0..32u32 {
+            b.push_undirected(2 * i, 2 * i + 1, 1.0);
+        }
+        let g = b.build();
+        let no_fix = cfg().with_swap_mode(SwapMode::Off);
+        let r = lpa_gpu(&g, &no_fix);
+        assert!(!r.converged, "expected swap livelock without mitigation");
+        assert_eq!(r.iterations, no_fix.max_iterations);
+
+        // Pick-Less breaks the symmetry and converges to pair communities.
+        let r_pl = lpa_gpu(&g, &cfg());
+        assert!(r_pl.converged, "PL4 should converge");
+        assert_eq!(community_count(&r_pl.labels), 32);
+
+        // Cross-Check also breaks it.
+        let r_cc = lpa_gpu(&g, &cfg().with_swap_mode(SwapMode::CrossCheck { every: 1 }));
+        assert!(r_cc.converged, "CC1 should converge");
+        assert_eq!(community_count(&r_cc.labels), 32);
+    }
+
+    #[test]
+    fn all_probe_strategies_same_partition_quality() {
+        let g = caveman_weighted(4, 10, 0.5);
+        let truth = caveman_ground_truth(4, 10);
+        for p in ProbeStrategy::all() {
+            let r = lpa_gpu(&g, &cfg().with_probe(p));
+            assert!(
+                same_partition(&r.labels, &truth),
+                "{p:?} failed to recover cliques"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_and_f64_values_agree_on_quality() {
+        let pp = planted_partition(&[50, 50], 8.0, 1.0, 5);
+        let r32 = lpa_gpu(&pp.graph, &cfg().with_value_type(ValueType::F32));
+        let r64 = lpa_gpu(&pp.graph, &cfg().with_value_type(ValueType::F64));
+        let q32 = modularity(&pp.graph, &r32.labels);
+        let q64 = modularity(&pp.graph, &r64.labels);
+        assert!((q32 - q64).abs() < 0.05, "q32 {q32} vs q64 {q64}");
+        // f64 must cost more simulated cycles (wider memory traffic)
+        assert!(r64.stats.sim_cycles > r32.stats.sim_cycles);
+    }
+
+    #[test]
+    fn switch_degree_extremes_agree() {
+        // all-thread-kernel vs all-block-kernel must find the same cliques
+        let g = caveman_weighted(3, 12, 0.5);
+        let truth = caveman_ground_truth(3, 12);
+        let all_thread = lpa_gpu(&g, &cfg().with_switch_degree(u32::MAX));
+        let all_block = lpa_gpu(&g, &cfg().with_switch_degree(1));
+        assert!(same_partition(&all_thread.labels, &truth));
+        assert!(same_partition(&all_block.labels, &truth));
+    }
+
+    #[test]
+    fn empty_and_isolated_graphs() {
+        let g = nulpa_graph::Csr::empty(7);
+        let r = lpa_gpu(&g, &cfg());
+        assert_eq!(r.labels, (0..7).collect::<Vec<_>>());
+        assert!(r.converged);
+
+        let g = GraphBuilder::new(3).add_undirected_edge(0, 1, 1.0).build();
+        let r = lpa_gpu(&g, &cfg());
+        assert_eq!(r.labels[2], 2);
+        assert_eq!(r.labels[0], r.labels[1]);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let g = GraphBuilder::new(2)
+            .keep_self_loops(true)
+            .add_edge(0, 0, 100.0)
+            .add_undirected_edge(0, 1, 1.0)
+            .build();
+        let r = lpa_gpu(&g, &cfg());
+        // the heavy self loop must not pin vertex 0 to itself
+        assert_eq!(r.labels[0], r.labels[1]);
+    }
+
+    #[test]
+    fn a100_and_tiny_devices_both_valid() {
+        let g = caveman_weighted(3, 6, 0.5);
+        let truth = caveman_ground_truth(3, 6);
+        for d in [DeviceConfig::a100(), DeviceConfig::tiny()] {
+            let r = lpa_gpu(&g, &LpaConfig::default().with_device(d));
+            assert!(same_partition(&r.labels, &truth));
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_across_iterations() {
+        let g = erdos_renyi(100, 400, 8);
+        let r = lpa_gpu(&g, &cfg());
+        assert_eq!(r.changed_per_iter.len(), r.iterations as usize);
+        assert!(r.stats.global_reads > 0);
+        assert!(r.stats.lane_cycles > 0);
+        assert!(r.stats.sim_cycles <= r.stats.lane_cycles + r.stats.idle_cycles);
+    }
+}

@@ -1,0 +1,50 @@
+//! # nulpa-core
+//!
+//! ν-LPA: the paper's GPU label-propagation algorithm for community
+//! detection, in three backends sharing one configuration:
+//!
+//! * [`lpa_gpu`] — the reproduction of the CUDA implementation, executed
+//!   on the SIMT simulator with full cost metering (Algorithm 1 + 2,
+//!   Pick-Less / Cross-Check swap mitigation, thread- and block-per-vertex
+//!   kernels, per-vertex hashtables).
+//! * [`lpa_native`] — the same algorithm as a native Rayon port, used for
+//!   wall-clock benchmarking against the baselines (Fig. 6).
+//! * [`lpa_seq`] — a simple sequential reference for differential testing.
+//!
+//! Plus [`pulp_partition`] — the paper's stated future-work application:
+//! size-constrained k-way graph partitioning by label propagation.
+//!
+//! ```
+//! use nulpa_core::{lpa_native, LpaConfig};
+//! use nulpa_graph::gen::caveman_weighted;
+//! use nulpa_metrics::modularity;
+//!
+//! let g = caveman_weighted(4, 8, 0.5);
+//! let result = lpa_native(&g, &LpaConfig::default());
+//! assert!(modularity(&g, &result.labels) > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coarsen;
+pub mod config;
+pub mod disjoint;
+pub mod dynamic;
+pub mod gpu;
+pub mod linkpred;
+pub mod native;
+pub mod partition;
+pub mod pulp;
+pub mod result;
+pub mod seq;
+
+pub use coarsen::{coarsen_lpa, CoarseLevel, CoarsenConfig, CoarsenResult};
+pub use config::{LpaConfig, SwapMode, ValueType};
+pub use linkpred::{adamic_adar, community_adamic_adar, top_k_predictions};
+pub use gpu::lpa_gpu;
+pub use dynamic::{apply_batch, frontier, lpa_dynamic, EdgeBatch};
+pub use native::{lpa_native, lpa_native_from_state};
+pub use partition::{partition_all, partition_candidates, KernelPartition};
+pub use pulp::{pulp_partition, pulp_partition_weighted, PulpConfig, PulpResult};
+pub use result::LpaResult;
+pub use seq::lpa_seq;

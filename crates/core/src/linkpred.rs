@@ -1,0 +1,242 @@
+//! Community-structure-based link prediction.
+//!
+//! Another application the paper's related work cites for parallel LPA
+//! (Mohan et al. 2017: "a parallel label propagation algorithm for
+//! community detection and a parallel community information-based
+//! Adamic–Adar measure for link prediction"). The predictor scores a
+//! candidate pair by the Adamic–Adar index restricted to *community
+//! information*: common neighbours that share the pair's community
+//! context count fully, others are discounted.
+//!
+//! `CAA(u, v) = Σ_{z ∈ N(u) ∩ N(v)} bonus(z) / ln(deg(z))`
+//!
+//! with `bonus(z) = 1 + β` when `C(z) = C(u) = C(v)` (within-community
+//! evidence is stronger), `1` otherwise.
+
+use nulpa_graph::{Csr, VertexId};
+
+/// Weight boost for common neighbours inside the pair's own community.
+pub const COMMUNITY_BONUS: f64 = 1.0;
+
+/// Plain Adamic–Adar score of a candidate pair.
+pub fn adamic_adar(g: &Csr, u: VertexId, v: VertexId) -> f64 {
+    common_neighbors(g, u, v)
+        .map(|z| 1.0 / (g.degree(z) as f64).ln().max(f64::MIN_POSITIVE))
+        .sum()
+}
+
+/// Community-information Adamic–Adar (Mohan et al. style): common
+/// neighbours sharing the endpoints' community weigh `1 + bonus`.
+pub fn community_adamic_adar(g: &Csr, labels: &[VertexId], u: VertexId, v: VertexId) -> f64 {
+    assert_eq!(labels.len(), g.num_vertices(), "labels length mismatch");
+    let same_side = labels[u as usize] == labels[v as usize];
+    common_neighbors(g, u, v)
+        .map(|z| {
+            let bonus = if same_side && labels[z as usize] == labels[u as usize] {
+                1.0 + COMMUNITY_BONUS
+            } else {
+                1.0
+            };
+            bonus / (g.degree(z) as f64).ln().max(f64::MIN_POSITIVE)
+        })
+        .sum()
+}
+
+/// Iterate common neighbours of `u` and `v` (sorted-merge over CSR rows;
+/// duplicates collapse, self-endpoints skipped).
+fn common_neighbors<'a>(
+    g: &'a Csr,
+    u: VertexId,
+    v: VertexId,
+) -> impl Iterator<Item = VertexId> + 'a {
+    let a = g.neighbor_ids(u);
+    let b = g.neighbor_ids(v);
+    MergeCommon {
+        a,
+        b,
+        i: 0,
+        j: 0,
+        skip: [u, v],
+    }
+}
+
+struct MergeCommon<'a> {
+    a: &'a [VertexId],
+    b: &'a [VertexId],
+    i: usize,
+    j: usize,
+    skip: [VertexId; 2],
+}
+
+impl Iterator for MergeCommon<'_> {
+    type Item = VertexId;
+    fn next(&mut self) -> Option<VertexId> {
+        while self.i < self.a.len() && self.j < self.b.len() {
+            let (x, y) = (self.a[self.i], self.b[self.j]);
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => self.i += 1,
+                std::cmp::Ordering::Greater => self.j += 1,
+                std::cmp::Ordering::Equal => {
+                    // consume duplicates on both sides
+                    while self.i < self.a.len() && self.a[self.i] == x {
+                        self.i += 1;
+                    }
+                    while self.j < self.b.len() && self.b[self.j] == x {
+                        self.j += 1;
+                    }
+                    if !self.skip.contains(&x) {
+                        return Some(x);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Rank the top-`k` non-edges by community Adamic–Adar, scanning 2-hop
+/// candidate pairs (the only pairs with a non-zero score). `O(Σ d²)`.
+pub fn top_k_predictions(
+    g: &Csr,
+    labels: &[VertexId],
+    k: usize,
+) -> Vec<(VertexId, VertexId, f64)> {
+    assert_eq!(labels.len(), g.num_vertices(), "labels length mismatch");
+    let mut seen = std::collections::HashSet::new();
+    let mut scored: Vec<(VertexId, VertexId, f64)> = Vec::new();
+    for z in g.vertices() {
+        let nbrs = g.neighbor_ids(z);
+        for (i, &u) in nbrs.iter().enumerate() {
+            for &v in &nbrs[i + 1..] {
+                if u == v || g.has_edge(u, v) {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if !seen.insert(key) {
+                    continue;
+                }
+                let s = community_adamic_adar(g, labels, key.0, key.1);
+                if s > 0.0 {
+                    scored.push((key.0, key.1, s));
+                }
+            }
+        }
+    }
+    scored.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap()
+            .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::lpa_native;
+    use crate::LpaConfig;
+    use nulpa_graph::gen::{caveman_weighted, planted_partition};
+    use nulpa_graph::GraphBuilder;
+
+    #[test]
+    fn adamic_adar_counts_common_neighbours() {
+        // u=0 and v=1 share neighbours 2 and 3 (degree 2 each)
+        let g = GraphBuilder::new(4)
+            .add_undirected_edges([(0, 2, 1.0), (0, 3, 1.0), (1, 2, 1.0), (1, 3, 1.0)])
+            .build();
+        let s = adamic_adar(&g, 0, 1);
+        let expected = 2.0 / (2.0f64).ln();
+        assert!((s - expected).abs() < 1e-9, "{s} vs {expected}");
+    }
+
+    #[test]
+    fn no_common_neighbours_scores_zero() {
+        let g = GraphBuilder::new(4)
+            .add_undirected_edges([(0, 1, 1.0), (2, 3, 1.0)])
+            .build();
+        assert_eq!(adamic_adar(&g, 0, 2), 0.0);
+        assert_eq!(community_adamic_adar(&g, &[0, 0, 1, 1], 0, 2), 0.0);
+    }
+
+    #[test]
+    fn community_bonus_raises_intra_scores() {
+        let g = GraphBuilder::new(4)
+            .add_undirected_edges([(0, 2, 1.0), (1, 2, 1.0), (0, 3, 1.0), (1, 3, 1.0)])
+            .build();
+        let same = community_adamic_adar(&g, &[0, 0, 0, 0], 0, 1);
+        let cross = community_adamic_adar(&g, &[0, 1, 2, 3], 0, 1);
+        assert!(same > cross, "{same} vs {cross}");
+        assert!((same - 2.0 * cross).abs() < 1e-9); // bonus = 1.0 doubles
+    }
+
+    #[test]
+    fn top_k_predicts_missing_clique_edge() {
+        // remove one intra-clique edge: it should be the #1 prediction
+        let full = caveman_weighted(2, 6, 0.5);
+        let mut b = GraphBuilder::new(12);
+        for u in full.vertices() {
+            for (v, w) in full.neighbors(u) {
+                if v > u && ((u, v) != (1, 2)) {
+                    b.push_undirected(u, v, w);
+                }
+            }
+        }
+        let g = b.build();
+        let labels = lpa_native(&g, &LpaConfig::default()).labels;
+        let preds = top_k_predictions(&g, &labels, 3);
+        assert!(!preds.is_empty());
+        assert_eq!((preds[0].0, preds[0].1), (1, 2), "{preds:?}");
+    }
+
+    #[test]
+    fn predictions_exclude_existing_edges_and_self() {
+        let pp = planted_partition(&[30, 30], 8.0, 1.0, 3);
+        let labels = lpa_native(&pp.graph, &LpaConfig::default()).labels;
+        for (u, v, s) in top_k_predictions(&pp.graph, &labels, 50) {
+            assert_ne!(u, v);
+            assert!(!pp.graph.has_edge(u, v));
+            assert!(s > 0.0);
+        }
+    }
+
+    #[test]
+    fn held_out_edges_rank_above_random_pairs() {
+        // hold out 20 intra-community edges; their mean score must exceed
+        // the mean score of random unconnected inter-community pairs
+        let pp = planted_partition(&[50, 50], 10.0, 0.5, 7);
+        let g_full = &pp.graph;
+        let mut held: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut b = GraphBuilder::new(g_full.num_vertices());
+        for u in g_full.vertices() {
+            for (v, w) in g_full.neighbors(u) {
+                if v > u {
+                    let intra = pp.ground_truth[u as usize] == pp.ground_truth[v as usize];
+                    if intra && held.len() < 20 && (u + v) % 7 == 0 {
+                        held.push((u, v));
+                    } else {
+                        b.push_undirected(u, v, w);
+                    }
+                }
+            }
+        }
+        let g = b.build();
+        let labels = lpa_native(&g, &LpaConfig::default()).labels;
+
+        let mean = |pairs: &[(VertexId, VertexId)]| -> f64 {
+            pairs
+                .iter()
+                .map(|&(u, v)| community_adamic_adar(&g, &labels, u, v))
+                .sum::<f64>()
+                / pairs.len().max(1) as f64
+        };
+        let held_score = mean(&held);
+        let random: Vec<(VertexId, VertexId)> =
+            (0..20).map(|i| (i as VertexId, (i + 53) as VertexId)).collect();
+        let random_score = mean(&random);
+        assert!(
+            held_score > random_score,
+            "held {held_score} vs random {random_score}"
+        );
+    }
+}

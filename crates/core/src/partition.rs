@@ -1,0 +1,104 @@
+//! Low-/high-degree vertex partitioning (paper §4.3, Fig. 4).
+//!
+//! Vertices with degree below the switch degree are processed by the
+//! thread-per-vertex kernel; the rest by the block-per-vertex kernel.
+//! Isolated vertices are excluded entirely — they can never change label.
+
+use nulpa_graph::{Csr, VertexId};
+
+/// Vertex sets destined for the two kernels.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelPartition {
+    /// Degree in `1..switch_degree`: thread-per-vertex kernel.
+    pub low: Vec<VertexId>,
+    /// Degree `>= switch_degree`: block-per-vertex kernel.
+    pub high: Vec<VertexId>,
+}
+
+impl KernelPartition {
+    /// Total vertices across both kernels.
+    pub fn len(&self) -> usize {
+        self.low.len() + self.high.len()
+    }
+
+    /// No eligible vertices at all.
+    pub fn is_empty(&self) -> bool {
+        self.low.is_empty() && self.high.is_empty()
+    }
+}
+
+/// Partition an arbitrary candidate list by degree.
+pub fn partition_candidates(
+    g: &Csr,
+    candidates: impl Iterator<Item = VertexId>,
+    switch_degree: u32,
+) -> KernelPartition {
+    let mut p = KernelPartition::default();
+    for v in candidates {
+        let d = g.degree(v);
+        if d == 0 {
+            continue;
+        }
+        if (d as u32) < switch_degree {
+            p.low.push(v);
+        } else {
+            p.high.push(v);
+        }
+    }
+    p
+}
+
+/// Partition all vertices of the graph.
+pub fn partition_all(g: &Csr, switch_degree: u32) -> KernelPartition {
+    partition_candidates(g, g.vertices(), switch_degree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nulpa_graph::gen::star;
+    use nulpa_graph::GraphBuilder;
+
+    #[test]
+    fn star_partitions_hub_high() {
+        let g = star(40); // hub degree 39, leaves degree 1
+        let p = partition_all(&g, 32);
+        assert_eq!(p.high, vec![0]);
+        assert_eq!(p.low.len(), 39);
+        assert_eq!(p.len(), 40);
+    }
+
+    #[test]
+    fn isolated_vertices_excluded() {
+        let g = GraphBuilder::new(3).add_undirected_edge(0, 1, 1.0).build();
+        let p = partition_all(&g, 32);
+        assert_eq!(p.len(), 2);
+        assert!(!p.low.contains(&2));
+    }
+
+    #[test]
+    fn switch_degree_boundary_is_ge() {
+        // vertex with degree exactly equal to switch goes high
+        let g = star(5); // hub degree 4
+        let p = partition_all(&g, 4);
+        assert_eq!(p.high, vec![0]);
+        let p2 = partition_all(&g, 5);
+        assert!(p2.high.is_empty());
+        assert_eq!(p2.low.len(), 5);
+    }
+
+    #[test]
+    fn candidate_subset_respected() {
+        let g = star(10);
+        let p = partition_candidates(&g, [1, 2, 0].into_iter(), 3);
+        assert_eq!(p.low, vec![1, 2]);
+        assert_eq!(p.high, vec![0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = nulpa_graph::Csr::empty(4);
+        let p = partition_all(&g, 32);
+        assert!(p.is_empty());
+    }
+}

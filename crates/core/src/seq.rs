@@ -1,0 +1,265 @@
+//! Sequential reference LPA.
+//!
+//! A deliberately simple, obviously-correct implementation used for
+//! differential testing of the GPU-simulator and native backends. It
+//! follows the same high-level schedule as ν-LPA (asynchronous in-place
+//! updates in vertex-id order, vertex pruning, per-iteration tolerance,
+//! optional Pick-Less/Cross-Check) but accumulates label weights in a
+//! `BTreeMap` — no hashtables, no waves.
+//!
+//! Tie-breaking: highest total weight; among equal weights, the label with
+//! the smallest *scrambled* id wins. A smallest-raw-label rule would be
+//! degenerate (every tie cascades toward community 0 and unit-weight
+//! graphs collapse into one monster community); the hashtable backends
+//! break ties by slot-scan order, which is uncorrelated with label
+//! magnitude, and the scramble reproduces that property deterministically.
+
+use crate::config::LpaConfig;
+use crate::result::LpaResult;
+use nulpa_graph::{Csr, VertexId};
+use nulpa_simt::KernelStats;
+use std::collections::BTreeMap;
+
+/// Deterministic, magnitude-uncorrelated label order for tie-breaking.
+#[inline]
+pub(crate) fn scramble(label: VertexId) -> u32 {
+    (label ^ 0x5bd1_e995).wrapping_mul(0x9e37_79b9).rotate_left(13)
+}
+
+/// Deterministically shuffle the candidate sweep order.
+///
+/// The original RAK algorithm processes vertices "in a random order" each
+/// iteration, and parallel implementations get an effectively interleaved
+/// order from their schedulers. A strictly ascending sweep with immediate
+/// label visibility is pathological: on the all-ties first iteration a
+/// single label can cascade through the whole graph in one pass, producing
+/// a monster community. A seeded Fisher–Yates shuffle (varied per
+/// iteration) restores the intended behaviour while staying reproducible.
+pub(crate) fn shuffle_candidates(candidates: &mut [VertexId], iter: u32) {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x6c70_6100 + iter as u64);
+    candidates.shuffle(&mut rng);
+}
+
+/// Run the sequential reference LPA.
+pub fn lpa_seq(g: &Csr, config: &LpaConfig) -> LpaResult {
+    config.validate().expect("invalid LPA config");
+    let n = g.num_vertices();
+    let mut labels: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut processed = vec![false; n];
+    let mut changed_per_iter = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        let pick_less = config.swap_mode.pick_less_on(iter);
+        let prev = if config.swap_mode.cross_check_on(iter) {
+            Some(labels.clone())
+        } else {
+            None
+        };
+
+        let mut candidates: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| (!config.pruning || !processed[v as usize]) && g.degree(v) > 0)
+            .collect();
+        shuffle_candidates(&mut candidates, iter);
+
+        let mut changed = 0usize;
+        for v in candidates {
+            processed[v as usize] = true;
+            let mut weights: BTreeMap<VertexId, f64> = BTreeMap::new();
+            for (j, w) in g.neighbors(v) {
+                if j == v {
+                    continue;
+                }
+                *weights.entry(labels[j as usize]).or_insert(0.0) += w as f64;
+            }
+            let best = weights
+                .iter()
+                .fold(None::<(VertexId, f64)>, |acc, (&c, &w)| match acc {
+                    Some((bc, bw)) if w > bw || (w == bw && scramble(c) < scramble(bc)) => {
+                        Some((c, w))
+                    }
+                    None => Some((c, w)),
+                    _ => acc,
+                });
+            let Some((c_star, _)) = best else { continue };
+            let cur = labels[v as usize];
+            if c_star != cur && (!pick_less || c_star < cur) {
+                labels[v as usize] = c_star;
+                changed += 1;
+                for j in g.neighbor_ids(v) {
+                    processed[*j as usize] = false;
+                }
+            }
+        }
+
+        // Cross-Check pass: revert "bad" changes (paper §4.1)
+        if let Some(prev) = prev {
+            for v in 0..n {
+                let c = labels[v];
+                if c != prev[v] && labels[c as usize] != c {
+                    labels[v] = prev[v];
+                    // reverted vertices may need reprocessing
+                    processed[v] = false;
+                }
+            }
+        }
+
+        changed_per_iter.push(changed);
+        if !pick_less && (changed as f64 / n.max(1) as f64) < config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    LpaResult {
+        labels,
+        iterations,
+        converged,
+        changed_per_iter,
+        stats: KernelStats::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LpaConfig, SwapMode};
+    use nulpa_graph::gen::{
+        caveman_ground_truth, caveman_weighted, complete, star, two_cliques_light_bridge,
+    };
+    use nulpa_graph::{Csr, GraphBuilder};
+    use nulpa_metrics::{community_count, modularity, same_partition};
+
+    fn cfg() -> LpaConfig {
+        LpaConfig::default()
+    }
+
+    #[test]
+    fn two_cliques_found_exactly() {
+        let g = two_cliques_light_bridge(6);
+        let r = lpa_seq(&g, &cfg());
+        assert!(r.converged);
+        assert!(same_partition(&r.labels, &caveman_ground_truth(2, 6)));
+    }
+
+    #[test]
+    fn caveman_communities_recovered() {
+        let g = caveman_weighted(5, 8, 0.5);
+        let r = lpa_seq(&g, &cfg());
+        assert!(same_partition(&r.labels, &caveman_ground_truth(5, 8)));
+        let q = modularity(&g, &r.labels);
+        assert!(q > 0.6, "Q = {q}");
+    }
+
+    #[test]
+    fn complete_graph_collapses_to_one_community() {
+        let g = complete(10);
+        let r = lpa_seq(&g, &cfg());
+        assert_eq!(community_count(&r.labels), 1);
+    }
+
+    #[test]
+    fn star_collapses_to_one_community() {
+        let g = star(10);
+        let r = lpa_seq(&g, &cfg());
+        assert_eq!(community_count(&r.labels), 1);
+    }
+
+    #[test]
+    fn empty_graph_keeps_singletons() {
+        let g = Csr::empty(5);
+        let r = lpa_seq(&g, &cfg());
+        assert_eq!(r.labels, vec![0, 1, 2, 3, 4]);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn isolated_vertices_keep_own_label() {
+        let g = GraphBuilder::new(4).add_undirected_edge(0, 1, 1.0).build();
+        let r = lpa_seq(&g, &cfg());
+        assert_eq!(r.labels[2], 2);
+        assert_eq!(r.labels[3], 3);
+        assert_eq!(r.labels[0], r.labels[1]);
+    }
+
+    #[test]
+    fn labels_always_valid_vertex_ids() {
+        let g = nulpa_graph::gen::erdos_renyi(120, 300, 9);
+        let r = lpa_seq(&g, &cfg());
+        assert!(nulpa_metrics::check_labels(&g, &r.labels).is_ok());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = nulpa_graph::gen::erdos_renyi(100, 250, 4);
+        let a = lpa_seq(&g, &cfg());
+        let b = lpa_seq(&g, &cfg());
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let g = nulpa_graph::gen::erdos_renyi(200, 800, 2);
+        let c = cfg().with_max_iterations(2);
+        let r = lpa_seq(&g, &c);
+        assert!(r.iterations <= 2);
+        assert_eq!(r.changed_per_iter.len(), r.iterations as usize);
+    }
+
+    #[test]
+    fn pick_less_never_increases_labels_on_pl_iterations() {
+        // On a PL iteration (iter 0 with PL1), every adopted label must be
+        // smaller than the vertex's previous label (its own id initially).
+        let g = caveman_weighted(4, 5, 0.5);
+        let c = cfg().with_swap_mode(SwapMode::PickLess { every: 1 });
+        let r = lpa_seq(&g, &c);
+        for (v, &l) in r.labels.iter().enumerate() {
+            assert!(l as usize <= v, "vertex {v} got larger label {l}");
+        }
+    }
+
+    #[test]
+    fn swap_modes_all_converge_on_structured_graph() {
+        let g = caveman_weighted(6, 6, 0.5);
+        for mode in [
+            SwapMode::Off,
+            SwapMode::CrossCheck { every: 2 },
+            SwapMode::PickLess { every: 4 },
+            SwapMode::Hybrid {
+                cc_every: 2,
+                pl_every: 4,
+            },
+        ] {
+            let r = lpa_seq(&g, &cfg().with_swap_mode(mode));
+            let q = modularity(&g, &r.labels);
+            assert!(q > 0.5, "{mode:?}: Q = {q}");
+        }
+    }
+
+    #[test]
+    fn weighted_edges_steer_labels() {
+        // 0-1 heavy, 1-2 light: 1 joins 0's community
+        let g = GraphBuilder::new(3)
+            .add_undirected_edge(0, 1, 10.0)
+            .add_undirected_edge(1, 2, 0.1)
+            .build();
+        let r = lpa_seq(&g, &cfg());
+        assert_eq!(r.labels[0], r.labels[1]);
+    }
+
+    #[test]
+    fn changed_counts_monotone_trend() {
+        // changes should generally shrink as labels converge; assert the
+        // last recorded iteration changed fewer vertices than the first
+        let g = caveman_weighted(8, 8, 0.5);
+        let r = lpa_seq(&g, &cfg());
+        if r.changed_per_iter.len() >= 2 {
+            assert!(r.changed_per_iter.last().unwrap() <= &r.changed_per_iter[0]);
+        }
+    }
+}

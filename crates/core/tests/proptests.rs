@@ -1,0 +1,116 @@
+//! Property-based tests for the core crate's extensions: the PuLP
+//! partitioner and Dynamic Frontier LPA.
+
+use nulpa_core::{
+    apply_batch, frontier, lpa_dynamic, lpa_native, pulp_partition, EdgeBatch, LpaConfig,
+    PulpConfig,
+};
+use nulpa_graph::GraphBuilder;
+use nulpa_metrics::{check_labels, imbalance};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = nulpa_graph::Csr> {
+    (4..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0.2f32..4.0), 0..160).prop_map(
+            move |edges| {
+                GraphBuilder::new(n)
+                    .add_undirected_edges(edges.into_iter().filter(|(u, v, _)| u != v))
+                    .build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pulp_always_balanced_and_valid(g in arb_graph(60), k in 1usize..5) {
+        prop_assume!(k <= g.num_vertices());
+        let r = pulp_partition(
+            &g,
+            &PulpConfig {
+                num_parts: k,
+                ..Default::default()
+            },
+        );
+        prop_assert_eq!(r.parts.len(), g.num_vertices());
+        prop_assert!(r.parts.iter().all(|&p| (p as usize) < k));
+        // contiguous init is near-perfectly balanced; moves respect the cap,
+        // so the ceil'd cap is the only slack
+        let cap = ((g.num_vertices() as f64 / k as f64) * 1.05).ceil();
+        let max_size = (imbalance(&r.parts, k) * g.num_vertices() as f64 / k as f64).round();
+        prop_assert!(max_size <= cap + 0.5, "max {} cap {}", max_size, cap);
+    }
+
+    #[test]
+    fn apply_batch_preserves_symmetry(
+        g in arb_graph(40),
+        ins in proptest::collection::vec((0u32..40, 0u32..40, 0.5f32..2.0), 0..20),
+        del_seed in 0usize..10,
+    ) {
+        let n = g.num_vertices() as u32;
+        let batch = EdgeBatch {
+            insertions: ins
+                .into_iter()
+                .filter(|&(u, v, _)| u < n && v < n && u != v)
+                .collect(),
+            deletions: (0..del_seed)
+                .filter_map(|i| {
+                    let u = (i as u32 * 7) % n;
+                    g.neighbor_ids(u).first().map(|&v| (u, v))
+                })
+                .collect(),
+        };
+        let g2 = apply_batch(&g, &batch);
+        prop_assert!(g2.validate().is_ok());
+        prop_assert!(g2.is_symmetric());
+        // all insertions present (unless also deleted in the same batch)
+        for &(u, v, _) in &batch.insertions {
+            let deleted = batch.deletions.iter().any(|&(a, b)| {
+                (a, b) == (u, v) || (a, b) == (v, u)
+            });
+            if !deleted {
+                prop_assert!(g2.has_edge(u, v), "missing ({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_always_valid_and_frontier_sound(
+        g in arb_graph(50),
+        ins in proptest::collection::vec((0u32..50, 0u32..50), 0..15),
+    ) {
+        let n = g.num_vertices() as u32;
+        let cfg = LpaConfig::default();
+        let base = lpa_native(&g, &cfg);
+        let batch = EdgeBatch {
+            insertions: ins
+                .into_iter()
+                .filter(|&(u, v)| u < n && v < n && u != v)
+                .map(|(u, v)| (u, v, 1.0))
+                .collect(),
+            deletions: vec![],
+        };
+        // frontier only ever contains batch endpoints
+        let f = frontier(&batch, &base.labels);
+        for &v in &f {
+            prop_assert!(batch
+                .insertions
+                .iter()
+                .any(|&(a, b, _)| a == v || b == v));
+        }
+        let (g_new, r) = lpa_dynamic(&g, &base.labels, &batch, &cfg);
+        prop_assert!(check_labels(&g_new, &r.labels).is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_identity(g in arb_graph(40)) {
+        let cfg = LpaConfig::default();
+        let base = lpa_native(&g, &cfg);
+        let (g2, r) = lpa_dynamic(&g, &base.labels, &EdgeBatch::default(), &cfg);
+        prop_assert_eq!(g2, g);
+        prop_assert_eq!(r.total_changes(), 0);
+        prop_assert_eq!(r.labels, base.labels);
+    }
+}

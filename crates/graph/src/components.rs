@@ -1,0 +1,145 @@
+//! Connected components (union–find).
+//!
+//! Used by the harness to sanity-check community structure: label
+//! propagation only ever moves labels along edges, so every community is
+//! contained in one connected component — and on the k-mer stand-ins the
+//! component count lower-bounds `|Γ|` (Table 1's huge counts are mostly
+//! components).
+
+use crate::csr::{Csr, VertexId};
+
+/// Disjoint-set forest over `0..n` with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // path halving
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Number of disjoint sets.
+    pub fn count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+/// Component id of every vertex (ids are representative vertex ids, not
+/// dense — compact with `nulpa_metrics::compact_labels` if needed).
+pub fn connected_components(g: &Csr) -> Vec<VertexId> {
+    let mut uf = UnionFind::new(g.num_vertices());
+    for u in g.vertices() {
+        for &v in g.neighbor_ids(u) {
+            uf.union(u, v);
+        }
+    }
+    g.vertices().map(|v| uf.find(v)).collect()
+}
+
+/// Number of connected components.
+pub fn num_components(g: &Csr) -> usize {
+    let mut uf = UnionFind::new(g.num_vertices());
+    for u in g.vertices() {
+        for &v in g.neighbor_ids(u) {
+            uf.union(u, v);
+        }
+    }
+    uf.count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{caveman_weighted, kmer_chain, path};
+    use crate::{Csr, GraphBuilder};
+
+    #[test]
+    fn singletons_without_edges() {
+        let g = Csr::empty(5);
+        assert_eq!(num_components(&g), 5);
+        let c = connected_components(&g);
+        assert_eq!(c, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn path_is_one_component() {
+        assert_eq!(num_components(&path(10)), 1);
+    }
+
+    #[test]
+    fn disjoint_chains_counted() {
+        let g = kmer_chain(7, 5, 5, 0.0, 1);
+        assert_eq!(num_components(&g), 7);
+    }
+
+    #[test]
+    fn caveman_ring_is_connected() {
+        assert_eq!(num_components(&caveman_weighted(4, 5, 0.5)), 1);
+    }
+
+    #[test]
+    fn component_ids_consistent() {
+        let g = GraphBuilder::new(5)
+            .add_undirected_edge(0, 1, 1.0)
+            .add_undirected_edge(3, 4, 1.0)
+            .build();
+        let c = connected_components(&g);
+        assert_eq!(c[0], c[1]);
+        assert_eq!(c[3], c[4]);
+        assert_ne!(c[0], c[2]);
+        assert_ne!(c[0], c[3]);
+    }
+
+    #[test]
+    fn union_find_primitives() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.count(), 4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.count(), 3);
+        assert_eq!(uf.set_size(0), 2);
+        assert_eq!(uf.set_size(2), 1);
+        assert_eq!(uf.find(0), uf.find(1));
+    }
+}

@@ -1,0 +1,174 @@
+//! Small closed-form graphs used throughout the test suites: their
+//! community structure and modularity are known analytically, which makes
+//! them ideal differential-testing fixtures.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+
+/// Complete graph `K_n`, unit weights.
+pub fn complete(n: usize) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            b.push_undirected(u, v, 1.0);
+        }
+    }
+    b.build()
+}
+
+/// Cycle `C_n` (requires `n >= 3`), unit weights.
+pub fn cycle(n: usize) -> Csr {
+    assert!(n >= 3, "cycle requires at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        b.push_undirected(u as VertexId, ((u + 1) % n) as VertexId, 1.0);
+    }
+    b.build()
+}
+
+/// Path `P_n` with `n` vertices and `n - 1` edges.
+pub fn path(n: usize) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    for u in 1..n {
+        b.push_undirected((u - 1) as VertexId, u as VertexId, 1.0);
+    }
+    b.build()
+}
+
+/// Star with one hub (vertex 0) and `n - 1` leaves.
+pub fn star(n: usize) -> Csr {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as VertexId {
+        b.push_undirected(0, v, 1.0);
+    }
+    b.build()
+}
+
+/// Connected caveman graph: `k` cliques of size `s`, neighbouring cliques
+/// joined by a single edge in a ring. A classic high-modularity fixture.
+pub fn caveman(k: usize, s: usize) -> Csr {
+    caveman_weighted(k, s, 1.0)
+}
+
+/// [`caveman`] with a configurable bridge weight. Bridges lighter than the
+/// unit intra-clique edges (e.g. `0.5`) remove the weight ties at bridge
+/// endpoints, making the planted partition the unique LPA fixed point —
+/// the fixture used wherever tests assert *exact* community recovery.
+pub fn caveman_weighted(k: usize, s: usize, bridge_weight: f32) -> Csr {
+    assert!(k >= 1 && s >= 2);
+    let n = k * s;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..k {
+        let base = (c * s) as VertexId;
+        for i in 0..s as VertexId {
+            for j in (i + 1)..s as VertexId {
+                b.push_undirected(base + i, base + j, 1.0);
+            }
+        }
+    }
+    if k == 2 {
+        // A 2-ring would lay the same bridge twice; lay it once.
+        b.push_undirected(0, s as VertexId, bridge_weight);
+    } else if k > 2 {
+        for c in 0..k {
+            let a = (c * s) as VertexId;
+            let bnext = (((c + 1) % k) * s) as VertexId;
+            b.push_undirected(a, bnext, bridge_weight);
+        }
+    }
+    b.build()
+}
+
+/// Two `s`-cliques connected by a single bridge edge. The optimal
+/// partition is the two cliques; LPA finds it reliably.
+pub fn two_cliques_bridge(s: usize) -> Csr {
+    caveman(2, s)
+}
+
+/// [`two_cliques_bridge`] with a light (weight-0.5) bridge: the planted
+/// partition is the unique LPA fixed point (no weight ties at the bridge).
+pub fn two_cliques_light_bridge(s: usize) -> Csr {
+    caveman_weighted(2, s, 0.5)
+}
+
+/// Ground-truth labels for [`caveman`]/[`two_cliques_bridge`]: vertex `v`
+/// belongs to clique `v / s`.
+pub fn caveman_ground_truth(k: usize, s: usize) -> Vec<VertexId> {
+    (0..k * s).map(|v| (v / s) as VertexId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_degrees() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 20);
+        for u in g.vertices() {
+            assert_eq!(g.degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn cycle_degrees() {
+        let g = cycle(7);
+        assert_eq!(g.num_edges(), 14);
+        for u in g.vertices() {
+            assert_eq!(g.degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn path_endpoints() {
+        let g = path(5);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.num_edges(), 8);
+    }
+
+    #[test]
+    fn star_hub() {
+        let g = star(6);
+        assert_eq!(g.degree(0), 5);
+        for v in 1..6 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn single_vertex_star() {
+        let g = star(1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn caveman_structure() {
+        let g = caveman(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // each clique: 4*3/2 = 6 undirected + 3 ring edges = 21 undirected
+        assert_eq!(g.num_edges(), 2 * (3 * 6 + 3));
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn two_cliques_bridge_counts() {
+        let g = two_cliques_bridge(4);
+        assert_eq!(g.num_vertices(), 8);
+        // 2 cliques * 6 undirected edges + 1 bridge = 13 undirected = 26 directed
+        assert_eq!(g.num_edges(), 26);
+        assert_eq!(g.edge_weight(0, 4), Some(1.0));
+    }
+
+    #[test]
+    fn ground_truth_shape() {
+        let t = caveman_ground_truth(3, 4);
+        assert_eq!(t.len(), 12);
+        assert_eq!(t[0], 0);
+        assert_eq!(t[4], 1);
+        assert_eq!(t[11], 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Erdős–Rényi G(n, m) random graphs.
+
+use super::rng;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::Rng;
+
+/// Undirected Erdős–Rényi graph with `n` vertices and (approximately) `m`
+/// distinct undirected edges, unit weights.
+///
+/// Sampling is with rejection of self loops; duplicates merge to weight
+/// sums being avoided by `KeepFirst` semantics of resampling (we resample
+/// until `m` *distinct* pairs are drawn, so the edge count is exact as long
+/// as `m <= n*(n-1)/2`).
+///
+/// # Panics
+/// Panics if `n < 2` and `m > 0`, or if `m` exceeds the number of possible
+/// undirected edges.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_edges, "requested {m} edges but only {max_edges} possible");
+    let mut r = rng(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::new(n).reserve(2 * m);
+    while chosen.len() < m {
+        let u = r.gen_range(0..n) as VertexId;
+        let v = r.gen_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if chosen.insert(key) {
+            b.push_undirected(key.0, key.1, 1.0);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(100, 250, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500); // directed storage
+        assert!(g.is_symmetric());
+        assert_eq!(g.num_self_loops(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(erdos_renyi(50, 100, 7), erdos_renyi(50, 100, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(erdos_renyi(50, 100, 7), erdos_renyi(50, 100, 8));
+    }
+
+    #[test]
+    fn zero_edges() {
+        let g = erdos_renyi(10, 0, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn full_density() {
+        let g = erdos_renyi(6, 15, 3);
+        assert_eq!(g.num_edges(), 30);
+        for u in g.vertices() {
+            assert_eq!(g.degree(u), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn rejects_impossible_edge_count() {
+        erdos_renyi(4, 7, 0);
+    }
+}

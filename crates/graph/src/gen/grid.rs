@@ -1,0 +1,83 @@
+//! 2-D lattice ("road network") generator.
+//!
+//! Stand-in for the paper's DIMACS10 road networks (asia_osm, europe_osm):
+//! average degree ≈ 2.1, enormous diameter, near-planar. We generate a
+//! rows×cols lattice and then delete a fraction of edges to thin the mesh
+//! down to road-network density, keeping determinism via the seed.
+
+use super::rng;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::Rng;
+
+/// `rows × cols` grid; each vertex connects to its right and down
+/// neighbour, and each such edge is *kept* with probability `keep_p`
+/// (`keep_p = 1.0` gives the full lattice). Unit weights.
+pub fn grid2d(rows: usize, cols: usize, keep_p: f64, seed: u64) -> Csr {
+    assert!(rows >= 1 && cols >= 1);
+    assert!((0.0..=1.0).contains(&keep_p));
+    let n = rows * cols;
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    let id = |y: usize, x: usize| (y * cols + x) as VertexId;
+    for y in 0..rows {
+        for x in 0..cols {
+            if x + 1 < cols && r.gen_bool(keep_p) {
+                b.push_undirected(id(y, x), id(y, x + 1), 1.0);
+            }
+            if y + 1 < rows && r.gen_bool(keep_p) {
+                b.push_undirected(id(y, x), id(y + 1, x), 1.0);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_lattice_edge_count() {
+        let g = grid2d(4, 5, 1.0, 0);
+        assert_eq!(g.num_vertices(), 20);
+        // horizontal: 4 rows * 4 = 16; vertical: 3 * 5 = 15 => 31 undirected
+        assert_eq!(g.num_edges(), 62);
+    }
+
+    #[test]
+    fn corner_degrees() {
+        let g = grid2d(3, 3, 1.0, 0);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(4), 4); // center
+    }
+
+    #[test]
+    fn thinning_reduces_density() {
+        let full = grid2d(30, 30, 1.0, 1);
+        let thin = grid2d(30, 30, 0.55, 1);
+        assert!(thin.num_edges() < full.num_edges());
+        assert!(thin.num_edges() > 0);
+    }
+
+    #[test]
+    fn road_like_density() {
+        // keep_p tuned so that D_avg lands near the paper's 2.1
+        let g = grid2d(100, 100, 0.55, 7);
+        let d = g.avg_degree();
+        assert!((1.8..=2.5).contains(&d), "avg degree {d}");
+    }
+
+    #[test]
+    fn single_row_is_a_path() {
+        let g = grid2d(1, 6, 1.0, 0);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(3), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(grid2d(10, 10, 0.7, 5), grid2d(10, 10, 0.7, 5));
+    }
+}

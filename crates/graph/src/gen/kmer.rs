@@ -1,0 +1,114 @@
+//! K-mer-style chain graph generator.
+//!
+//! Stand-in for the paper's GenBank protein k-mer graphs (kmer_A2a,
+//! kmer_V1r): average degree ≈ 2.1, built of very long chains (de Bruijn
+//! paths) with occasional branch vertices where chains fork, and a huge
+//! number of connected components — which is why ν-LPA finds tens of
+//! millions of communities on them (Table 1).
+
+use super::rng;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::Rng;
+
+/// Generate `num_chains` disjoint chains whose lengths are sampled
+/// uniformly from `min_len..=max_len` (vertex counts), with a `branch_p`
+/// probability per interior vertex of sprouting a short side branch
+/// (length 1–3). Total vertex count is data-dependent; unit weights.
+pub fn kmer_chain(
+    num_chains: usize,
+    min_len: usize,
+    max_len: usize,
+    branch_p: f64,
+    seed: u64,
+) -> Csr {
+    assert!(num_chains >= 1);
+    assert!(min_len >= 1 && max_len >= min_len);
+    assert!((0.0..=1.0).contains(&branch_p));
+    let mut r = rng(seed);
+
+    // First pass: decide chain lengths and branch positions so we know |V|.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut next: u32 = 0;
+    for _ in 0..num_chains {
+        let len = r.gen_range(min_len..=max_len);
+        let start = next;
+        next += len as u32;
+        for i in 1..len as u32 {
+            edges.push((start + i - 1, start + i));
+        }
+        // side branches off interior vertices
+        for i in 1..len.saturating_sub(1) as u32 {
+            if r.gen_bool(branch_p) {
+                let blen = r.gen_range(1..=3u32);
+                let bstart = next;
+                next += blen;
+                edges.push((start + i, bstart));
+                for j in 1..blen {
+                    edges.push((bstart + j - 1, bstart + j));
+                }
+            }
+        }
+    }
+
+    let mut b = GraphBuilder::new(next as usize).reserve(edges.len() * 2);
+    for (u, v) in edges {
+        b.push_undirected(u as VertexId, v as VertexId, 1.0);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_chains() {
+        let g = kmer_chain(3, 5, 5, 0.0, 1);
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_edges(), 2 * 3 * 4);
+        // endpoints have degree 1, interiors degree 2
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn chains_are_disjoint() {
+        let g = kmer_chain(2, 4, 4, 0.0, 2);
+        // no edge between vertex sets {0..3} and {4..7}
+        for u in 0..4u32 {
+            for (v, _) in g.neighbors(u) {
+                assert!(v < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn branching_adds_degree3_vertices() {
+        let g = kmer_chain(5, 50, 80, 0.3, 3);
+        let any_branch = g.vertices().any(|u| g.degree(u) >= 3);
+        assert!(any_branch);
+    }
+
+    #[test]
+    fn kmer_like_density() {
+        let g = kmer_chain(20, 100, 300, 0.05, 4);
+        let d = g.avg_degree();
+        assert!((1.7..=2.4).contains(&d), "avg degree {d}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            kmer_chain(4, 10, 20, 0.2, 9),
+            kmer_chain(4, 10, 20, 0.2, 9)
+        );
+    }
+
+    #[test]
+    fn single_vertex_chains() {
+        let g = kmer_chain(3, 1, 1, 0.0, 0);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

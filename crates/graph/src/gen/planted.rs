@@ -1,0 +1,170 @@
+//! Planted-partition (stochastic block model) generator with ground truth.
+//!
+//! Stand-in for the paper's SNAP social networks (com-LiveJournal,
+//! com-Orkut): dense intra-community structure with known ground-truth
+//! communities, enabling NMI evaluation alongside modularity.
+
+use super::rng;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::Rng;
+
+/// A planted-partition graph plus its ground-truth community assignment.
+#[derive(Clone, Debug)]
+pub struct PlantedPartition {
+    /// The symmetrized, unit-weight graph.
+    pub graph: Csr,
+    /// Ground-truth community of each vertex.
+    pub ground_truth: Vec<VertexId>,
+}
+
+/// Generate a planted-partition graph.
+///
+/// * `community_sizes` — size of each planted community (vertices are laid
+///   out contiguously: community 0 first, then community 1, …).
+/// * `degree_in` — expected number of intra-community neighbours per vertex.
+/// * `degree_out` — expected number of inter-community neighbours per vertex.
+///
+/// Edges are sampled by expected-degree (Chung–Lu style within/between
+/// blocks), so the realized degrees vary but their means match. Duplicate
+/// samples merge; self loops are dropped.
+pub fn planted_partition(
+    community_sizes: &[usize],
+    degree_in: f64,
+    degree_out: f64,
+    seed: u64,
+) -> PlantedPartition {
+    assert!(!community_sizes.is_empty());
+    assert!(degree_in >= 0.0 && degree_out >= 0.0);
+    let n: usize = community_sizes.iter().sum();
+    assert!(n >= 2);
+    let mut r = rng(seed);
+
+    let mut ground_truth = Vec::with_capacity(n);
+    let mut starts = Vec::with_capacity(community_sizes.len() + 1);
+    let mut acc = 0usize;
+    for (c, &sz) in community_sizes.iter().enumerate() {
+        assert!(sz >= 1, "community {c} is empty");
+        starts.push(acc);
+        ground_truth.extend(std::iter::repeat_n(c as VertexId, sz));
+        acc += sz;
+    }
+    starts.push(acc);
+
+    let mut b = GraphBuilder::new(n);
+
+    // Intra-community edges: for community of size s, target s*degree_in/2
+    // undirected edges sampled uniformly inside the block.
+    for (c, &sz) in community_sizes.iter().enumerate() {
+        if sz < 2 {
+            continue;
+        }
+        let base = starts[c];
+        let want = ((sz as f64 * degree_in) / 2.0).round() as usize;
+        let max_possible = sz * (sz - 1) / 2;
+        let want = want.min(max_possible);
+        let mut placed = std::collections::HashSet::new();
+        let mut guard = 0usize;
+        while placed.len() < want && guard < want * 20 + 100 {
+            guard += 1;
+            let u = (base + r.gen_range(0..sz)) as VertexId;
+            let v = (base + r.gen_range(0..sz)) as VertexId;
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if placed.insert(key) {
+                b.push_undirected(key.0, key.1, 1.0);
+            }
+        }
+    }
+
+    // Inter-community edges: global uniform pairs with different blocks.
+    let want_out = ((n as f64 * degree_out) / 2.0).round() as usize;
+    let mut placed = std::collections::HashSet::new();
+    let mut guard = 0usize;
+    while placed.len() < want_out && guard < want_out * 20 + 100 {
+        guard += 1;
+        let u = r.gen_range(0..n) as VertexId;
+        let v = r.gen_range(0..n) as VertexId;
+        if u == v || ground_truth[u as usize] == ground_truth[v as usize] {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if placed.insert(key) {
+            b.push_undirected(key.0, key.1, 1.0);
+        }
+    }
+
+    PlantedPartition {
+        graph: b.build(),
+        ground_truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_truth_layout() {
+        let pp = planted_partition(&[30, 20, 50], 8.0, 1.0, 5);
+        assert_eq!(pp.graph.num_vertices(), 100);
+        assert_eq!(pp.ground_truth.len(), 100);
+        assert_eq!(pp.ground_truth[0], 0);
+        assert_eq!(pp.ground_truth[29], 0);
+        assert_eq!(pp.ground_truth[30], 1);
+        assert_eq!(pp.ground_truth[50], 2);
+    }
+
+    #[test]
+    fn intra_edges_dominate() {
+        let pp = planted_partition(&[50, 50], 10.0, 1.0, 11);
+        let g = &pp.graph;
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for u in g.vertices() {
+            for (v, _) in g.neighbors(u) {
+                if pp.ground_truth[u as usize] == pp.ground_truth[v as usize] {
+                    intra += 1;
+                } else {
+                    inter += 1;
+                }
+            }
+        }
+        assert!(intra > 5 * inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn expected_degree_roughly_met() {
+        let pp = planted_partition(&[200, 200], 12.0, 2.0, 2);
+        let d = pp.graph.avg_degree();
+        assert!((10.0..=16.0).contains(&d), "avg degree {d}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = planted_partition(&[40, 40], 6.0, 1.0, 3);
+        let b = planted_partition(&[40, 40], 6.0, 1.0, 3);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.ground_truth, b.ground_truth);
+    }
+
+    #[test]
+    fn single_community_has_no_inter_edges() {
+        let pp = planted_partition(&[60], 5.0, 3.0, 9);
+        // degree_out cannot be satisfied with a single block: all pairs share it
+        for u in pp.graph.vertices() {
+            for (v, _) in pp.graph.neighbors(u) {
+                assert_eq!(pp.ground_truth[u as usize], pp.ground_truth[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_communities_ok() {
+        let pp = planted_partition(&[1, 1, 2], 4.0, 2.0, 1);
+        assert_eq!(pp.graph.num_vertices(), 4);
+        assert!(pp.graph.validate().is_ok());
+    }
+}

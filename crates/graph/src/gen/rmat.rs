@@ -1,0 +1,143 @@
+//! R-MAT (recursive matrix) generator, Graph500 style.
+//!
+//! Used for scale-free stress graphs with extreme skew — a second web/social
+//! stand-in and the standard workload for GPU graph-framework comparisons
+//! (Gunrock's own benchmarks use R-MAT inputs).
+
+use super::rng;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::Rng;
+
+/// R-MAT quadrant probabilities. Must sum to 1 (±1e-6).
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// Graph500 reference parameters.
+    pub fn graph500() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        Self::graph500()
+    }
+}
+
+/// Generate an R-MAT graph with `2^scale` vertices and `edge_factor *
+/// 2^scale` sampled (directed) edges, then symmetrized and deduplicated.
+/// Unit weights; self loops dropped.
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Csr {
+    assert!((1..31).contains(&scale));
+    let sum = params.a + params.b + params.c + params.d;
+    assert!((sum - 1.0).abs() < 1e-6, "quadrant probabilities must sum to 1");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n).reserve(2 * m);
+    for _ in 0..m {
+        let mut u = 0usize;
+        let mut v = 0usize;
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let x: f64 = r.gen();
+            if x < params.a {
+                // top-left: no bits set
+            } else if x < params.a + params.b {
+                v |= 1;
+            } else if x < params.a + params.b + params.c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            b.push_undirected(u as VertexId, v as VertexId, 1.0);
+        }
+    }
+    // Duplicates merge via the default SumWeights policy; reset weights to 1
+    // afterwards to keep the graph unweighted like Graph500.
+    let g = b.build();
+    let weights = vec![1.0; g.num_edges()];
+    Csr::from_raw(g.offsets().to_vec(), g.targets().to_vec(), weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_count_is_power_of_two() {
+        let g = rmat(8, 4, RmatParams::graph500(), 1);
+        assert_eq!(g.num_vertices(), 256);
+        assert!(g.num_edges() > 0);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn skew_produces_hubs() {
+        let g = rmat(10, 8, RmatParams::graph500(), 2);
+        assert!(g.max_degree() as f64 > 5.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn unit_weights_after_dedup() {
+        let g = rmat(6, 16, RmatParams::graph500(), 3);
+        assert!(g.weights().iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn uniform_params_flatten_skew() {
+        let p = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+        };
+        let skewed = rmat(10, 8, RmatParams::graph500(), 4);
+        let flat = rmat(10, 8, p, 4);
+        assert!(flat.max_degree() < skewed.max_degree());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            rmat(7, 4, RmatParams::graph500(), 5),
+            rmat(7, 4, RmatParams::graph500(), 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_params() {
+        rmat(
+            5,
+            2,
+            RmatParams {
+                a: 0.5,
+                b: 0.5,
+                c: 0.5,
+                d: 0.5,
+            },
+            0,
+        );
+    }
+}

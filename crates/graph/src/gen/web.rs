@@ -1,0 +1,192 @@
+//! Host-structured web-crawl generator.
+//!
+//! LAW web crawls (indochina-2004, uk-2002, …) are dominated by *host
+//! structure*: pages of one site link densely to each other and sparsely
+//! to other sites, and crawl order lays each host out contiguously in the
+//! id space. That is why LPA reaches high modularity on them (paper
+//! Fig. 6c) — structure a plain preferential-attachment graph lacks.
+//!
+//! This generator reproduces it: vertices are grouped into contiguous
+//! "hosts" with heavy-tailed sizes; within a host, new pages attach
+//! preferentially (BA-style) to earlier pages of the same host; with
+//! probability `inter_p` an attachment instead goes to a page of an
+//! earlier host, sampled preferentially by degree (global hubs).
+
+use super::rng;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::Rng;
+
+/// Generate a web-crawl-like graph: `n` vertices in heavy-tailed hosts,
+/// ~`m_attach` undirected attachments per vertex, a fraction `inter_p` of
+/// which cross host boundaries. Unit weights, symmetric.
+pub fn web_crawl(n: usize, m_attach: usize, inter_p: f64, seed: u64) -> Csr {
+    assert!(n >= 2);
+    assert!(m_attach >= 1);
+    assert!((0.0..=1.0).contains(&inter_p));
+    let mut r = rng(seed);
+
+    // Heavy-tailed host sizes (Pareto-ish, min 4).
+    let mut hosts: Vec<usize> = Vec::new();
+    let mut left = n;
+    while left > 0 {
+        let u: f64 = r.gen_range(0.0_f64..1.0).max(1e-9);
+        let s = (4.0 / u.powf(1.0 / 1.3)).round() as usize;
+        let s = s.clamp(4, (n / 8).max(8)).min(left);
+        hosts.push(s);
+        left -= s;
+    }
+
+    let mut b = GraphBuilder::new(n).reserve(2 * n * m_attach);
+    // endpoint entries of *completed* hosts — inter-host targets
+    let mut global_ends: Vec<VertexId> = Vec::new();
+    let mut host_ends: Vec<VertexId> = Vec::new();
+    let mut chosen: Vec<VertexId> = Vec::new();
+
+    // Per-vertex quotas: intra links dominate (pages link inside their
+    // site); only ~inter_p of attachments cross hosts, and the host's
+    // first page gets exactly one "discovery" link. Without the quota, a
+    // host's seed page would link entirely to earlier hosts, planting a
+    // foreign label at the centre of every host — which lets LPA collapse
+    // the whole crawl into one community, unlike any real web graph.
+    let want_inter_per_vertex = ((m_attach as f64) * inter_p).round() as usize;
+    let want_intra_per_vertex = m_attach.saturating_sub(want_inter_per_vertex).max(1);
+
+    let mut start = 0usize;
+    for &size in &hosts {
+        host_ends.clear();
+        for i in 0..size {
+            let u = (start + i) as VertexId;
+            chosen.clear();
+
+            // intra-host attachments (preferential within the host, with
+            // a uniform fallback so early pages still connect)
+            let want_intra = want_intra_per_vertex.min(i);
+            let mut guard = 0;
+            while chosen.len() < want_intra && guard < 20 * m_attach + 50 {
+                guard += 1;
+                let t = if !host_ends.is_empty() && r.gen_bool(0.8) {
+                    host_ends[r.gen_range(0..host_ends.len())]
+                } else {
+                    (start + r.gen_range(0..i)) as VertexId
+                };
+                if t == u || chosen.contains(&t) {
+                    continue;
+                }
+                chosen.push(t);
+            }
+            if chosen.is_empty() && i > 0 {
+                chosen.push((start + i - 1) as VertexId); // connectivity
+            }
+
+            // inter-host attachments (degree-preferential global hubs)
+            let want_inter = if global_ends.is_empty() {
+                0
+            } else if i == 0 {
+                1 // the crawl discovered this host through one link
+            } else {
+                want_inter_per_vertex
+            };
+            let before = chosen.len();
+            guard = 0;
+            while chosen.len() - before < want_inter && guard < 20 * m_attach + 50 {
+                guard += 1;
+                let t = global_ends[r.gen_range(0..global_ends.len())];
+                if t == u || chosen.contains(&t) {
+                    continue;
+                }
+                chosen.push(t);
+            }
+
+            for &t in &chosen {
+                b.push_undirected(u, t, 1.0);
+                host_ends.push(u);
+                host_ends.push(t);
+            }
+        }
+        global_ends.extend_from_slice(&host_ends);
+        start += size;
+    }
+    b.build()
+}
+
+/// Ground-truth host of every vertex (host index as label), matching the
+/// layout produced by [`web_crawl`] with the same `n` and `seed`.
+pub fn web_crawl_hosts(n: usize, seed: u64) -> Vec<VertexId> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut left = n;
+    let mut host = 0 as VertexId;
+    while left > 0 {
+        let u: f64 = r.gen_range(0.0_f64..1.0).max(1e-9);
+        let s = (4.0 / u.powf(1.0 / 1.3)).round() as usize;
+        let s = s.clamp(4, (n / 8).max(8)).min(left);
+        out.extend(std::iter::repeat_n(host, s));
+        left -= s;
+        host += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_symmetry() {
+        let g = web_crawl(1000, 8, 0.1, 1);
+        assert_eq!(g.num_vertices(), 1000);
+        assert!(g.is_symmetric());
+        assert!(g.avg_degree() > 8.0); // ~2 * m_attach with some loss
+    }
+
+    #[test]
+    fn intra_host_edges_dominate() {
+        let n = 2000;
+        let seed = 3;
+        let g = web_crawl(n, 8, 0.1, seed);
+        let hosts = web_crawl_hosts(n, seed);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for u in g.vertices() {
+            for (v, _) in g.neighbors(u) {
+                if hosts[u as usize] == hosts[v as usize] {
+                    intra += 1;
+                } else {
+                    inter += 1;
+                }
+            }
+        }
+        // small hosts (the heavy tail's bulk) carry proportionally more
+        // external links, so the global ratio is milder than 1/inter_p
+        assert!(intra > 2 * inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn hosts_match_generator_layout() {
+        let hosts = web_crawl_hosts(500, 7);
+        assert_eq!(hosts.len(), 500);
+        // contiguous non-decreasing host ids
+        for w in hosts.windows(2) {
+            assert!(w[1] == w[0] || w[1] == w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(web_crawl(400, 6, 0.15, 9), web_crawl(400, 6, 0.15, 9));
+    }
+
+    #[test]
+    fn hubs_exist_within_hosts() {
+        let g = web_crawl(3000, 10, 0.1, 5);
+        assert!(g.max_degree() as f64 > 2.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn tiny_graph_connected_enough() {
+        let g = web_crawl(10, 3, 0.2, 0);
+        assert!(g.num_edges() > 0);
+        assert!(g.validate().is_ok());
+    }
+}

@@ -1,0 +1,138 @@
+//! Whitespace-separated edge lists: `u v [w]` per line, `#`/`%` comments.
+//! Vertex ids are 0-based. Missing weights default to 1 (unweighted input,
+//! as the paper assumes).
+
+use super::{parse_err, IoError};
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use std::io::{BufRead, Write};
+
+/// Read an edge list. `num_vertices` may be larger than the max id seen;
+/// pass `None` to size the graph to `max_id + 1`. When `symmetrize` is
+/// set, missing reverse edges are added (paper's preprocessing).
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    num_vertices: Option<usize>,
+    symmetrize: bool,
+) -> Result<Csr, IoError> {
+    let mut edges: Vec<(VertexId, VertexId, f32)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u: u64 = it
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad source vertex"))?;
+        let v: u64 = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing target vertex"))?
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad target vertex"))?;
+        let w: f32 = match it.next() {
+            Some(s) => s.parse().map_err(|_| parse_err(lineno, "bad weight"))?,
+            None => 1.0,
+        };
+        if !w.is_finite() {
+            return Err(parse_err(lineno, "non-finite weight"));
+        }
+        if u >= u32::MAX as u64 || v >= u32::MAX as u64 {
+            return Err(parse_err(lineno, "vertex id exceeds u32 range"));
+        }
+        max_id = max_id.max(u).max(v);
+        edges.push((u as VertexId, v as VertexId, w));
+    }
+    let n = match num_vertices {
+        Some(n) => {
+            if !edges.is_empty() && max_id as usize >= n {
+                return Err(parse_err(0, format!("vertex {max_id} >= |V| = {n}")));
+            }
+            n
+        }
+        None => {
+            if edges.is_empty() {
+                0
+            } else {
+                max_id as usize + 1
+            }
+        }
+    };
+    let mut b = GraphBuilder::new(n).reserve(edges.len() * 2).add_edges(edges);
+    if symmetrize {
+        b = b.symmetrize();
+    }
+    Ok(b.build())
+}
+
+/// Write the stored directed edges as `u v w` lines.
+pub fn write_edge_list<W: Write>(g: &Csr, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "# nu-lpa edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for u in g.vertices() {
+        for (v, w) in g.neighbors(u) {
+            writeln!(out, "{u} {v} {w}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let g = crate::gen::caveman(3, 4);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(Cursor::new(buf), Some(g.num_vertices()), false).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let txt = "# header\n\n% more\n0 1\n1 2 2.5\n";
+        let g = read_edge_list(Cursor::new(txt), None, false).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.edge_weight(1, 2), Some(2.5));
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn symmetrize_on_read() {
+        let txt = "0 1\n";
+        let g = read_edge_list(Cursor::new(txt), None, true).unwrap();
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn sizes_to_max_id() {
+        let txt = "0 9\n";
+        let g = read_edge_list(Cursor::new(txt), None, false).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        assert!(read_edge_list(Cursor::new("0 x\n"), None, false).is_err());
+        assert!(read_edge_list(Cursor::new("0\n"), None, false).is_err());
+        assert!(read_edge_list(Cursor::new("0 1 inf\n"), None, false).is_err());
+    }
+
+    #[test]
+    fn rejects_vertex_beyond_given_n() {
+        assert!(read_edge_list(Cursor::new("0 5\n"), Some(3), false).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_edge_list(Cursor::new(""), None, false).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Vertex relabelling.
+//!
+//! ν-LPA's Pick-Less rule and its SM-assignment arguments are sensitive to
+//! vertex *ids*; these helpers build permuted copies of a graph so the test
+//! suite can check order (in)sensitivity claims, and so experiments can
+//! randomize away accidental id structure.
+
+use crate::csr::{Csr, VertexId, Weight};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Relabel vertices: vertex `v` in the input becomes `perm[v]` in the
+/// output. `perm` must be a permutation of `0..|V|`.
+///
+/// # Panics
+/// Panics if `perm` is not a valid permutation.
+pub fn relabel(g: &Csr, perm: &[VertexId]) -> Csr {
+    let n = g.num_vertices();
+    assert_eq!(perm.len(), n, "permutation length mismatch");
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(
+            (p as usize) < n && !std::mem::replace(&mut seen[p as usize], true),
+            "not a permutation"
+        );
+    }
+
+    // Degrees of the relabelled graph.
+    let mut offsets = vec![0usize; n + 1];
+    for v in g.vertices() {
+        offsets[perm[v as usize] as usize + 1] = g.degree(v);
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+
+    let m = g.num_edges();
+    let mut targets: Vec<VertexId> = vec![0; m];
+    let mut weights: Vec<Weight> = vec![0.0; m];
+    for v in g.vertices() {
+        let nv = perm[v as usize] as usize;
+        let base = offsets[nv];
+        let mut pairs: Vec<(VertexId, Weight)> = g
+            .neighbors(v)
+            .map(|(t, w)| (perm[t as usize], w))
+            .collect();
+        pairs.sort_unstable_by_key(|&(t, _)| t);
+        for (k, (t, w)) in pairs.into_iter().enumerate() {
+            targets[base + k] = t;
+            weights[base + k] = w;
+        }
+    }
+    Csr::from_raw(offsets, targets, weights)
+}
+
+/// Random permutation of `0..n`, seeded.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<VertexId> {
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    perm.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+    perm
+}
+
+/// Convenience: relabel by a fresh random permutation; returns the graph
+/// and the permutation used.
+pub fn shuffle_vertices(g: &Csr, seed: u64) -> (Csr, Vec<VertexId>) {
+    let perm = random_permutation(g.num_vertices(), seed);
+    (relabel(g, &perm), perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{caveman, erdos_renyi};
+
+    #[test]
+    fn identity_permutation_is_noop() {
+        let g = caveman(3, 4);
+        let id: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+        assert_eq!(relabel(&g, &id), g);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = erdos_renyi(60, 150, 4);
+        let (h, perm) = shuffle_vertices(&g, 7);
+        assert_eq!(h.num_vertices(), g.num_vertices());
+        assert_eq!(h.num_edges(), g.num_edges());
+        for u in g.vertices() {
+            assert_eq!(g.degree(u), h.degree(perm[u as usize]));
+            for (v, w) in g.neighbors(u) {
+                assert_eq!(
+                    h.edge_weight(perm[u as usize], perm[v as usize]),
+                    Some(w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relabel_keeps_symmetry() {
+        let g = erdos_renyi(40, 80, 1);
+        let (h, _) = shuffle_vertices(&g, 2);
+        assert!(h.is_symmetric());
+        assert!(h.validate().is_ok());
+    }
+
+    #[test]
+    fn random_permutation_is_valid() {
+        let p = random_permutation(100, 3);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_duplicate_entries() {
+        let g = caveman(2, 3);
+        relabel(&g, &[0, 0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_wrong_length() {
+        let g = caveman(2, 3);
+        relabel(&g, &[0, 1]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Descriptive graph statistics: degree distribution and clustering.
+//!
+//! Used to check that the synthetic stand-ins match their originals'
+//! category structure (heavy tails for web/social, flat ≈2 degrees for
+//! road/k-mer, high clustering for crawls) — the properties DESIGN.md §1
+//! claims the substitutions preserve.
+
+use crate::csr::{Csr, VertexId};
+
+/// Histogram of vertex degrees: `histogram[d]` = number of vertices with
+/// degree `d` (length `max_degree + 1`).
+pub fn degree_histogram(g: &Csr) -> Vec<usize> {
+    let mut h = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        h[g.degree(v)] += 1;
+    }
+    h
+}
+
+/// Degree distribution percentile: smallest degree `d` such that at least
+/// `p` (in `[0,1]`) of vertices have degree ≤ `d`.
+pub fn degree_percentile(g: &Csr, p: f64) -> usize {
+    assert!((0.0..=1.0).contains(&p), "percentile outside [0,1]");
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let target = (p * n as f64).ceil() as usize;
+    let mut acc = 0usize;
+    for (d, &count) in degree_histogram(g).iter().enumerate() {
+        acc += count;
+        if acc >= target {
+            return d;
+        }
+    }
+    g.max_degree()
+}
+
+/// Local clustering coefficient of vertex `v`: closed wedges / possible
+/// wedges among its neighbours. 0 for degree < 2.
+pub fn local_clustering(g: &Csr, v: VertexId) -> f64 {
+    let nbrs = g.neighbor_ids(v);
+    // distinct neighbours (dedup; adjacency is sorted)
+    let mut distinct: Vec<VertexId> = Vec::with_capacity(nbrs.len());
+    for &j in nbrs {
+        if j != v && distinct.last() != Some(&j) {
+            distinct.push(j);
+        }
+    }
+    let d = distinct.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in distinct.iter().enumerate() {
+        for &b in &distinct[i + 1..] {
+            if g.has_edge(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (d * (d - 1)) as f64
+}
+
+/// Mean local clustering coefficient over vertices of degree ≥ 2
+/// (Watts–Strogatz average clustering). `O(Σ d² log d)` — intended for
+/// the scaled stand-ins, not billion-edge graphs.
+pub fn average_clustering(g: &Csr) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in g.vertices() {
+        if g.degree(v) >= 2 {
+            sum += local_clustering(g, v);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{complete, cycle, erdos_renyi, star, web_crawl};
+
+    #[test]
+    fn histogram_star() {
+        let g = star(5);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 4); // leaves
+        assert_eq!(h[4], 1); // hub
+    }
+
+    #[test]
+    fn histogram_counts_all_vertices() {
+        let g = erdos_renyi(100, 250, 3);
+        assert_eq!(degree_histogram(&g).iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let g = web_crawl(1000, 6, 0.1, 1);
+        let p50 = degree_percentile(&g, 0.5);
+        let p99 = degree_percentile(&g, 0.99);
+        assert!(p50 <= p99);
+        assert!(degree_percentile(&g, 1.0) == g.max_degree());
+    }
+
+    #[test]
+    fn clustering_complete_graph_is_one() {
+        let g = complete(6);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, 0), 1.0);
+    }
+
+    #[test]
+    fn clustering_cycle_is_zero() {
+        let g = cycle(8);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn clustering_low_degree_zero() {
+        let g = star(4);
+        assert_eq!(local_clustering(&g, 1), 0.0); // leaf, degree 1
+        assert_eq!(local_clustering(&g, 0), 0.0); // hub: leaves unconnected
+    }
+
+    #[test]
+    fn web_crawl_clusters_more_than_er() {
+        let web = web_crawl(2000, 8, 0.1, 2);
+        let er = erdos_renyi(2000, web.num_edges() / 2, 2);
+        assert!(
+            average_clustering(&web) > 3.0 * average_clustering(&er),
+            "web {} vs er {}",
+            average_clustering(&web),
+            average_clustering(&er)
+        );
+    }
+
+    #[test]
+    fn empty_graph_degenerate_cases() {
+        let g = crate::Csr::empty(3);
+        assert_eq!(degree_percentile(&g, 0.5), 0);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+}

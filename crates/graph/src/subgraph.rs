@@ -1,0 +1,147 @@
+//! Induced subgraph extraction.
+//!
+//! Downstream analysis of detected communities usually starts by pulling
+//! one community out of the graph ("what does host #17 actually look
+//! like?"); these helpers build the induced subgraph and keep the mapping
+//! back to the original vertex ids.
+
+use crate::csr::{Csr, VertexId};
+use crate::{DuplicatePolicy, GraphBuilder};
+
+/// An induced subgraph plus its vertex mapping.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// The induced graph over the selected vertices (renumbered `0..k`).
+    pub graph: Csr,
+    /// `original[i]` is the original id of subgraph vertex `i`.
+    pub original: Vec<VertexId>,
+}
+
+impl Subgraph {
+    /// Map a subgraph vertex back to its original id.
+    pub fn to_original(&self, v: VertexId) -> VertexId {
+        self.original[v as usize]
+    }
+}
+
+/// Induced subgraph over `vertices` (duplicates ignored; order defines the
+/// new numbering after dedup-sort).
+///
+/// # Panics
+/// Panics if any vertex id is out of range.
+pub fn induced_subgraph(g: &Csr, vertices: &[VertexId]) -> Subgraph {
+    let n = g.num_vertices() as VertexId;
+    let mut selected: Vec<VertexId> = vertices.to_vec();
+    selected.sort_unstable();
+    selected.dedup();
+    if let Some(&bad) = selected.iter().find(|&&v| v >= n) {
+        panic!("vertex {bad} out of range (|V| = {n})");
+    }
+
+    // dense inverse map
+    let mut index = vec![VertexId::MAX; g.num_vertices()];
+    for (i, &v) in selected.iter().enumerate() {
+        index[v as usize] = i as VertexId;
+    }
+
+    let mut b = GraphBuilder::new(selected.len())
+        .keep_self_loops(true)
+        .duplicate_policy(DuplicatePolicy::KeepAll);
+    for &v in &selected {
+        for (j, w) in g.neighbors(v) {
+            let t = index[j as usize];
+            if t != VertexId::MAX {
+                b.push_edge(index[v as usize], t, w);
+            }
+        }
+    }
+    Subgraph {
+        graph: b.build(),
+        original: selected,
+    }
+}
+
+/// The induced subgraph of one community of a partition.
+pub fn community_subgraph(g: &Csr, labels: &[VertexId], community: VertexId) -> Subgraph {
+    assert_eq!(labels.len(), g.num_vertices(), "labels length mismatch");
+    let members: Vec<VertexId> = g
+        .vertices()
+        .filter(|&v| labels[v as usize] == community)
+        .collect();
+    induced_subgraph(g, &members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{caveman_ground_truth, caveman_weighted, complete, web_crawl};
+
+    #[test]
+    fn clique_extracts_whole() {
+        let g = caveman_weighted(2, 5, 0.5);
+        let s = induced_subgraph(&g, &[0, 1, 2, 3, 4]);
+        assert_eq!(s.graph.num_vertices(), 5);
+        // one 5-clique: 20 directed edges (bridge endpoint excluded)
+        assert_eq!(s.graph.num_edges(), 20);
+        assert!(s.graph.is_symmetric());
+        assert_eq!(s.to_original(0), 0);
+    }
+
+    #[test]
+    fn renumbering_is_dense_and_sorted() {
+        let g = complete(6);
+        let s = induced_subgraph(&g, &[5, 1, 3, 1]);
+        assert_eq!(s.original, vec![1, 3, 5]);
+        assert_eq!(s.graph.num_vertices(), 3);
+        assert_eq!(s.graph.num_edges(), 6); // K3 directed
+    }
+
+    #[test]
+    fn cross_edges_dropped() {
+        let g = caveman_weighted(2, 4, 0.5);
+        let s = induced_subgraph(&g, &[0, 1, 4, 5]);
+        // edges inside {0,1} and {4,5} plus the 0-4 bridge
+        assert!(s.graph.has_edge(0, 1));
+        assert!(s.graph.has_edge(2, 3));
+        assert!(s.graph.has_edge(0, 2)); // the bridge, renumbered
+        assert!(!s.graph.has_edge(1, 3));
+    }
+
+    #[test]
+    fn community_subgraph_matches_ground_truth() {
+        let g = caveman_weighted(3, 6, 0.5);
+        let truth = caveman_ground_truth(3, 6);
+        let s = community_subgraph(&g, &truth, 1);
+        assert_eq!(s.graph.num_vertices(), 6);
+        assert_eq!(s.original, (6..12).collect::<Vec<_>>());
+        // an extracted clique is complete
+        assert_eq!(s.graph.num_edges(), 30);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = complete(4);
+        let s = induced_subgraph(&g, &[]);
+        assert_eq!(s.graph.num_vertices(), 0);
+        assert_eq!(s.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn weights_preserved() {
+        let g = web_crawl(200, 4, 0.1, 1);
+        let sel: Vec<u32> = (0..50).collect();
+        let s = induced_subgraph(&g, &sel);
+        for u in s.graph.vertices() {
+            for (v, w) in s.graph.neighbors(u) {
+                let (ou, ov) = (s.to_original(u), s.to_original(v));
+                assert_eq!(g.edge_weight(ou, ov), Some(w));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_vertex() {
+        induced_subgraph(&complete(3), &[5]);
+    }
+}

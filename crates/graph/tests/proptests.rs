@@ -1,0 +1,147 @@
+//! Property-based tests for the graph substrate.
+
+use nulpa_graph::gen;
+use nulpa_graph::io::{read_edge_list, write_edge_list};
+use nulpa_graph::permute::{random_permutation, relabel};
+use nulpa_graph::{Csr, GraphBuilder};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, f32)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n as u32, 0..n as u32, 0.1f32..9.0), 0..max_m),
+        )
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f32)]) -> Csr {
+    GraphBuilder::new(n)
+        .add_undirected_edges(edges.iter().copied().filter(|(u, v, _)| u != v))
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn built_graphs_validate_and_are_symmetric((n, edges) in arb_edges(50, 200)) {
+        let g = build(n, &edges);
+        prop_assert!(g.validate().is_ok());
+        prop_assert!(g.is_symmetric());
+        prop_assert_eq!(g.num_self_loops(), 0);
+    }
+
+    #[test]
+    fn degree_sum_equals_edge_count((n, edges) in arb_edges(50, 200)) {
+        let g = build(n, &edges);
+        let sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, g.num_edges());
+    }
+
+    #[test]
+    fn total_weight_is_twice_undirected_sum((n, edges) in arb_edges(40, 120)) {
+        let g = build(n, &edges);
+        let mut undirected = 0.0f64;
+        for u in g.vertices() {
+            for (v, w) in g.neighbors(u) {
+                if v >= u {
+                    undirected += w as f64;
+                }
+            }
+        }
+        prop_assert!((g.total_weight() - 2.0 * undirected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn symmetrize_gives_structural_symmetry((n, edges) in arb_edges(30, 80)) {
+        // symmetrize's contract: every stored edge has a reverse (weights
+        // of pre-existing opposite directions are preserved, so *weight*
+        // symmetry is only guaranteed when no opposite pair pre-exists)
+        let g = GraphBuilder::new(n)
+            .add_edges(edges.iter().copied().filter(|(u, v, _)| u != v))
+            .symmetrize()
+            .build();
+        for u in g.vertices() {
+            for (v, _) in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u), "missing reverse of ({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_without_preexisting_reverses_is_weight_symmetric(
+        (n, edges) in arb_edges(30, 80)
+    ) {
+        // feed only canonical directions (u < v): then full weight symmetry
+        let g = GraphBuilder::new(n)
+            .add_edges(
+                edges
+                    .iter()
+                    .copied()
+                    .filter(|(u, v, _)| u != v)
+                    .map(|(u, v, w)| (u.min(v), u.max(v), w)),
+            )
+            .symmetrize()
+            .build();
+        prop_assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn relabel_roundtrip((n, edges) in arb_edges(40, 120), seed in 0u64..500) {
+        let g = build(n, &edges);
+        let perm = random_permutation(n, seed);
+        // inverse permutation
+        let mut inv = vec![0u32; n];
+        for (v, &p) in perm.iter().enumerate() {
+            inv[p as usize] = v as u32;
+        }
+        let there = relabel(&g, &perm);
+        let back = relabel(&there, &inv);
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn edge_list_roundtrip((n, edges) in arb_edges(30, 100)) {
+        let g = build(n, &edges);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(Cursor::new(buf), Some(n), false).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn erdos_renyi_respects_parameters(n in 10usize..80, seed in 0u64..100) {
+        let m = n; // sparse
+        let g = gen::erdos_renyi(n, m, seed);
+        prop_assert_eq!(g.num_edges(), 2 * m);
+        prop_assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn planted_partition_truth_is_consistent(
+        a in 5usize..40, b in 5usize..40, seed in 0u64..50
+    ) {
+        let pp = gen::planted_partition(&[a, b], 4.0, 1.0, seed);
+        prop_assert_eq!(pp.ground_truth.len(), a + b);
+        prop_assert!(pp.ground_truth[..a].iter().all(|&c| c == 0));
+        prop_assert!(pp.ground_truth[a..].iter().all(|&c| c == 1));
+        prop_assert!(pp.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn web_crawl_hosts_match_graph(n in 50usize..400, seed in 0u64..30) {
+        let g = gen::web_crawl(n, 4, 0.1, seed);
+        let hosts = gen::web_crawl_hosts(n, seed);
+        prop_assert_eq!(g.num_vertices(), hosts.len());
+    }
+
+    #[test]
+    fn grid_dimensions(rows in 1usize..20, cols in 1usize..20) {
+        let g = gen::grid2d(rows, cols, 1.0, 0);
+        prop_assert_eq!(g.num_vertices(), rows * cols);
+        let expected = rows * (cols - 1) + cols * (rows - 1);
+        prop_assert_eq!(g.num_edges(), 2 * expected);
+    }
+}

@@ -1,0 +1,296 @@
+//! Coalesced-chaining hashtable (paper Fig. 7, appendix).
+//!
+//! The paper also evaluated a coalesced-hashing table — separate chaining
+//! threaded through the open-addressed array via a `nexts` array `H_n` —
+//! and found it did **not** improve on the default open-addressing design.
+//! This implementation exists to regenerate that comparison.
+//!
+//! Layout: the same per-vertex regions as [`crate::layout`], plus a third
+//! global buffer for `H_n`. Collisions chain: a key hashing to an occupied
+//! slot walks the chain; if the key is absent, a free *cellar* slot is
+//! claimed by a cursor scanning from the top of the table and linked to
+//! the chain tail.
+
+use crate::layout::EMPTY_KEY;
+use crate::value::HashValue;
+use nulpa_simt::{CostModel, LaneMeter, Width};
+
+/// Buffer base addresses for the three global arrays (`H_k`, `H_v`,
+/// `H_n` live in separate `2|E|` buffers, like the default design's
+/// `buf_k`/`buf_v` — metering them contiguously would hand coalesced
+/// chaining an unreal locality advantage).
+#[derive(Clone, Copy, Debug)]
+pub struct CoalescedAddr {
+    /// Word address of `H_k[0]`.
+    pub keys: usize,
+    /// Word address of `H_v[0]`.
+    pub values: usize,
+    /// Word address of `H_n[0]`.
+    pub nexts: usize,
+}
+
+/// `H_n` entry meaning "end of chain".
+pub const NO_NEXT: u32 = u32::MAX;
+
+/// Exclusive coalesced-chaining table view.
+pub struct CoalescedTable<'a, V: HashValue> {
+    keys: &'a mut [u32],
+    values: &'a mut [V],
+    nexts: &'a mut [u32],
+    /// Free-slot cursor, scanning downwards from the table top.
+    cursor: usize,
+}
+
+/// Result of a coalesced accumulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoalescedAccumulate {
+    /// Stored at `slot` after following `chain_steps` links.
+    Done {
+        /// Final slot.
+        slot: usize,
+        /// Chain links traversed.
+        chain_steps: u32,
+    },
+    /// No free slot remains (cannot happen with layout-guaranteed
+    /// capacity).
+    Failed,
+}
+
+impl CoalescedAccumulate {
+    /// `true` for [`CoalescedAccumulate::Done`].
+    pub fn is_done(self) -> bool {
+        matches!(self, CoalescedAccumulate::Done { .. })
+    }
+}
+
+impl<'a, V: HashValue> CoalescedTable<'a, V> {
+    /// Wrap key/value/next slices of equal length.
+    pub fn new(keys: &'a mut [u32], values: &'a mut [V], nexts: &'a mut [u32]) -> Self {
+        assert_eq!(keys.len(), values.len());
+        assert_eq!(keys.len(), nexts.len());
+        let cursor = keys.len();
+        CoalescedTable {
+            keys,
+            values,
+            nexts,
+            cursor,
+        }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Reset all slots and the free cursor.
+    pub fn clear(&mut self) {
+        self.keys.fill(EMPTY_KEY);
+        self.values.fill(V::zero());
+        self.nexts.fill(NO_NEXT);
+        self.cursor = self.keys.len();
+    }
+
+    /// Accumulate `weight` onto `key`, charging `meter` if provided.
+    pub fn accumulate(
+        &mut self,
+        key: u32,
+        weight: V,
+        mut meter: Option<(&mut LaneMeter, &CostModel, CoalescedAddr)>,
+    ) -> CoalescedAccumulate {
+        debug_assert_ne!(key, EMPTY_KEY);
+        let p1 = self.keys.len();
+        if p1 == 0 {
+            return CoalescedAccumulate::Failed;
+        }
+        let mut s = key as usize % p1;
+        let mut steps = 0u32;
+        loop {
+            if let Some((m, c, a)) = meter.as_mut() {
+                m.probe();
+                m.alu(c, 2);
+                m.global_read(c, a.keys + s, Width::W32);
+            }
+            if self.keys[s] == EMPTY_KEY {
+                self.keys[s] = key;
+                self.values[s] = weight;
+                if let Some((m, c, a)) = meter.as_mut() {
+                    m.global_write(c, a.keys + s, Width::W32);
+                    m.global_write(c, a.values + s, V::WIDTH);
+                }
+                return CoalescedAccumulate::Done {
+                    slot: s,
+                    chain_steps: steps,
+                };
+            }
+            if self.keys[s] == key {
+                self.values[s] = self.values[s].add(weight);
+                if let Some((m, c, a)) = meter.as_mut() {
+                    m.global_read(c, a.values + s, V::WIDTH);
+                    m.global_write(c, a.values + s, V::WIDTH);
+                }
+                return CoalescedAccumulate::Done {
+                    slot: s,
+                    chain_steps: steps,
+                };
+            }
+            // follow or extend the chain
+            if self.nexts[s] != NO_NEXT {
+                if let Some((m, c, a)) = meter.as_mut() {
+                    m.global_read(c, a.nexts + s, Width::W32);
+                }
+                s = self.nexts[s] as usize;
+                steps += 1;
+                continue;
+            }
+            // find a free cellar slot from the top
+            let free = loop {
+                if self.cursor == 0 {
+                    return CoalescedAccumulate::Failed;
+                }
+                self.cursor -= 1;
+                if let Some((m, c, a)) = meter.as_mut() {
+                    m.global_read(c, a.keys + self.cursor, Width::W32);
+                }
+                if self.keys[self.cursor] == EMPTY_KEY {
+                    break self.cursor;
+                }
+            };
+            self.keys[free] = key;
+            self.values[free] = weight;
+            self.nexts[s] = free as u32;
+            if let Some((m, c, a)) = meter.as_mut() {
+                m.global_write(c, a.keys + free, Width::W32);
+                m.global_write(c, a.values + free, V::WIDTH);
+                m.global_write(c, a.nexts + s, Width::W32);
+            }
+            return CoalescedAccumulate::Done {
+                slot: free,
+                chain_steps: steps + 1,
+            };
+        }
+    }
+
+    /// Most-weighted key, first-max tie-break (scan order).
+    pub fn max_key(&self) -> Option<(u32, V)> {
+        let mut best: Option<(u32, V)> = None;
+        for (&k, &v) in self.keys.iter().zip(self.values.iter()) {
+            if k == EMPTY_KEY {
+                continue;
+            }
+            match best {
+                None => best = Some((k, v)),
+                Some((_, bv)) => {
+                    if v > bv {
+                        best = Some((k, v));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Occupied entries, for tests.
+    pub fn entries(&self) -> Vec<(u32, V)> {
+        self.keys
+            .iter()
+            .zip(self.values.iter())
+            .filter(|(&k, _)| k != EMPTY_KEY)
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn fresh(cap: usize) -> (Vec<u32>, Vec<f32>, Vec<u32>) {
+        (vec![EMPTY_KEY; cap], vec![0.0; cap], vec![NO_NEXT; cap])
+    }
+
+    #[test]
+    fn insert_lookup_accumulate() {
+        let (mut k, mut v, mut n) = fresh(7);
+        let mut t = CoalescedTable::new(&mut k, &mut v, &mut n);
+        assert!(t.accumulate(3, 1.0, None).is_done());
+        assert!(t.accumulate(3, 2.0, None).is_done());
+        assert_eq!(t.max_key(), Some((3, 3.0)));
+    }
+
+    #[test]
+    fn collisions_chain_through_cellar() {
+        let (mut k, mut v, mut n) = fresh(7);
+        let mut t = CoalescedTable::new(&mut k, &mut v, &mut n);
+        // keys 0, 7, 14 all hash to slot 0
+        assert!(t.accumulate(0, 1.0, None).is_done());
+        let r = t.accumulate(7, 1.0, None);
+        assert!(matches!(r, CoalescedAccumulate::Done { chain_steps: 1, .. }));
+        let r = t.accumulate(14, 1.0, None);
+        assert!(matches!(r, CoalescedAccumulate::Done { chain_steps: 2, .. }));
+        // re-accumulating a chained key finds it again
+        assert!(t.accumulate(14, 1.0, None).is_done());
+        assert_eq!(t.entries().len(), 3);
+    }
+
+    #[test]
+    fn differential_against_btreemap() {
+        let keys = [5u32, 9, 5, 14, 23, 9, 9, 3, 14, 5, 100, 3, 2, 16];
+        let (mut k, mut v, mut n) = fresh(crate::layout::capacity_for_degree(keys.len()));
+        let mut t = CoalescedTable::new(&mut k, &mut v, &mut n);
+        let mut reference: BTreeMap<u32, f32> = BTreeMap::new();
+        for (i, &key) in keys.iter().enumerate() {
+            let w = i as f32 + 1.0;
+            assert!(t.accumulate(key, w, None).is_done());
+            *reference.entry(key).or_insert(0.0) += w;
+        }
+        let got: BTreeMap<u32, f32> = t.entries().into_iter().collect();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn fills_to_capacity() {
+        let cap = 15;
+        let (mut k, mut v, mut n) = fresh(cap);
+        let mut t = CoalescedTable::new(&mut k, &mut v, &mut n);
+        for i in 0..cap as u32 {
+            assert!(t.accumulate(i * cap as u32, 1.0, None).is_done(), "at {i}");
+        }
+        assert_eq!(t.entries().len(), cap);
+        assert!(!t.accumulate(999, 1.0, None).is_done());
+    }
+
+    #[test]
+    fn clear_resets_cursor_and_chains() {
+        let (mut k, mut v, mut n) = fresh(7);
+        let mut t = CoalescedTable::new(&mut k, &mut v, &mut n);
+        for i in 0..7u32 {
+            t.accumulate(i * 7, 1.0, None);
+        }
+        t.clear();
+        assert_eq!(t.max_key(), None);
+        for i in 0..7u32 {
+            assert!(t.accumulate(i * 7, 1.0, None).is_done());
+        }
+    }
+
+    #[test]
+    fn metered_charges_chain_walks() {
+        let (mut k, mut v, mut n) = fresh(7);
+        let mut t = CoalescedTable::new(&mut k, &mut v, &mut n);
+        let cost = CostModel::default_gpu();
+        let mut m = LaneMeter::new();
+        let addr = CoalescedAddr { keys: 0, values: 100, nexts: 200 };
+        t.accumulate(0, 1.0, Some((&mut m, &cost, addr)));
+        t.accumulate(7, 1.0, Some((&mut m, &cost, addr)));
+        assert!(m.probes >= 2);
+        assert!(m.cycles > 0);
+    }
+
+    #[test]
+    fn zero_capacity_fails() {
+        let (mut k, mut v, mut n) = fresh(0);
+        let mut t = CoalescedTable::new(&mut k, &mut v, &mut n);
+        assert!(!t.accumulate(1, 1.0, None).is_done());
+    }
+}

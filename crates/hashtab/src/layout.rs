@@ -1,0 +1,177 @@
+//! Per-vertex hashtable layout (paper Fig. 2).
+//!
+//! All per-vertex tables live in two global buffers (`buf_k`, `buf_v`) of
+//! size `2|E|`. Vertex `i` with CSR offset `O_i` and degree `D_i` owns the
+//! region `[2·O_i, 2·O_i + 2·D_i)`; within it, the table's *capacity* is
+//! `nextPow2(D_i) − 1` slots, where `nextPow2(x)` is the smallest power of
+//! two strictly greater than `x`. Because `nextPow2(D) ≤ 2D` for `D ≥ 1`,
+//! the capacity always fits the reservation — asserted in
+//! [`TableSlot::for_vertex`]. The Mersenne capacity `p₁ = 2^k − 1` makes
+//! `mod p₁` cheap and serves as the first hash; the secondary "prime"
+//! `p₂ = nextPow2(p₁) − 1 > p₁` feeds double hashing.
+
+/// Sentinel marking an empty key slot. Valid because vertex labels are
+/// `< |V| ≤ u32::MAX − 1`.
+pub const EMPTY_KEY: u32 = u32::MAX;
+
+/// Maximum probe attempts before the strategy falls back to a linear scan
+/// (robustness addition over the paper; see [`crate::table`]).
+pub const MAX_RETRIES: u32 = 64;
+
+/// Smallest power of two **strictly greater** than `x`.
+///
+/// `next_pow2(1) = 2`, `next_pow2(4) = 8`, `next_pow2(7) = 8`.
+#[inline]
+pub fn next_pow2(x: usize) -> usize {
+    let mut p = 1usize;
+    while p <= x {
+        p <<= 1;
+    }
+    p
+}
+
+/// Hashtable capacity for a vertex of degree `d`: `nextPow2(d) − 1`
+/// (`p₁` in the paper). Zero for isolated vertices.
+#[inline]
+pub fn capacity_for_degree(d: usize) -> usize {
+    if d == 0 {
+        0
+    } else {
+        next_pow2(d) - 1
+    }
+}
+
+/// Secondary modulus `p₂`: the next Mersenne number above `p₁`.
+///
+/// The paper writes `p₂ = nextPow2(p₁) − 1` "such that `p₂ > p₁`"; taken
+/// literally with a strictly-greater `nextPow2`, that yields `p₂ = p₁` for
+/// the Mersenne capacities the layout produces (`nextPow2(2^k−1) = 2^k`).
+/// The only reading consistent with the stated constraint is the next
+/// Mersenne number up, `2^(k+1) − 1`, which is what we compute
+/// (`nextPow2(p₁ + 1) − 1`).
+#[inline]
+pub fn secondary_prime(p1: usize) -> usize {
+    next_pow2(p1 + 1) - 1
+}
+
+/// Resolved placement of one vertex's hashtable inside the global buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableSlot {
+    /// Start index within `buf_k`/`buf_v` (`2·O_i`).
+    pub start: usize,
+    /// Reserved length (`2·D_i`).
+    pub reserve: usize,
+    /// Usable slot count (`p₁ = nextPow2(D_i) − 1`).
+    pub capacity: usize,
+    /// Secondary modulus (`p₂`).
+    pub p2: usize,
+}
+
+impl TableSlot {
+    /// Layout for a vertex with CSR offset `offset` and degree `degree`.
+    #[inline]
+    pub fn for_vertex(offset: usize, degree: usize) -> TableSlot {
+        let capacity = capacity_for_degree(degree);
+        let reserve = 2 * degree;
+        debug_assert!(
+            capacity <= reserve,
+            "capacity {capacity} exceeds reservation {reserve}"
+        );
+        debug_assert!(
+            capacity >= degree,
+            "capacity {capacity} cannot hold {degree} distinct labels"
+        );
+        TableSlot {
+            start: 2 * offset,
+            reserve,
+            capacity,
+            p2: if capacity == 0 { 0 } else { secondary_prime(capacity) },
+        }
+    }
+
+    /// Total buffer length needed for a graph with `num_edges` stored
+    /// directed edges: `2|E|` words per buffer.
+    #[inline]
+    pub fn buffer_len(num_edges: usize) -> usize {
+        2 * num_edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_pow2_is_strictly_greater() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 2);
+        assert_eq!(next_pow2(2), 4);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(4), 8);
+        assert_eq!(next_pow2(1023), 1024);
+        assert_eq!(next_pow2(1024), 2048);
+    }
+
+    #[test]
+    fn capacity_holds_degree_and_fits_reserve() {
+        for d in 1..2000usize {
+            let c = capacity_for_degree(d);
+            assert!(c >= d, "capacity {c} < degree {d}");
+            assert!(c <= 2 * d, "capacity {c} > reserve {}", 2 * d);
+        }
+    }
+
+    #[test]
+    fn capacities_are_mersenne() {
+        for d in 1..500usize {
+            let c = capacity_for_degree(d);
+            assert_eq!((c + 1) & c, 0, "capacity {c} not 2^k - 1");
+        }
+    }
+
+    #[test]
+    fn secondary_exceeds_primary() {
+        for d in 1..500usize {
+            let p1 = capacity_for_degree(d);
+            let p2 = secondary_prime(p1);
+            assert!(p2 > p1);
+            assert_eq!((p2 + 1) & p2, 0);
+        }
+    }
+
+    #[test]
+    fn slot_layout_matches_paper() {
+        let s = TableSlot::for_vertex(10, 5);
+        assert_eq!(s.start, 20);
+        assert_eq!(s.reserve, 10);
+        assert_eq!(s.capacity, 7); // nextPow2(5) - 1
+        assert_eq!(s.p2, 15);
+    }
+
+    #[test]
+    fn isolated_vertex_has_empty_table() {
+        let s = TableSlot::for_vertex(3, 0);
+        assert_eq!(s.capacity, 0);
+        assert_eq!(s.reserve, 0);
+    }
+
+    #[test]
+    fn tables_never_overlap() {
+        // simulate consecutive vertices in CSR order
+        let degrees = [3usize, 1, 8, 0, 5];
+        let mut offset = 0usize;
+        let mut prev_end = 0usize;
+        for &d in &degrees {
+            let s = TableSlot::for_vertex(offset, d);
+            assert!(s.start >= prev_end);
+            prev_end = s.start + s.reserve;
+            offset += d;
+        }
+        assert_eq!(prev_end, TableSlot::buffer_len(degrees.iter().sum()));
+    }
+
+    #[test]
+    fn buffer_len_is_twice_edges() {
+        assert_eq!(TableSlot::buffer_len(100), 200);
+    }
+}

@@ -1,0 +1,43 @@
+//! # nulpa-hashtab
+//!
+//! The paper's novel per-vertex open-addressing hashtable (§4.2, Fig. 2,
+//! Algorithm 2): all per-vertex tables live in two global buffers of size
+//! `2|E|`, each vertex's table sits at offset `2·O_i` with capacity
+//! `nextPow2(D_i) − 1`, and collisions resolve by hybrid
+//! **quadratic-double** probing (with linear, quadratic, and pure double
+//! hashing available for the Fig. 3 ablation, and a coalesced-chaining
+//! table for the Fig. 7 appendix comparison).
+//!
+//! Tables come in an unshared flavour for thread-per-vertex kernels and a
+//! shared (atomic CAS/add) flavour for block-per-vertex kernels, both
+//! generic over `f32`/`f64` values (Fig. 5 ablation) and optionally
+//! metered by the SIMT simulator's cost model.
+//!
+//! ```
+//! use nulpa_hashtab::{TableMut, ProbeStrategy, layout};
+//!
+//! let degree = 5;
+//! let cap = layout::capacity_for_degree(degree);
+//! let mut keys = vec![layout::EMPTY_KEY; cap];
+//! let mut values = vec![0.0f32; cap];
+//! let mut t = TableMut::new(&mut keys, &mut values, layout::secondary_prime(cap));
+//! t.accumulate(ProbeStrategy::QuadraticDouble, 42, 1.0);
+//! t.accumulate(ProbeStrategy::QuadraticDouble, 42, 2.0);
+//! assert_eq!(t.max_key(), Some((42, 3.0)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coalesced;
+pub mod layout;
+pub mod probe;
+pub mod table;
+pub mod value;
+
+pub use coalesced::{CoalescedAccumulate, CoalescedAddr, CoalescedTable, NO_NEXT};
+pub use layout::{
+    capacity_for_degree, next_pow2, secondary_prime, TableSlot, EMPTY_KEY, MAX_RETRIES,
+};
+pub use probe::{ProbeSeq, ProbeStrategy};
+pub use table::{Accumulate, TableAddr, TableMut, TableShared};
+pub use value::HashValue;

@@ -1,0 +1,211 @@
+//! Collision-resolution probe sequences (paper §4.2, Algorithm 2).
+//!
+//! Four strategies are compared in the paper's Fig. 3:
+//!
+//! * **Linear** — step 1 each collision. Best cache behaviour, worst
+//!   clustering.
+//! * **Quadratic** — step starts at 1 and doubles per collision (the
+//!   paper's formulation: "initial probe step of 1 and double it with each
+//!   subsequent collision").
+//! * **Double** — fixed per-key step derived from the secondary modulus
+//!   `p₂`. No clustering, poor locality.
+//! * **QuadraticDouble** — the paper's hybrid: `i ← i + δi;
+//!   δi ← 2·δi + (k mod p₂)` (Algorithm 2 lines `update-begin..end`).
+//!
+//! All slots are computed as `i mod p₁` with `p₁` the table capacity.
+
+/// Collision-resolution strategy for the per-vertex hashtables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProbeStrategy {
+    /// Fixed step of 1.
+    Linear,
+    /// Step doubles after every collision.
+    Quadratic,
+    /// Fixed per-key step `1 + (k mod p₂)`.
+    Double,
+    /// Hybrid: quadratic growth plus the double-hashing per-key offset.
+    QuadraticDouble,
+}
+
+impl ProbeStrategy {
+    /// All strategies, in the paper's Fig. 3 order.
+    pub fn all() -> [ProbeStrategy; 4] {
+        [
+            ProbeStrategy::Linear,
+            ProbeStrategy::Quadratic,
+            ProbeStrategy::Double,
+            ProbeStrategy::QuadraticDouble,
+        ]
+    }
+
+    /// Display name matching the paper's figure labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProbeStrategy::Linear => "Linear",
+            ProbeStrategy::Quadratic => "Quadratic",
+            ProbeStrategy::Double => "Double",
+            ProbeStrategy::QuadraticDouble => "Quadratic-double",
+        }
+    }
+}
+
+/// Iterator over the probe sequence of one key.
+#[derive(Clone, Debug)]
+pub struct ProbeSeq {
+    i: u64,
+    di: u64,
+    k: u64,
+    p1: u64,
+    p2: u64,
+    strategy: ProbeStrategy,
+}
+
+impl ProbeSeq {
+    /// Probe sequence for `key` in a table of capacity `p1` with secondary
+    /// modulus `p2` (`p2 > p1`; both from [`crate::layout`]).
+    ///
+    /// # Panics
+    /// Panics if `p1 == 0`.
+    #[inline]
+    pub fn new(strategy: ProbeStrategy, key: u32, p1: usize, p2: usize) -> Self {
+        assert!(p1 > 0, "probe sequence over empty table");
+        debug_assert!(p2 > p1);
+        ProbeSeq {
+            i: key as u64,
+            di: 1,
+            k: key as u64,
+            p1: p1 as u64,
+            p2: p2 as u64,
+            strategy,
+        }
+    }
+
+    /// Current slot index: `i mod p₁` (Algorithm 2, 1st hash function).
+    #[inline]
+    pub fn slot(&self) -> usize {
+        (self.i % self.p1) as usize
+    }
+
+    /// Advance to the next probe position.
+    #[inline]
+    pub fn advance(&mut self) {
+        match self.strategy {
+            ProbeStrategy::Linear => {
+                self.i = self.i.wrapping_add(1);
+            }
+            ProbeStrategy::Quadratic => {
+                self.i = self.i.wrapping_add(self.di);
+                self.di = self.di.wrapping_mul(2);
+            }
+            ProbeStrategy::Double => {
+                // fixed per-key stride; +1 keeps it non-zero
+                self.i = self.i.wrapping_add(1 + self.k % self.p2);
+            }
+            ProbeStrategy::QuadraticDouble => {
+                // Algorithm 2: i += δi; δi = 2·δi + (k mod p₂)
+                self.i = self.i.wrapping_add(self.di);
+                self.di = self.di.wrapping_mul(2).wrapping_add(self.k % self.p2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn slots(strategy: ProbeStrategy, key: u32, p1: usize, p2: usize, n: usize) -> Vec<usize> {
+        let mut seq = ProbeSeq::new(strategy, key, p1, p2);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(seq.slot());
+            seq.advance();
+        }
+        out
+    }
+
+    #[test]
+    fn first_slot_is_key_mod_p1() {
+        for s in ProbeStrategy::all() {
+            assert_eq!(slots(s, 23, 7, 15, 1), vec![23 % 7]);
+        }
+    }
+
+    #[test]
+    fn linear_walks_consecutively() {
+        assert_eq!(slots(ProbeStrategy::Linear, 5, 7, 15, 4), vec![5, 6, 0, 1]);
+    }
+
+    #[test]
+    fn quadratic_steps_double() {
+        // i: 0, 1, 3, 7, 15 → mod 31
+        assert_eq!(
+            slots(ProbeStrategy::Quadratic, 0, 31, 63, 5),
+            vec![0, 1, 3, 7, 15]
+        );
+    }
+
+    #[test]
+    fn double_uses_fixed_stride() {
+        let s = slots(ProbeStrategy::Double, 9, 7, 15, 4);
+        // stride = 1 + 9 % 15 = 10; i: 9, 19, 29, 39 mod 7
+        assert_eq!(s, vec![2, 5, 1, 4]);
+    }
+
+    #[test]
+    fn quadratic_double_matches_algorithm2() {
+        // hand-computed: k = 9, p1 = 7, p2 = 15, offset = 9 % 15 = 9
+        // i: 9 (di=1) → 10 (di=2+9=11) → 21 (di=22+9=31) → 52
+        let s = slots(ProbeStrategy::QuadraticDouble, 9, 7, 15, 4);
+        assert_eq!(s, vec![9 % 7, 10 % 7, 21 % 7, 52 % 7]);
+    }
+
+    #[test]
+    fn linear_covers_entire_table() {
+        let s = slots(ProbeStrategy::Linear, 100, 15, 31, 15);
+        let distinct: HashSet<_> = s.into_iter().collect();
+        assert_eq!(distinct.len(), 15);
+    }
+
+    #[test]
+    fn different_keys_get_different_double_strides() {
+        // double hashing's point: keys colliding on slot 0 diverge after
+        let a = slots(ProbeStrategy::Double, 7, 7, 15, 3);
+        let b = slots(ProbeStrategy::Double, 28, 7, 15, 3);
+        assert_eq!(a[0], b[0]); // both hash to 0
+        assert_ne!(a[1], b[1]); // strides differ (8 vs 14)
+    }
+
+    #[test]
+    fn hybrid_diverges_for_colliding_keys() {
+        // the hybrid's first step is always +1, so colliding keys share
+        // slot[1]; the per-key offset kicks in from slot[2]
+        let a = slots(ProbeStrategy::QuadraticDouble, 7, 7, 15, 4);
+        let b = slots(ProbeStrategy::QuadraticDouble, 28, 7, 15, 4);
+        assert_eq!(a[0], b[0]);
+        assert_ne!(a[2..], b[2..]);
+    }
+
+    #[test]
+    fn no_overflow_after_many_probes() {
+        let mut seq = ProbeSeq::new(ProbeStrategy::QuadraticDouble, u32::MAX - 1, 1023, 2047);
+        for _ in 0..500 {
+            let s = seq.slot();
+            assert!(s < 1023);
+            seq.advance();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty table")]
+    fn rejects_zero_capacity() {
+        ProbeSeq::new(ProbeStrategy::Linear, 0, 0, 1);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(ProbeStrategy::QuadraticDouble.label(), "Quadratic-double");
+        assert_eq!(ProbeStrategy::all().len(), 4);
+    }
+}

@@ -1,0 +1,137 @@
+//! Value-type abstraction for hashtable payloads (Fig. 5 ablation).
+//!
+//! The paper compares 32-bit and 64-bit floating-point hashtable values
+//! and adopts `f32` (same community quality, less memory traffic). This
+//! trait lets every table, kernel, and bench be generic over that choice,
+//! with the simulator charging 64-bit operations double via
+//! [`Width`].
+
+use nulpa_simt::{AtomicF32, AtomicF64, Width};
+
+/// A floating-point type usable as a hashtable value.
+pub trait HashValue: Copy + PartialOrd + Send + Sync + std::fmt::Debug + 'static {
+    /// Matching atomic cell type.
+    type Atomic: Default + Send + Sync;
+
+    /// Operand width for the simulator's cost model.
+    const WIDTH: Width;
+
+    /// Short name for figure labels ("Float" / "Double", as in Fig. 5).
+    const LABEL: &'static str;
+
+    /// Zero.
+    fn zero() -> Self;
+    /// Conversion from the graph's `f32` edge weights.
+    fn from_weight(w: f32) -> Self;
+    /// Widening conversion for reporting.
+    fn to_f64(self) -> f64;
+    /// Plain addition.
+    fn add(self, other: Self) -> Self;
+
+    /// Atomic load.
+    fn atomic_load(a: &Self::Atomic) -> Self;
+    /// Atomic store.
+    fn atomic_store(a: &Self::Atomic, v: Self);
+    /// Atomic add.
+    fn atomic_add(a: &Self::Atomic, v: Self);
+}
+
+impl HashValue for f32 {
+    type Atomic = AtomicF32;
+    const WIDTH: Width = Width::W32;
+    const LABEL: &'static str = "Float";
+
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn from_weight(w: f32) -> Self {
+        w
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+    #[inline]
+    fn atomic_load(a: &Self::Atomic) -> Self {
+        a.load()
+    }
+    #[inline]
+    fn atomic_store(a: &Self::Atomic, v: Self) {
+        a.store(v)
+    }
+    #[inline]
+    fn atomic_add(a: &Self::Atomic, v: Self) {
+        a.fetch_add(v);
+    }
+}
+
+impl HashValue for f64 {
+    type Atomic = AtomicF64;
+    const WIDTH: Width = Width::W64;
+    const LABEL: &'static str = "Double";
+
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn from_weight(w: f32) -> Self {
+        w as f64
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+    #[inline]
+    fn atomic_load(a: &Self::Atomic) -> Self {
+        a.load()
+    }
+    #[inline]
+    fn atomic_store(a: &Self::Atomic, v: Self) {
+        a.store(v)
+    }
+    #[inline]
+    fn atomic_add(a: &Self::Atomic, v: Self) {
+        a.fetch_add(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<V: HashValue>() {
+        let a = V::from_weight(1.5);
+        let b = V::from_weight(2.5);
+        assert_eq!(a.add(b).to_f64(), 4.0);
+        assert_eq!(V::zero().to_f64(), 0.0);
+        let cell = V::Atomic::default();
+        V::atomic_store(&cell, a);
+        V::atomic_add(&cell, b);
+        assert_eq!(V::atomic_load(&cell).to_f64(), 4.0);
+    }
+
+    #[test]
+    fn f32_contract() {
+        roundtrip::<f32>();
+        assert_eq!(f32::LABEL, "Float");
+        assert_eq!(f32::WIDTH, Width::W32);
+    }
+
+    #[test]
+    fn f64_contract() {
+        roundtrip::<f64>();
+        assert_eq!(f64::LABEL, "Double");
+        assert_eq!(f64::WIDTH, Width::W64);
+    }
+}

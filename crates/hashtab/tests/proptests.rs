@@ -1,0 +1,142 @@
+//! Property-based tests for the per-vertex hashtables: for any key/weight
+//! stream that fits the layout's capacity guarantee, every probe strategy
+//! and both access paths must agree with a reference map.
+
+use nulpa_hashtab::{
+    capacity_for_degree, secondary_prime, CoalescedTable, ProbeSeq, ProbeStrategy, TableMut,
+    TableShared, EMPTY_KEY, NO_NEXT,
+};
+use nulpa_simt::AtomicF32;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicU32;
+
+/// Key streams whose *distinct* key count never exceeds the degree, like
+/// a neighbour scan (keys are neighbour labels, at most `degree` many).
+fn arb_stream() -> impl Strategy<Value = Vec<(u32, f32)>> {
+    proptest::collection::vec((0u32..5000, 0.25f32..4.0), 1..120)
+}
+
+fn reference(stream: &[(u32, f32)]) -> BTreeMap<u32, f32> {
+    let mut m = BTreeMap::new();
+    for &(k, w) in stream {
+        *m.entry(k).or_insert(0.0) += w;
+    }
+    m
+}
+
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-4 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn unshared_matches_reference_all_strategies(stream in arb_stream()) {
+        let cap = capacity_for_degree(stream.len());
+        let p2 = secondary_prime(cap);
+        let reference = reference(&stream);
+        for strategy in ProbeStrategy::all() {
+            let mut keys = vec![EMPTY_KEY; cap];
+            let mut values = vec![0.0f32; cap];
+            let mut t = TableMut::<f32>::new(&mut keys, &mut values, p2);
+            for &(k, w) in &stream {
+                prop_assert!(t.accumulate(strategy, k, w).is_done(), "{:?}", strategy);
+            }
+            let entries: BTreeMap<u32, f32> = t.entries().into_iter().collect();
+            prop_assert_eq!(entries.len(), reference.len());
+            for (k, &v) in &reference {
+                prop_assert!(close(entries[k], v), "{:?} key {}", strategy, k);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_matches_unshared(stream in arb_stream()) {
+        let cap = capacity_for_degree(stream.len());
+        let p2 = secondary_prime(cap);
+        let keys: Vec<AtomicU32> = (0..cap).map(|_| AtomicU32::new(EMPTY_KEY)).collect();
+        let values: Vec<AtomicF32> = (0..cap).map(|_| AtomicF32::default()).collect();
+        let shared = TableShared::<f32>::new(&keys, &values, p2);
+        let mut ks = vec![EMPTY_KEY; cap];
+        let mut vs = vec![0.0f32; cap];
+        let mut unshared = TableMut::<f32>::new(&mut ks, &mut vs, p2);
+        for &(k, w) in &stream {
+            prop_assert!(shared
+                .accumulate(ProbeStrategy::QuadraticDouble, k, w)
+                .is_done());
+            prop_assert!(unshared
+                .accumulate(ProbeStrategy::QuadraticDouble, k, w)
+                .is_done());
+        }
+        let (sk, sv) = shared.max_key().unwrap();
+        let (uk, uv) = unshared.max_key().unwrap();
+        // max weight must agree; slot layouts are identical so keys too
+        prop_assert_eq!(sk, uk);
+        prop_assert!(close(sv, uv));
+    }
+
+    #[test]
+    fn coalesced_matches_reference(stream in arb_stream()) {
+        let cap = capacity_for_degree(stream.len());
+        let mut keys = vec![EMPTY_KEY; cap];
+        let mut values = vec![0.0f32; cap];
+        let mut nexts = vec![NO_NEXT; cap];
+        let mut t = CoalescedTable::<f32>::new(&mut keys, &mut values, &mut nexts);
+        let reference = reference(&stream);
+        for &(k, w) in &stream {
+            prop_assert!(t.accumulate(k, w, None).is_done());
+        }
+        let entries: BTreeMap<u32, f32> = t.entries().into_iter().collect();
+        prop_assert_eq!(entries.len(), reference.len());
+        for (k, &v) in &reference {
+            prop_assert!(close(entries[k], v));
+        }
+    }
+
+    #[test]
+    fn max_key_is_true_argmax(stream in arb_stream()) {
+        let cap = capacity_for_degree(stream.len());
+        let p2 = secondary_prime(cap);
+        let mut keys = vec![EMPTY_KEY; cap];
+        let mut values = vec![0.0f32; cap];
+        let mut t = TableMut::<f32>::new(&mut keys, &mut values, p2);
+        for &(k, w) in &stream {
+            t.accumulate(ProbeStrategy::QuadraticDouble, k, w);
+        }
+        let (_, best_v) = t.max_key().unwrap();
+        let max_entry = t
+            .entries()
+            .into_iter()
+            .map(|(_, v)| v)
+            .fold(f32::MIN, f32::max);
+        prop_assert_eq!(best_v, max_entry);
+    }
+
+    #[test]
+    fn probe_sequences_stay_in_bounds(
+        key in 0u32..u32::MAX - 1,
+        exp in 1u32..16,
+        steps in 1usize..200,
+    ) {
+        let p1 = (1usize << exp) - 1;
+        let p2 = secondary_prime(p1);
+        for strategy in ProbeStrategy::all() {
+            let mut seq = ProbeSeq::new(strategy, key, p1, p2);
+            for _ in 0..steps {
+                prop_assert!(seq.slot() < p1);
+                seq.advance();
+            }
+        }
+    }
+
+    #[test]
+    fn layout_capacity_always_sufficient(degree in 1usize..10_000) {
+        let cap = capacity_for_degree(degree);
+        prop_assert!(cap >= degree);
+        prop_assert!(cap < 2 * degree + 1);
+        prop_assert_eq!((cap + 1) & cap, 0); // Mersenne
+        prop_assert!(secondary_prime(cap) > cap);
+    }
+}

@@ -1,0 +1,118 @@
+//! Partition bookkeeping: community counts, sizes, compaction.
+
+use nulpa_graph::VertexId;
+
+/// Number of distinct communities in a label vector — `|Γ|` in Table 1.
+pub fn community_count(labels: &[VertexId]) -> usize {
+    if labels.is_empty() {
+        return 0;
+    }
+    let mut seen = vec![false; labels.len()];
+    let mut count = 0;
+    for &l in labels {
+        let l = l as usize;
+        assert!(l < labels.len(), "label out of range");
+        if !seen[l] {
+            seen[l] = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Size of every community, indexed by (raw) label id.
+pub fn community_sizes(labels: &[VertexId]) -> Vec<usize> {
+    let mut sizes = vec![0usize; labels.len()];
+    for &l in labels {
+        sizes[l as usize] += 1;
+    }
+    sizes
+}
+
+/// Renumber labels to a dense `0..k` range, preserving first-appearance
+/// order. Returns `(compacted labels, k)`.
+pub fn compact_labels(labels: &[VertexId]) -> (Vec<VertexId>, usize) {
+    let n = labels.len();
+    const UNSET: VertexId = VertexId::MAX;
+    let max_label = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut remap = vec![UNSET; max_label.max(n)];
+    let mut out = Vec::with_capacity(n);
+    let mut next: VertexId = 0;
+    for &l in labels {
+        let slot = &mut remap[l as usize];
+        if *slot == UNSET {
+            *slot = next;
+            next += 1;
+        }
+        out.push(*slot);
+    }
+    (out, next as usize)
+}
+
+/// Largest community size (0 for an empty partition).
+pub fn max_community_size(labels: &[VertexId]) -> usize {
+    community_sizes(labels).into_iter().max().unwrap_or(0)
+}
+
+/// `true` when two label vectors describe the same partition (up to
+/// renaming of community ids).
+pub fn same_partition(a: &[VertexId], b: &[VertexId]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    compact_labels(a).0 == compact_labels(b).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_basic() {
+        assert_eq!(community_count(&[0, 0, 2, 2, 1]), 3);
+        assert_eq!(community_count(&[]), 0);
+        assert_eq!(community_count(&[0]), 1);
+    }
+
+    #[test]
+    fn sizes_basic() {
+        let s = community_sizes(&[0, 0, 2, 2, 2]);
+        assert_eq!(s[0], 2);
+        assert_eq!(s[1], 0);
+        assert_eq!(s[2], 3);
+    }
+
+    #[test]
+    fn compact_preserves_partition() {
+        let labels = vec![5, 5, 2, 7, 2];
+        let (c, k) = compact_labels(&labels);
+        assert_eq!(k, 3);
+        assert_eq!(c, vec![0, 0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn compact_idempotent() {
+        let labels = vec![0, 1, 1, 2];
+        let (c, _) = compact_labels(&labels);
+        assert_eq!(c, labels);
+    }
+
+    #[test]
+    fn same_partition_up_to_renaming() {
+        assert!(same_partition(&[0, 0, 1], &[2, 2, 0]));
+        assert!(!same_partition(&[0, 0, 1], &[0, 1, 1]));
+        assert!(!same_partition(&[0, 0], &[0, 0, 0]));
+    }
+
+    #[test]
+    fn max_size() {
+        assert_eq!(max_community_size(&[1, 1, 1, 0]), 3);
+        assert_eq!(max_community_size(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn count_rejects_bad_label() {
+        community_count(&[9, 0]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Partitioning quality metrics: edge cut and balance.
+//!
+//! The paper's conclusion motivates ν-LPA for "partitioning of large
+//! graphs" (PuLP/XtraPuLP-style); these metrics score the LPA-based
+//! partitioner shipped in `nulpa-core::pulp`.
+
+use nulpa_graph::{Csr, VertexId};
+
+/// Total weight of edges crossing part boundaries, counted once per
+/// undirected edge (directed-stored weight / 2).
+pub fn edge_cut(g: &Csr, parts: &[VertexId]) -> f64 {
+    assert_eq!(parts.len(), g.num_vertices(), "parts length mismatch");
+    let mut cut = 0.0f64;
+    for u in g.vertices() {
+        for (v, w) in g.neighbors(u) {
+            if parts[u as usize] != parts[v as usize] {
+                cut += w as f64;
+            }
+        }
+    }
+    cut / 2.0
+}
+
+/// Fraction of undirected edge weight crossing part boundaries, in
+/// `[0, 1]`. Zero for an edgeless graph.
+pub fn cut_fraction(g: &Csr, parts: &[VertexId]) -> f64 {
+    let total = g.total_weight() / 2.0;
+    if total == 0.0 {
+        0.0
+    } else {
+        edge_cut(g, parts) / total
+    }
+}
+
+/// Load imbalance of a `k`-way partition: `max part size / (n / k)`.
+/// A perfectly balanced partition scores 1.0.
+///
+/// # Panics
+/// Panics if `k == 0` or the partition is empty.
+pub fn imbalance(parts: &[VertexId], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    assert!(!parts.is_empty(), "empty partition");
+    let mut sizes = vec![0usize; k];
+    for &p in parts {
+        assert!((p as usize) < k, "part id {p} out of range for k = {k}");
+        sizes[p as usize] += 1;
+    }
+    let max = *sizes.iter().max().unwrap() as f64;
+    max / (parts.len() as f64 / k as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nulpa_graph::gen::{caveman_weighted, complete, grid2d};
+
+    #[test]
+    fn cut_of_uniform_partition_is_zero() {
+        let g = complete(6);
+        assert_eq!(edge_cut(&g, &[0; 6]), 0.0);
+        assert_eq!(cut_fraction(&g, &[0; 6]), 0.0);
+    }
+
+    #[test]
+    fn cut_counts_each_edge_once() {
+        let g = complete(4); // 6 undirected edges
+        // split 2/2: 4 edges cross
+        let parts = vec![0, 0, 1, 1];
+        assert_eq!(edge_cut(&g, &parts), 4.0);
+        assert!((cut_fraction(&g, &parts) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn caveman_natural_cut() {
+        let g = caveman_weighted(2, 5, 1.0); // single unit bridge
+        let parts: Vec<u32> = (0..10).map(|v| v / 5).collect();
+        assert_eq!(edge_cut(&g, &parts), 1.0);
+    }
+
+    #[test]
+    fn imbalance_perfect_and_skewed() {
+        assert_eq!(imbalance(&[0, 0, 1, 1], 2), 1.0);
+        assert_eq!(imbalance(&[0, 0, 0, 1], 2), 1.5);
+    }
+
+    #[test]
+    fn cut_fraction_in_unit_range_on_random_partition() {
+        let g = grid2d(10, 10, 1.0, 0);
+        let parts: Vec<u32> = (0..100).map(|v| v % 4).collect();
+        let f = cut_fraction(&g, &parts);
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_wrong_length() {
+        edge_cut(&complete(3), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn imbalance_rejects_bad_part() {
+        imbalance(&[0, 5], 2);
+    }
+
+    #[test]
+    fn empty_graph_zero_cut() {
+        let g = nulpa_graph::Csr::empty(3);
+        assert_eq!(cut_fraction(&g, &[0, 1, 2]), 0.0);
+    }
+}

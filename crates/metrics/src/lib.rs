@@ -1,0 +1,32 @@
+//! # nulpa-metrics
+//!
+//! Community-quality metrics for the ν-LPA reproduction: modularity `Q`
+//! (paper Eq. 1), delta-modularity `ΔQ` (Eq. 2), Normalized Mutual
+//! Information against planted ground truth, and partition bookkeeping
+//! (community counts for Table 1's `|Γ|` column, label compaction,
+//! validation).
+//!
+//! ```
+//! use nulpa_graph::gen::{two_cliques_bridge, caveman_ground_truth};
+//! use nulpa_metrics::modularity;
+//!
+//! let g = two_cliques_bridge(5);
+//! let q = modularity(&g, &caveman_ground_truth(2, 5));
+//! assert!(q > 0.4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod community;
+pub mod cut;
+pub mod modularity;
+pub mod nmi;
+pub mod validate;
+
+pub use cut::{cut_fraction, edge_cut, imbalance};
+pub use community::{
+    community_count, community_sizes, compact_labels, max_community_size, same_partition,
+};
+pub use modularity::{delta_modularity, modularity, modularity_par};
+pub use nmi::nmi;
+pub use validate::{check_labels, count_unsupported, PartitionError};

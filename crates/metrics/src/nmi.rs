@@ -1,0 +1,131 @@
+//! Normalized Mutual Information between two partitions.
+//!
+//! The paper cites LPA's high NMI against ground truth (Peng et al. 2014)
+//! as the justification for its moderate modularity; the social stand-ins
+//! carry planted ground truth so the examples and tests can measure it.
+
+use crate::community::compact_labels;
+use nulpa_graph::VertexId;
+
+/// NMI with arithmetic-mean normalization:
+/// `NMI(X, Y) = 2 I(X; Y) / (H(X) + H(Y))`, in `[0, 1]`.
+///
+/// Degenerate cases: if both partitions have zero entropy (all vertices in
+/// one community each), they are identical partitions and NMI is 1; if only
+/// one does, NMI is 0.
+///
+/// # Panics
+/// Panics if the vectors differ in length or are empty.
+pub fn nmi(a: &[VertexId], b: &[VertexId]) -> f64 {
+    assert_eq!(a.len(), b.len(), "partition length mismatch");
+    assert!(!a.is_empty(), "empty partitions");
+    let n = a.len() as f64;
+    let (ca, ka) = compact_labels(a);
+    let (cb, kb) = compact_labels(b);
+
+    // Joint counts.
+    let mut joint = vec![0u32; ka * kb];
+    let mut count_a = vec![0u32; ka];
+    let mut count_b = vec![0u32; kb];
+    for (&x, &y) in ca.iter().zip(&cb) {
+        joint[x as usize * kb + y as usize] += 1;
+        count_a[x as usize] += 1;
+        count_b[y as usize] += 1;
+    }
+
+    let h = |counts: &[u32]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = h(&count_a);
+    let hb = h(&count_b);
+
+    let mut mi = 0.0;
+    for x in 0..ka {
+        for y in 0..kb {
+            let cxy = joint[x * kb + y];
+            if cxy == 0 {
+                continue;
+            }
+            let pxy = cxy as f64 / n;
+            let px = count_a[x] as f64 / n;
+            let py = count_b[y] as f64 / n;
+            mi += pxy * (pxy / (px * py)).ln();
+        }
+    }
+
+    if ha + hb == 0.0 {
+        return 1.0; // both trivial => identical partitions
+    }
+    if ha == 0.0 || hb == 0.0 {
+        return 0.0;
+    }
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_give_one() {
+        let p = vec![0, 0, 1, 1, 2, 2];
+        assert!((nmi(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renamed_partitions_give_one() {
+        let a = vec![0, 0, 1, 1];
+        let b = vec![3, 3, 0, 0];
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_give_zero() {
+        // a splits front/back, b splits even/odd, 8 vertices: independent
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(nmi(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_vs_split_gives_zero() {
+        let a = vec![0, 0, 0, 0];
+        let b = vec![0, 1, 2, 3];
+        assert_eq!(nmi(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn both_trivial_gives_one() {
+        let a = vec![0, 0, 0];
+        let b = vec![2, 2, 2];
+        assert_eq!(nmi(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = vec![0, 0, 1, 2, 2, 1];
+        let b = vec![0, 1, 1, 2, 2, 2];
+        assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_agreement_in_between() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1];
+        let v = nmi(&a, &b);
+        assert!(v > 0.1 && v < 0.9, "nmi = {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_length_mismatch() {
+        nmi(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Partition sanity checks used by tests and the harness.
+
+use nulpa_graph::{Csr, VertexId};
+
+/// Problems a partition can exhibit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// `labels.len() != |V|`.
+    LengthMismatch {
+        /// `|V|` of the graph.
+        expected: usize,
+        /// `labels.len()` received.
+        got: usize,
+    },
+    /// Some label is `>= |V|` (labels must be vertex ids in LPA).
+    LabelOutOfRange {
+        /// Offending vertex.
+        vertex: VertexId,
+        /// Its out-of-range label.
+        label: VertexId,
+    },
+    /// A community has no internal support: a vertex with neighbours has a
+    /// label shared by none of them and is not its own label. LPA never
+    /// produces this, so it flags implementation bugs.
+    Unsupported {
+        /// Offending vertex.
+        vertex: VertexId,
+        /// Its unsupported label.
+        label: VertexId,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::LengthMismatch { expected, got } => {
+                write!(f, "labels length {got}, expected {expected}")
+            }
+            PartitionError::LabelOutOfRange { vertex, label } => {
+                write!(f, "vertex {vertex} has out-of-range label {label}")
+            }
+            PartitionError::Unsupported { vertex, label } => {
+                write!(f, "vertex {vertex} holds label {label} shared by no neighbour")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Structural validity: length and label range.
+pub fn check_labels(g: &Csr, labels: &[VertexId]) -> Result<(), PartitionError> {
+    if labels.len() != g.num_vertices() {
+        return Err(PartitionError::LengthMismatch {
+            expected: g.num_vertices(),
+            got: labels.len(),
+        });
+    }
+    let n = g.num_vertices() as VertexId;
+    for (v, &l) in labels.iter().enumerate() {
+        if l >= n {
+            return Err(PartitionError::LabelOutOfRange {
+                vertex: v as VertexId,
+                label: l,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Stronger LPA-specific invariant: every vertex's label is either its own
+/// id or shared with at least one neighbour. (After any LPA iteration a
+/// vertex's label came from its neighbourhood — though a neighbour may have
+/// since moved on, communities in converged LPA output satisfy this on all
+/// but pathological graphs, so it is exposed as a *warning count*, not an
+/// error.)
+pub fn count_unsupported(g: &Csr, labels: &[VertexId]) -> usize {
+    let mut count = 0;
+    for u in g.vertices() {
+        let l = labels[u as usize];
+        if l == u || g.degree(u) == 0 {
+            continue;
+        }
+        if !g.neighbor_ids(u).iter().any(|&v| labels[v as usize] == l) {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nulpa_graph::gen::{caveman, caveman_ground_truth};
+
+    #[test]
+    fn valid_labels_pass() {
+        let g = caveman(2, 4);
+        // ground truth uses ids 0/1 which are < |V|
+        assert!(check_labels(&g, &caveman_ground_truth(2, 4)).is_ok());
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let g = caveman(2, 4);
+        assert!(matches!(
+            check_labels(&g, &[0, 1]),
+            Err(PartitionError::LengthMismatch { expected: 8, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let g = caveman(2, 4);
+        let mut labels = caveman_ground_truth(2, 4);
+        labels[3] = 99;
+        assert!(matches!(
+            check_labels(&g, &labels),
+            Err(PartitionError::LabelOutOfRange { vertex: 3, label: 99 })
+        ));
+    }
+
+    #[test]
+    fn unsupported_counting() {
+        let g = caveman(2, 4); // vertices 0..3 and 4..7
+        let mut labels: Vec<VertexId> = vec![0, 0, 0, 0, 4, 4, 4, 4];
+        assert_eq!(count_unsupported(&g, &labels), 0);
+        // vertex 1 claims community 6, but none of its neighbours hold 6
+        labels[1] = 6;
+        assert_eq!(count_unsupported(&g, &labels), 1);
+    }
+
+    #[test]
+    fn own_label_always_supported() {
+        let g = caveman(2, 4);
+        let labels: Vec<VertexId> = (0..8).collect();
+        assert_eq!(count_unsupported(&g, &labels), 0);
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = PartitionError::Unsupported { vertex: 1, label: 6 };
+        assert!(e.to_string().contains("vertex 1"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Wave-visibility memory: reads see wave-start state, writes flush at the
+//! wave boundary.
+//!
+//! This models the crucial SIMT property behind the paper's community-swap
+//! analysis: two co-resident (same-wave) vertices that update their labels
+//! "simultaneously" each observe the *other's old* label, so symmetric
+//! neighbours adopt each other's labels and swap forever (§4.1). Writes by
+//! earlier waves are visible to later waves, which is what makes the
+//! algorithm asynchronous across waves.
+//!
+//! A cell may be staged at most once per wave in ν-LPA (each vertex is
+//! written by exactly one thread per iteration); the store nevertheless
+//! defines last-stage-wins semantics and exposes the collision count for
+//! assertion in tests.
+
+use std::collections::HashMap;
+
+/// A `Vec<T>`-backed memory with deferred (wave-buffered) writes.
+#[derive(Clone, Debug)]
+pub struct DeferredStore<T: Copy> {
+    data: Vec<T>,
+    pending: Vec<(usize, T)>,
+    staged_collisions: u64,
+}
+
+impl<T: Copy + PartialEq> DeferredStore<T> {
+    /// Wrap an initial state.
+    pub fn new(init: Vec<T>) -> Self {
+        DeferredStore {
+            data: init,
+            pending: Vec::new(),
+            staged_collisions: 0,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the store has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Committed (wave-start) value of cell `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    /// Stage a write to cell `i`; becomes visible after [`Self::flush`].
+    #[inline]
+    pub fn stage(&mut self, i: usize, v: T) {
+        debug_assert!(i < self.data.len());
+        self.pending.push((i, v));
+    }
+
+    /// Number of writes staged in the current wave.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Apply all staged writes (call from the scheduler's `wave_end`).
+    /// Last stage to a cell wins; earlier stages to the same cell are
+    /// counted in [`Self::staged_collisions`].
+    pub fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut first_writer: HashMap<usize, ()> = HashMap::with_capacity(self.pending.len());
+        for &(i, _) in &self.pending {
+            if first_writer.insert(i, ()).is_some() {
+                self.staged_collisions += 1;
+            }
+        }
+        for (i, v) in self.pending.drain(..) {
+            self.data[i] = v;
+        }
+    }
+
+    /// Immediately-visible write, bypassing wave buffering. Models a
+    /// write made by a *separate kernel launch* (e.g. ν-LPA's Cross-Check
+    /// revert pass, whose atomic reverts take effect at once).
+    #[inline]
+    pub fn write_through(&mut self, i: usize, v: T) {
+        self.data[i] = v;
+    }
+
+    /// Cells written more than once within a single wave, cumulative.
+    pub fn staged_collisions(&self) -> u64 {
+        self.staged_collisions
+    }
+
+    /// View of the committed state.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consume into the committed state. Pending (unflushed) writes are
+    /// dropped — flush first if they matter.
+    pub fn into_inner(self) -> Vec<T> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_see_wave_start_values() {
+        let mut s = DeferredStore::new(vec![1, 2, 3]);
+        s.stage(0, 10);
+        assert_eq!(s.get(0), 1); // not yet visible
+        s.flush();
+        assert_eq!(s.get(0), 10);
+    }
+
+    #[test]
+    fn swap_scenario_reproduced() {
+        // Two symmetric vertices each adopt the other's label within a
+        // wave: with deferred semantics both reads see old values and the
+        // labels genuinely swap — the paper's non-convergence pathology.
+        let mut labels = DeferredStore::new(vec![0u32, 1]);
+        let a = labels.get(1); // vertex 0 reads neighbour 1
+        let b = labels.get(0); // vertex 1 reads neighbour 0
+        labels.stage(0, a);
+        labels.stage(1, b);
+        labels.flush();
+        assert_eq!(labels.as_slice(), &[1, 0]); // swapped
+    }
+
+    #[test]
+    fn later_wave_sees_earlier_writes() {
+        let mut s = DeferredStore::new(vec![0]);
+        s.stage(0, 5);
+        s.flush();
+        // next wave
+        let seen = s.get(0);
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn last_stage_wins_and_collision_counted() {
+        let mut s = DeferredStore::new(vec![0]);
+        s.stage(0, 1);
+        s.stage(0, 2);
+        s.flush();
+        assert_eq!(s.get(0), 2);
+        assert_eq!(s.staged_collisions(), 1);
+    }
+
+    #[test]
+    fn flush_empty_is_noop() {
+        let mut s = DeferredStore::new(vec![7]);
+        s.flush();
+        assert_eq!(s.get(0), 7);
+        assert_eq!(s.staged_collisions(), 0);
+    }
+
+    #[test]
+    fn pending_len_resets_on_flush() {
+        let mut s = DeferredStore::new(vec![0, 0]);
+        s.stage(0, 1);
+        s.stage(1, 1);
+        assert_eq!(s.pending_len(), 2);
+        s.flush();
+        assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    fn into_inner_returns_committed_state() {
+        let mut s = DeferredStore::new(vec![0]);
+        s.stage(0, 9);
+        s.flush();
+        assert_eq!(s.into_inner(), vec![9]);
+    }
+}

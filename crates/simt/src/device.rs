@@ -1,0 +1,177 @@
+//! Simulated device descriptions.
+//!
+//! The simulator does not execute PTX; it reproduces the *execution model*
+//! that the paper's arguments rest on: a fixed number of SMs, warps of 32
+//! lanes executing in lockstep, a bounded number of co-resident threads
+//! (one *wave*), and block-level cooperation through shared memory and
+//! atomics. `DeviceConfig::a100()` mirrors the paper's evaluation GPU
+//! (§5.1.1: NVIDIA A100, 108 SMs).
+
+/// Static description of a simulated GPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Lanes per warp (32 on all NVIDIA hardware).
+    pub warp_size: usize,
+    /// Threads per block for block-per-vertex kernels.
+    pub block_size: usize,
+    /// Maximum co-resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Warp schedulers per SM (4 on the A100): each can issue one warp
+    /// instruction per cycle, so the device's aggregate issue width is
+    /// `sm_count * warp_schedulers` warps.
+    pub warp_schedulers: usize,
+    /// Shared memory per SM in bytes (A100: 164 KB). Kernels that reserve
+    /// per-thread shared memory reduce their occupancy accordingly.
+    pub shared_mem_per_sm: usize,
+    /// Resident warps per SM needed to fully hide memory latency
+    /// (hardware constant). Global-memory latency on Ampere is ~400–600
+    /// cycles, so latency-bound kernels need close to the full 64-warp
+    /// complement; kernels resident below this run at proportionally
+    /// reduced throughput.
+    pub saturation_warps_per_sm: usize,
+}
+
+impl DeviceConfig {
+    /// The paper's evaluation GPU: NVIDIA A100 (108 SMs, 2048 resident
+    /// threads per SM, 32-lane warps; we use 256-thread blocks for
+    /// block-per-vertex kernels).
+    pub fn a100() -> Self {
+        DeviceConfig {
+            sm_count: 108,
+            warp_size: 32,
+            block_size: 256,
+            max_threads_per_sm: 2048,
+            warp_schedulers: 4,
+            shared_mem_per_sm: 164 * 1024,
+            saturation_warps_per_sm: 64,
+        }
+    }
+
+    /// A deliberately tiny device for tests: waves are small enough that
+    /// multi-wave behaviour shows up on graphs with a few hundred vertices.
+    pub fn tiny() -> Self {
+        DeviceConfig {
+            sm_count: 2,
+            warp_size: 4,
+            block_size: 8,
+            max_threads_per_sm: 32,
+            warp_schedulers: 1,
+            shared_mem_per_sm: 1024,
+            saturation_warps_per_sm: 1,
+        }
+    }
+
+    /// Total co-resident threads — the size of one thread-per-item wave.
+    pub fn resident_threads(&self) -> usize {
+        self.sm_count * self.max_threads_per_sm
+    }
+
+    /// Total co-resident blocks — the size of one block-per-item wave.
+    pub fn resident_blocks(&self) -> usize {
+        self.sm_count * (self.max_threads_per_sm / self.block_size).max(1)
+    }
+
+    /// Aggregate warp-issue width of the device.
+    pub fn issue_width(&self) -> usize {
+        self.sm_count * self.warp_schedulers.max(1)
+    }
+
+    /// Device with occupancy limited by a per-thread shared-memory
+    /// reservation of `bytes_per_thread`: resident threads per SM drop to
+    /// what the SM's shared memory can back (at least one warp).
+    pub fn with_shared_mem_per_thread(mut self, bytes_per_thread: usize) -> Self {
+        if let Some(quot) = self.shared_mem_per_sm.checked_div(bytes_per_thread) {
+            let limit = quot.max(self.warp_size);
+            self.max_threads_per_sm = self.max_threads_per_sm.min(limit);
+        }
+        self
+    }
+
+    /// Validate internal consistency (warp divides block, etc.).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sm_count == 0 || self.warp_size == 0 || self.block_size == 0 {
+            return Err("device dimensions must be positive".into());
+        }
+        if !self.block_size.is_multiple_of(self.warp_size) {
+            return Err(format!(
+                "block size {} not a multiple of warp size {}",
+                self.block_size, self.warp_size
+            ));
+        }
+        if self.max_threads_per_sm < self.block_size {
+            return Err("an SM must fit at least one block".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::a100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_shape() {
+        let d = DeviceConfig::a100();
+        assert_eq!(d.resident_threads(), 108 * 2048);
+        assert_eq!(d.resident_blocks(), 108 * 8);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn tiny_is_valid() {
+        assert!(DeviceConfig::tiny().validate().is_ok());
+        assert_eq!(DeviceConfig::tiny().resident_threads(), 64);
+    }
+
+    #[test]
+    fn invalid_block_warp_ratio() {
+        let mut d = DeviceConfig::a100();
+        d.block_size = 100; // not a multiple of 32
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_zero_sms() {
+        let mut d = DeviceConfig::a100();
+        d.sm_count = 0;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn issue_width_counts_schedulers() {
+        assert_eq!(DeviceConfig::a100().issue_width(), 108 * 4);
+        assert_eq!(DeviceConfig::tiny().issue_width(), 2);
+    }
+
+    #[test]
+    fn shared_mem_reservation_limits_occupancy() {
+        let d = DeviceConfig::a100();
+        // 512 B per thread: 164 KB / 512 B = 328 threads per SM
+        let limited = d.with_shared_mem_per_thread(512);
+        assert_eq!(limited.max_threads_per_sm, 328);
+        // tiny reservations leave occupancy untouched
+        let free = d.with_shared_mem_per_thread(1);
+        assert_eq!(free.max_threads_per_sm, d.max_threads_per_sm);
+        // zero reservation is a no-op
+        assert_eq!(d.with_shared_mem_per_thread(0), d);
+        // enormous reservations still leave one warp resident
+        let floor = d.with_shared_mem_per_thread(10 * 1024 * 1024);
+        assert_eq!(floor.max_threads_per_sm, d.warp_size);
+    }
+
+    #[test]
+    fn block_must_fit_in_sm() {
+        let mut d = DeviceConfig::tiny();
+        d.block_size = 64;
+        d.max_threads_per_sm = 32;
+        assert!(d.validate().is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # nulpa-simt
+//!
+//! A SIMT (GPU) *execution-model* simulator — the substrate standing in
+//! for the paper's NVIDIA A100 (see DESIGN.md §1). It does not interpret
+//! GPU machine code; it reproduces the properties of SIMT execution that
+//! the ν-LPA paper's design and experiments rest on:
+//!
+//! * **Waves of co-resident threads** ([`WaveScheduler`]) — kernels launch
+//!   over items, scheduled in waves sized by the device's resident-thread
+//!   capacity ([`DeviceConfig`]).
+//! * **Lockstep visibility** ([`DeferredStore`]) — non-atomic global
+//!   writes made inside a wave become visible at the wave boundary, which
+//!   deterministically reproduces the community-swap pathology of §4.1.
+//! * **Lockstep timing** ([`CostModel`], [`KernelStats`]) — a warp costs
+//!   the maximum of its lanes, so divergence (e.g. unlucky probe
+//!   sequences) is amplified exactly as on hardware; a locality model
+//!   preserves the cache trade-offs between probing strategies.
+//! * **Immediate atomics** ([`AtomicF32`], [`AtomicF64`]) — as on GPUs,
+//!   atomic RMWs take effect immediately, unlike plain stores.
+
+#![warn(missing_docs)]
+
+pub mod atomics;
+pub mod cost;
+pub mod deferred;
+pub mod device;
+pub mod stats;
+pub mod wave;
+
+pub use atomics::{AtomicF32, AtomicF64};
+pub use cost::{CostModel, LaneMeter, Width, LINE_WORDS};
+pub use deferred::DeferredStore;
+pub use device::DeviceConfig;
+pub use stats::KernelStats;
+pub use wave::{BlockCtx, WaveScheduler};

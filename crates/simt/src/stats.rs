@@ -1,0 +1,142 @@
+//! Aggregated kernel statistics.
+
+use crate::cost::LaneMeter;
+
+/// Statistics for one kernel launch (or a sum over launches).
+///
+/// `sim_cycles` is the simulated duration under lockstep semantics: per
+/// wave, the maximum warp cost (warps run concurrently across SMs); per
+/// warp, the maximum lane cost (lanes run in lockstep). `lane_cycles` is
+/// the total useful work; `idle_cycles` is the lockstep waste — the gap
+/// between each warp's duration × width and the work its lanes actually
+/// did. The ratio `idle / (idle + lane)` is the divergence the paper's
+/// probing-strategy experiment (Fig. 3) is designed to reduce.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Simulated kernel duration (cycles).
+    pub sim_cycles: u64,
+    /// Sum of per-lane busy cycles.
+    pub lane_cycles: u64,
+    /// Lockstep idle cycles (divergence + load imbalance within warps).
+    pub idle_cycles: u64,
+    /// Hash probes performed.
+    pub probes: u64,
+    /// Atomic operations performed.
+    pub atomics: u64,
+    /// Global reads.
+    pub global_reads: u64,
+    /// Global writes.
+    pub global_writes: u64,
+    /// Waves launched.
+    pub waves: u64,
+    /// Threads (lanes with work) launched.
+    pub threads: u64,
+}
+
+impl KernelStats {
+    /// Zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate another launch into this one (sequential composition:
+    /// durations add).
+    pub fn add(&mut self, other: &KernelStats) {
+        self.sim_cycles += other.sim_cycles;
+        self.lane_cycles += other.lane_cycles;
+        self.idle_cycles += other.idle_cycles;
+        self.probes += other.probes;
+        self.atomics += other.atomics;
+        self.global_reads += other.global_reads;
+        self.global_writes += other.global_writes;
+        self.waves += other.waves;
+        self.threads += other.threads;
+    }
+
+    /// Fold one warp's lanes into the stats; returns the warp's cost
+    /// (max lane cycles) for the caller's wave-level max-reduction.
+    pub fn fold_warp(&mut self, lanes: &[LaneMeter]) -> u64 {
+        let warp_cost = lanes.iter().map(|l| l.cycles).max().unwrap_or(0);
+        for l in lanes {
+            self.lane_cycles += l.cycles;
+            self.idle_cycles += warp_cost - l.cycles;
+            self.probes += l.probes;
+            self.atomics += l.atomics;
+            self.global_reads += l.global_reads;
+            self.global_writes += l.global_writes;
+            self.threads += 1;
+        }
+        warp_cost
+    }
+
+    /// Fraction of lockstep time wasted idle, in `[0, 1]`.
+    pub fn divergence_ratio(&self) -> f64 {
+        let total = self.lane_cycles + self.idle_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.idle_cycles as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostModel, LaneMeter};
+
+    fn lane_with_cycles(n: u64) -> LaneMeter {
+        let mut l = LaneMeter::new();
+        l.alu(&CostModel::default_gpu(), n);
+        l
+    }
+
+    #[test]
+    fn fold_warp_takes_max_and_counts_idle() {
+        let mut s = KernelStats::new();
+        let lanes = vec![lane_with_cycles(10), lane_with_cycles(4), lane_with_cycles(7)];
+        let warp = s.fold_warp(&lanes);
+        assert_eq!(warp, 10);
+        assert_eq!(s.lane_cycles, 21);
+        assert_eq!(s.idle_cycles, (10 - 4) + (10 - 7));
+        assert_eq!(s.threads, 3);
+    }
+
+    #[test]
+    fn divergence_ratio_balanced_is_zero() {
+        let mut s = KernelStats::new();
+        s.fold_warp(&[lane_with_cycles(5), lane_with_cycles(5)]);
+        assert_eq!(s.divergence_ratio(), 0.0);
+    }
+
+    #[test]
+    fn divergence_ratio_skewed() {
+        let mut s = KernelStats::new();
+        s.fold_warp(&[lane_with_cycles(10), lane_with_cycles(0)]);
+        assert!((s.divergence_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_composes() {
+        let mut a = KernelStats {
+            sim_cycles: 5,
+            waves: 1,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            sim_cycles: 7,
+            waves: 2,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.sim_cycles, 12);
+        assert_eq!(a.waves, 3);
+    }
+
+    #[test]
+    fn empty_warp_costs_nothing() {
+        let mut s = KernelStats::new();
+        assert_eq!(s.fold_warp(&[]), 0);
+        assert_eq!(s.divergence_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Wave scheduler: lockstep kernel launches.
+//!
+//! A *wave* is the set of threads (or blocks) co-resident on the device at
+//! one time — on the A100 preset, 108 SMs × 2048 threads. The paper's
+//! community-swap pathology (§4.1) arises because co-resident symmetric
+//! vertices read each other's *pre-wave* labels; pair this scheduler with
+//! [`crate::deferred::DeferredStore`] and that visibility rule holds
+//! exactly: the `wave_end` callback is the flush point.
+//!
+//! The simulator executes lanes serially (deterministically) while
+//! *modelling* parallel lockstep timing: each lane meters its own cost,
+//! a warp costs the max of its lanes, a wave the max of its warps, and the
+//! kernel the sum of its waves. Atomics performed by kernels against real
+//! `AtomicU32`/[`crate::atomics::AtomicF32`] cells are immediate, as on
+//! hardware.
+
+use crate::cost::{CostModel, LaneMeter};
+use crate::device::DeviceConfig;
+use crate::stats::KernelStats;
+
+/// Lockstep kernel launcher for a fixed device.
+#[derive(Clone, Copy, Debug)]
+pub struct WaveScheduler {
+    /// Device being simulated.
+    pub device: DeviceConfig,
+    /// Cost model charged to lanes.
+    pub cost: CostModel,
+}
+
+impl WaveScheduler {
+    /// Create a scheduler; panics on an invalid device.
+    pub fn new(device: DeviceConfig, cost: CostModel) -> Self {
+        device.validate().expect("invalid device config");
+        WaveScheduler { device, cost }
+    }
+
+    /// Thread-per-item launch: one lane per item (the paper's
+    /// thread-per-vertex kernel for low-degree vertices).
+    ///
+    /// `kernel(item, lane)` is invoked once per item; `wave_end(wave_idx)`
+    /// fires after all items of a wave ran — flush deferred stores there.
+    pub fn launch_thread_per_item<T, F, G>(
+        &self,
+        items: &[T],
+        mut kernel: F,
+        mut wave_end: G,
+    ) -> KernelStats
+    where
+        T: Copy,
+        F: FnMut(T, &mut LaneMeter),
+        G: FnMut(u64),
+    {
+        let mut stats = KernelStats::new();
+        let wave_cap = self.device.resident_threads();
+        let warp = self.device.warp_size;
+        for (w, wave_items) in items.chunks(wave_cap).enumerate() {
+            let mut meters: Vec<LaneMeter> = Vec::with_capacity(wave_items.len());
+            for &it in wave_items {
+                let mut m = LaneMeter::new();
+                kernel(it, &mut m);
+                meters.push(m);
+            }
+            let mut critical = 0u64;
+            let mut warp_total = 0u64;
+            for warp_lanes in meters.chunks(warp) {
+                let c = stats.fold_warp(warp_lanes);
+                critical = critical.max(c);
+                warp_total += c;
+            }
+            stats.sim_cycles += self.wave_duration(critical, warp_total);
+            stats.waves += 1;
+            wave_end(w as u64);
+        }
+        stats
+    }
+
+    /// Block-per-item launch: one cooperative block per item (the paper's
+    /// block-per-vertex kernel for high-degree vertices).
+    pub fn launch_block_per_item<T, F, G>(
+        &self,
+        items: &[T],
+        mut kernel: F,
+        mut wave_end: G,
+    ) -> KernelStats
+    where
+        T: Copy,
+        F: FnMut(T, &mut BlockCtx<'_>),
+        G: FnMut(u64),
+    {
+        let mut stats = KernelStats::new();
+        let wave_cap = self.device.resident_blocks();
+        let warp = self.device.warp_size;
+        for (w, wave_items) in items.chunks(wave_cap).enumerate() {
+            let mut critical = 0u64;
+            let mut warp_total = 0u64;
+            for &it in wave_items {
+                let mut ctx = BlockCtx::new(self.device.block_size, warp, &self.cost);
+                kernel(it, &mut ctx);
+                let mut block_cost = 0u64;
+                for warp_lanes in ctx.lanes.chunks(warp) {
+                    let c = stats.fold_warp(warp_lanes);
+                    block_cost = block_cost.max(c);
+                    warp_total += c;
+                }
+                critical = critical.max(block_cost);
+            }
+            stats.sim_cycles += self.wave_duration(critical, warp_total);
+            stats.waves += 1;
+            wave_end(w as u64);
+        }
+        stats
+    }
+
+    /// Duration of one wave under a latency/throughput/occupancy model.
+    ///
+    /// Each warp occupies its SM's issue pipeline for its lockstep cost
+    /// (idle lanes included — that is what lockstep means), and the device
+    /// issues warps on `sm_count × warp_schedulers` pipelines. A wave
+    /// therefore lasts at least its critical path (the slowest warp/block)
+    /// *and* at least the aggregate warp-cycles divided by the effective
+    /// issue width. The effective width degrades below full **occupancy**:
+    /// memory-bound kernels hide latency by switching among resident
+    /// warps, so a device running at a fraction of its maximum resident
+    /// warps only achieves that fraction of its issue throughput (down to
+    /// a floor of one warp per SM). This is the penalty that makes
+    /// shared-memory-hungry kernels unattractive — the paper's
+    /// shared-memory-hashtable experiment (§4.2) hinges on it. Without the
+    /// throughput term entirely, underfilled blocks would look free and a
+    /// block-per-vertex kernel would always "win", erasing the Fig. 4
+    /// trade-off.
+    fn wave_duration(&self, critical: u64, warp_total: u64) -> u64 {
+        let d = &self.device;
+        let resident_warps = (d.max_threads_per_sm / d.warp_size).max(1); // per SM
+        let occupancy =
+            (resident_warps as f64 / d.saturation_warps_per_sm.max(1) as f64).min(1.0);
+        let width = (d.issue_width() as f64 * occupancy).max(1.0);
+        critical.max((warp_total as f64 / width).ceil() as u64)
+    }
+}
+
+/// Execution context of one cooperative thread block.
+pub struct BlockCtx<'a> {
+    /// Per-lane meters (length = block size).
+    pub lanes: Vec<LaneMeter>,
+    /// Cost model in effect.
+    pub cost: &'a CostModel,
+    warp_size: usize,
+}
+
+impl<'a> BlockCtx<'a> {
+    fn new(block_size: usize, warp_size: usize, cost: &'a CostModel) -> Self {
+        BlockCtx {
+            lanes: vec![LaneMeter::new(); block_size],
+            cost,
+            warp_size,
+        }
+    }
+
+    /// Number of lanes in the block.
+    pub fn num_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Warp width of the simulated device.
+    pub fn warp_size(&self) -> usize {
+        self.warp_size
+    }
+
+    /// Mutable access to lane `l`'s meter.
+    pub fn lane(&mut self, l: usize) -> &mut LaneMeter {
+        &mut self.lanes[l]
+    }
+
+    /// Grid-stride distribution: work unit `k` is handled by lane
+    /// `k % block_size` — the access pattern of the paper's
+    /// block-per-vertex neighbour scan.
+    pub fn for_each_strided<F>(&mut self, count: usize, mut f: F)
+    where
+        F: FnMut(usize, &mut LaneMeter),
+    {
+        let b = self.lanes.len();
+        for k in 0..count {
+            f(k, &mut self.lanes[k % b]);
+        }
+    }
+
+    /// Charge a block-wide tree reduction over `count` elements
+    /// (`ceil(log2(count))` shared-memory steps on every participating
+    /// lane), used for `hashtableMaxKey` (Algorithm 1 line `maxkey`) and
+    /// the ΔN block reduction.
+    pub fn charge_reduction(&mut self, count: usize) {
+        if count <= 1 {
+            return;
+        }
+        let steps = usize::BITS - (count - 1).leading_zeros();
+        let active = count.min(self.lanes.len());
+        for l in 0..active {
+            for _ in 0..steps {
+                let c = self.cost;
+                self.lanes[l].shared(c, crate::cost::Width::W32);
+                self.lanes[l].alu(c, 1);
+            }
+        }
+    }
+
+    /// `__syncthreads()`: every lane waits for the slowest. Waiting time is
+    /// charged as busy cycles on the waiting lanes (it occupies the SM).
+    pub fn barrier(&mut self) {
+        let max = self.lanes.iter().map(|l| l.cycles).max().unwrap_or(0);
+        for l in &mut self.lanes {
+            l.cycles = max;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Width;
+
+    fn sched() -> WaveScheduler {
+        WaveScheduler::new(DeviceConfig::tiny(), CostModel::default_gpu())
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let s = sched();
+        let items: Vec<usize> = (0..1000).collect();
+        let mut seen = vec![0u32; 1000];
+        s.launch_thread_per_item(&items, |it, _| seen[it] += 1, |_| {});
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn wave_count_matches_capacity() {
+        let s = sched(); // tiny: 64 resident threads
+        let items: Vec<usize> = (0..130).collect();
+        let stats = s.launch_thread_per_item(&items, |_, _| {}, |_| {});
+        assert_eq!(stats.waves, 3); // 64 + 64 + 2
+        assert_eq!(stats.threads, 130);
+    }
+
+    #[test]
+    fn wave_end_fires_per_wave_in_order() {
+        let s = sched();
+        let items: Vec<usize> = (0..65).collect();
+        let mut ends = Vec::new();
+        s.launch_thread_per_item(&items, |_, _| {}, |w| ends.push(w));
+        assert_eq!(ends, vec![0, 1]);
+    }
+
+    #[test]
+    fn sim_cycles_take_max_over_lanes() {
+        let s = sched();
+        // one warp (4 lanes in tiny config): one lane does 10 ALU, rest do 1
+        let items: Vec<usize> = (0..4).collect();
+        let stats = s.launch_thread_per_item(
+            &items,
+            |it, m| {
+                let n = if it == 0 { 10 } else { 1 };
+                m.alu(&CostModel::default_gpu(), n);
+            },
+            |_| {},
+        );
+        assert_eq!(stats.sim_cycles, 10);
+        assert_eq!(stats.lane_cycles, 13);
+    }
+
+    #[test]
+    fn idle_cycles_are_max_minus_lane() {
+        let s = sched();
+        let items: Vec<usize> = (0..4).collect();
+        let stats = s.launch_thread_per_item(
+            &items,
+            |it, m| m.alu(&CostModel::default_gpu(), if it == 0 { 10 } else { 1 }),
+            |_| {},
+        );
+        // idle = (10-10) + (10-1)*3 = 27
+        assert_eq!(stats.idle_cycles, 27);
+    }
+
+    #[test]
+    fn empty_launch_is_free() {
+        let s = sched();
+        let stats = s.launch_thread_per_item(&[] as &[usize], |_, _| {}, |_| {});
+        assert_eq!(stats, KernelStats::new());
+    }
+
+    #[test]
+    fn block_launch_runs_each_item_with_full_block() {
+        let s = sched(); // block_size 8
+        let items = [0usize, 1, 2];
+        let mut lanes_seen = Vec::new();
+        let stats = s.launch_block_per_item(
+            &items,
+            |_, ctx| lanes_seen.push(ctx.num_lanes()),
+            |_| {},
+        );
+        assert_eq!(lanes_seen, vec![8, 8, 8]);
+        assert_eq!(stats.threads, 24);
+    }
+
+    #[test]
+    fn block_waves_respect_resident_blocks() {
+        let s = sched(); // tiny: 2 SMs * (32/8) = 8 resident blocks
+        let items: Vec<usize> = (0..17).collect();
+        let stats = s.launch_block_per_item(&items, |_, _| {}, |_| {});
+        assert_eq!(stats.waves, 3);
+    }
+
+    #[test]
+    fn strided_distribution_covers_all_units() {
+        let s = sched();
+        let mut hits = [0u32; 20];
+        s.launch_block_per_item(
+            &[()],
+            |_, ctx| {
+                ctx.for_each_strided(20, |k, m| {
+                    hits[k] += 1;
+                    m.alu(&CostModel::default_gpu(), 1);
+                })
+            },
+            |_| {},
+        );
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn strided_work_balances_lanes() {
+        let s = sched(); // block 8
+        let stats = s.launch_block_per_item(
+            &[()],
+            |_, ctx| {
+                ctx.for_each_strided(16, |_, m| m.alu(&CostModel::default_gpu(), 1));
+            },
+            |_| {},
+        );
+        // 16 units over 8 lanes = 2 each; perfectly balanced
+        assert_eq!(stats.idle_cycles, 0);
+        assert_eq!(stats.sim_cycles, 2);
+    }
+
+    #[test]
+    fn barrier_aligns_lanes() {
+        let s = sched();
+        let stats = s.launch_block_per_item(
+            &[()],
+            |_, ctx| {
+                let c = CostModel::default_gpu();
+                ctx.lane(0).alu(&c, 9);
+                ctx.barrier();
+                // after barrier everyone is at 9; add one more on lane 1
+                ctx.lane(1).alu(&c, 1);
+            },
+            |_| {},
+        );
+        assert_eq!(stats.sim_cycles, 10);
+    }
+
+    #[test]
+    fn reduction_charges_log_steps() {
+        let s = sched();
+        let stats = s.launch_block_per_item(
+            &[()],
+            |_, ctx| ctx.charge_reduction(8),
+            |_| {},
+        );
+        // log2(8) = 3 steps; each step: shared (1) + alu (1) = 2 cycles
+        assert_eq!(stats.sim_cycles, 6);
+    }
+
+    #[test]
+    fn reduction_of_one_is_free() {
+        let s = sched();
+        let stats =
+            s.launch_block_per_item(&[()], |_, ctx| ctx.charge_reduction(1), |_| {});
+        assert_eq!(stats.sim_cycles, 0);
+    }
+
+    #[test]
+    fn low_occupancy_reduces_throughput() {
+        // two devices identical except for occupancy: the restricted one
+        // must report proportionally more simulated cycles on a
+        // throughput-bound (many equal warps) workload
+        let mut full = DeviceConfig::a100();
+        full.warp_size = 4; // keep the test small
+        full.block_size = 8;
+        let restricted = full.with_shared_mem_per_thread(2048); // 82 threads/SM
+        let items: Vec<usize> = (0..200_000).collect();
+        let run = |d: DeviceConfig| {
+            let s = WaveScheduler::new(d, CostModel::default_gpu());
+            s.launch_thread_per_item(&items, |_, m| m.alu(&CostModel::default_gpu(), 10), |_| {})
+                .sim_cycles
+        };
+        let c_full = run(full);
+        let c_restricted = run(restricted);
+        assert!(
+            c_restricted > 2 * c_full,
+            "restricted {c_restricted} vs full {c_full}"
+        );
+    }
+
+    #[test]
+    fn atomic_width_visible_in_stats() {
+        let s = sched();
+        let stats = s.launch_thread_per_item(
+            &[0usize],
+            |_, m| m.atomic(&CostModel::default_gpu(), 0, Width::W64),
+            |_| {},
+        );
+        assert_eq!(stats.atomics, 1);
+        assert!(stats.sim_cycles > 0);
+    }
+}

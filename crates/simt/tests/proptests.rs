@@ -1,0 +1,129 @@
+//! Property-based tests for the SIMT simulator.
+
+use nulpa_simt::{CostModel, DeferredStore, DeviceConfig, LaneMeter, WaveScheduler, Width};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_item_runs_exactly_once_any_device(
+        n_items in 0usize..5000,
+        sm in 1usize..8,
+        tps in 1usize..8,
+    ) {
+        let device = DeviceConfig {
+            sm_count: sm,
+            warp_size: 4,
+            block_size: 4,
+            max_threads_per_sm: tps * 4,
+            warp_schedulers: 1,
+            shared_mem_per_sm: 1024,
+            saturation_warps_per_sm: 1,
+        };
+        let sched = WaveScheduler::new(device, CostModel::default_gpu());
+        let items: Vec<usize> = (0..n_items).collect();
+        let mut hits = vec![0u8; n_items];
+        let stats = sched.launch_thread_per_item(&items, |i, _| hits[i] += 1, |_| {});
+        prop_assert!(hits.iter().all(|&h| h == 1));
+        prop_assert_eq!(stats.threads as usize, n_items);
+        let expected_waves = n_items.div_ceil(device.resident_threads().max(1));
+        prop_assert_eq!(stats.waves as usize, expected_waves);
+    }
+
+    #[test]
+    fn sim_cycles_bounded_by_work(
+        costs in proptest::collection::vec(0u64..200, 1..300),
+    ) {
+        let sched = WaveScheduler::new(DeviceConfig::tiny(), CostModel::default_gpu());
+        let items: Vec<usize> = (0..costs.len()).collect();
+        let stats = sched.launch_thread_per_item(
+            &items,
+            |i, m| m.alu(&CostModel::default_gpu(), costs[i]),
+            |_| {},
+        );
+        // duration can never exceed total lockstep work nor undercut the
+        // single slowest lane
+        let max_cost = *costs.iter().max().unwrap();
+        prop_assert!(stats.sim_cycles >= max_cost);
+        prop_assert!(stats.sim_cycles <= stats.lane_cycles + stats.idle_cycles);
+        // busy work is conserved exactly
+        prop_assert_eq!(stats.lane_cycles, costs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn deferred_store_last_write_wins(
+        init in proptest::collection::vec(0u32..100, 1..50),
+        writes in proptest::collection::vec((0usize..50, 0u32..100), 0..100),
+    ) {
+        let n = init.len();
+        let mut store = DeferredStore::new(init.clone());
+        let mut expected = init.clone();
+        for &(i, v) in writes.iter().filter(|(i, _)| *i < n) {
+            // reads always see the committed (pre-wave) state
+            prop_assert_eq!(store.get(i), expected[i]);
+            store.stage(i, v);
+        }
+        // model last-write-wins
+        let mut last: Vec<u32> = init;
+        for &(i, v) in writes.iter().filter(|(i, _)| *i < n) {
+            last[i] = v;
+        }
+        store.flush();
+        for (i, &want) in last.iter().enumerate() {
+            prop_assert_eq!(store.get(i), want);
+        }
+        expected.clear(); // silence unused-assignment lint path
+    }
+
+    #[test]
+    fn lane_meter_counters_add_up(
+        ops in proptest::collection::vec((0u8..4, 0usize..10_000), 0..200),
+    ) {
+        let c = CostModel::default_gpu();
+        let mut m = LaneMeter::new();
+        let (mut reads, mut writes, mut atomics) = (0u64, 0u64, 0u64);
+        for &(kind, addr) in &ops {
+            match kind {
+                0 => {
+                    m.global_read(&c, addr, Width::W32);
+                    reads += 1;
+                }
+                1 => {
+                    m.global_write(&c, addr, Width::W32);
+                    writes += 1;
+                }
+                2 => {
+                    m.atomic(&c, addr, Width::W32);
+                    atomics += 1;
+                }
+                _ => m.alu(&c, 1),
+            }
+        }
+        prop_assert_eq!(m.global_reads, reads);
+        prop_assert_eq!(m.global_writes, writes);
+        prop_assert_eq!(m.atomics, atomics);
+        // every op costs something except zero-count alu
+        let min_cost = (reads + writes + atomics) * c.global_near;
+        prop_assert!(m.cycles >= min_cost);
+    }
+
+    #[test]
+    fn block_launch_conserves_strided_work(
+        count in 0usize..500,
+    ) {
+        let sched = WaveScheduler::new(DeviceConfig::tiny(), CostModel::default_gpu());
+        let mut seen = vec![false; count];
+        sched.launch_block_per_item(
+            &[()],
+            |_, ctx| {
+                ctx.for_each_strided(count, |k, m| {
+                    seen[k] = true;
+                    m.alu(&CostModel::default_gpu(), 1);
+                });
+            },
+            |_| {},
+        );
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

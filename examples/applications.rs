@@ -1,0 +1,93 @@
+//! The LPA application toolbox in one tour — the use cases the paper's
+//! introduction motivates: graph coarsening (Valejo et al.), multilevel
+//! partitioning, and community-based link prediction (Mohan et al.).
+//!
+//! ```text
+//! cargo run --release --example applications
+//! ```
+
+use nu_lpa::core::{
+    coarsen_lpa, lpa_native, pulp_partition_weighted, top_k_predictions, CoarsenConfig,
+    LpaConfig, PulpConfig,
+};
+use nu_lpa::graph::gen::web_crawl;
+use nu_lpa::metrics::{cut_fraction, imbalance};
+use std::time::Instant;
+
+fn main() {
+    let g = web_crawl(20_000, 8, 0.08, 21);
+    println!(
+        "web crawl: {} pages, {} links",
+        g.num_vertices(),
+        g.num_edges() / 2
+    );
+
+    // 1. Coarsening: collapse to ~200 super-vertices under a weight cap.
+    let t0 = Instant::now();
+    let hierarchy = coarsen_lpa(
+        &g,
+        &CoarsenConfig {
+            target_vertices: 200,
+            max_weight_factor: 2.0,
+            ..Default::default()
+        },
+    );
+    let coarsest = hierarchy.coarsest().expect("graph is large enough");
+    println!(
+        "\n[coarsening] {} levels: {} -> {} vertices in {:.1?}",
+        hierarchy.levels.len(),
+        g.num_vertices(),
+        coarsest.num_vertices(),
+        t0.elapsed()
+    );
+    for (i, level) in hierarchy.levels.iter().enumerate() {
+        let max_w = level
+            .vertex_weights
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        println!(
+            "  level {}: {} vertices, heaviest super-vertex holds {:.0} pages",
+            i,
+            level.graph.num_vertices(),
+            max_w
+        );
+    }
+
+    // 2. Multilevel partitioning: partition the coarse graph *by weight*
+    //    (super-vertices carry different page counts), project back.
+    let k = 8;
+    let t0 = Instant::now();
+    let coarse_parts = pulp_partition_weighted(
+        coarsest,
+        &PulpConfig {
+            num_parts: k,
+            ..Default::default()
+        },
+        Some(&hierarchy.levels.last().unwrap().vertex_weights),
+    );
+    let fine_parts = hierarchy.project(&coarse_parts.parts);
+    println!(
+        "\n[multilevel partitioning] {k} parts via the coarse graph in {:.1?}:",
+        t0.elapsed()
+    );
+    println!(
+        "  cut fraction {:.3}, imbalance {:.3} (coarse-level decisions projected to all {} pages)",
+        cut_fraction(&g, &fine_parts),
+        imbalance(&nu_lpa::metrics::compact_labels(&fine_parts).0, k),
+        g.num_vertices()
+    );
+
+    // 3. Link prediction: most likely missing links, community-aware.
+    let t0 = Instant::now();
+    let labels = lpa_native(&g, &LpaConfig::default()).labels;
+    let preds = top_k_predictions(&g, &labels, 5);
+    println!("\n[link prediction] top 5 candidate links in {:.1?}:", t0.elapsed());
+    for (u, v, s) in preds {
+        let same = labels[u as usize] == labels[v as usize];
+        println!(
+            "  {u} -- {v}  score {s:.3} ({}) ",
+            if same { "same community" } else { "cross-community" }
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Run ν-LPA on the simulated A100 and inspect the execution profile:
+//! waves, simulated cycles, divergence, probe counts — the quantities
+//! behind the paper's optimization figures.
+//!
+//! ```text
+//! cargo run --release --example gpu_sim_trace
+//! ```
+
+use nu_lpa::core::{lpa_gpu, LpaConfig};
+use nu_lpa::graph::gen::web_crawl;
+use nu_lpa::hashtab::ProbeStrategy;
+use nu_lpa::metrics::{community_count, modularity};
+use nu_lpa::simt::DeviceConfig;
+
+fn main() {
+    let g = web_crawl(30_000, 8, 0.08, 3);
+    println!(
+        "graph: {} vertices, {} edges | device: A100 preset ({} SMs, {} resident threads)",
+        g.num_vertices(),
+        g.num_edges(),
+        DeviceConfig::a100().sm_count,
+        DeviceConfig::a100().resident_threads(),
+    );
+
+    println!(
+        "\n{:<18} {:>12} {:>8} {:>12} {:>10} {:>8} {:>8}",
+        "probe strategy", "sim cycles", "waves", "probes", "diverg.", "iters", "Q"
+    );
+    for probe in ProbeStrategy::all() {
+        let cfg = LpaConfig::default().with_probe(probe);
+        let r = lpa_gpu(&g, &cfg);
+        println!(
+            "{:<18} {:>12} {:>8} {:>12} {:>9.1}% {:>8} {:>8.4}",
+            probe.label(),
+            r.stats.sim_cycles,
+            r.stats.waves,
+            r.stats.probes,
+            100.0 * r.stats.divergence_ratio(),
+            r.iterations,
+            modularity(&g, &r.labels),
+        );
+    }
+
+    let r = lpa_gpu(&g, &LpaConfig::default());
+    println!("\ndefault run: {} communities", community_count(&r.labels));
+    println!(
+        "memory traffic: {} global reads, {} global writes, {} atomics",
+        r.stats.global_reads, r.stats.global_writes, r.stats.atomics
+    );
+    println!(
+        "lane cycles {} + idle cycles {} over {} threads",
+        r.stats.lane_cycles, r.stats.idle_cycles, r.stats.threads
+    );
+    println!("changes per iteration: {:?}", r.changed_per_iter);
+}

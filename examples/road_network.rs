@@ -1,0 +1,58 @@
+//! Road-network scenario: the regime where the paper reports ν-LPA's
+//! largest quality win over FLPA (Fig. 6c, asia_osm / europe_osm).
+//! Sparse near-planar graphs have no hubs; diffusion quality depends
+//! almost entirely on the update schedule and tie handling.
+//!
+//! ```text
+//! cargo run --release --example road_network
+//! ```
+
+use nu_lpa::baselines::flpa;
+use nu_lpa::core::{lpa_native, lpa_seq, LpaConfig, SwapMode};
+use nu_lpa::graph::gen::grid2d;
+use nu_lpa::metrics::{community_count, max_community_size, modularity};
+
+fn main() {
+    // ~road density: thinned 2-D lattice, D_avg ≈ 2.1
+    let g = grid2d(160, 160, 0.55, 11);
+    println!(
+        "road network: {} junctions, {} segments, D_avg = {:.2}",
+        g.num_vertices(),
+        g.num_edges() / 2,
+        g.avg_degree()
+    );
+
+    println!("\n{:<22} {:>8} {:>10} {:>12}", "method", "k", "Q", "largest");
+    let report = |name: &str, labels: &[u32]| {
+        println!(
+            "{:<22} {:>8} {:>10.4} {:>12}",
+            name,
+            community_count(labels),
+            modularity(&g, labels),
+            max_community_size(labels),
+        );
+    };
+
+    let r = flpa(&g, 1);
+    report("FLPA", &r.labels);
+
+    let r = lpa_seq(&g, &LpaConfig::default());
+    report("sequential LPA (PL4)", &r.labels);
+
+    let r = lpa_native(&g, &LpaConfig::default());
+    report("nu-LPA (PL4)", &r.labels);
+
+    // Ablation: what the swap-mitigation schedule does to quality here.
+    for mode in [
+        SwapMode::Off,
+        SwapMode::PickLess { every: 1 },
+        SwapMode::CrossCheck { every: 2 },
+    ] {
+        let cfg = LpaConfig::default().with_swap_mode(mode);
+        let r = lpa_native(&g, &cfg);
+        report(&format!("nu-LPA ({})", mode.label()), &r.labels);
+    }
+
+    println!("\ncommunities on road networks are spatial patches; watch how the");
+    println!("mitigation schedule changes patch size and modularity.");
+}

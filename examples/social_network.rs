@@ -1,0 +1,59 @@
+//! Social-network scenario: detect communities in a planted-partition
+//! graph (the com-LiveJournal/com-Orkut stand-in) and score them against
+//! the ground truth with NMI — the criterion under which the paper cites
+//! LPA as strong despite its moderate modularity.
+//!
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use nu_lpa::baselines::{louvain, LouvainConfig};
+use nu_lpa::core::{lpa_native, LpaConfig};
+use nu_lpa::graph::gen::planted_partition;
+use nu_lpa::metrics::{community_count, modularity, nmi};
+use std::time::Instant;
+
+fn main() {
+    // 12 communities of heavy-tailed sizes, ~14 intra-community and ~2
+    // inter-community neighbours per member.
+    let sizes = [400, 350, 300, 250, 200, 150, 120, 100, 80, 60, 50, 40];
+    let pp = planted_partition(&sizes, 14.0, 2.0, 42);
+    let g = &pp.graph;
+    println!(
+        "social graph: {} members, {} friendships, {} planted communities",
+        g.num_vertices(),
+        g.num_edges() / 2,
+        sizes.len()
+    );
+
+    let t0 = Instant::now();
+    let lpa = lpa_native(g, &LpaConfig::default());
+    let t_lpa = t0.elapsed();
+
+    let t0 = Instant::now();
+    let lv = louvain(g, &LouvainConfig::default());
+    let t_lv = t0.elapsed();
+
+    println!("\n{:<10} {:>8} {:>10} {:>10} {:>12}", "method", "k", "Q", "NMI", "time");
+    println!(
+        "{:<10} {:>8} {:>10.4} {:>10.4} {:>9.2?}",
+        "nu-LPA",
+        community_count(&lpa.labels),
+        modularity(g, &lpa.labels),
+        nmi(&lpa.labels, &pp.ground_truth),
+        t_lpa
+    );
+    println!(
+        "{:<10} {:>8} {:>10.4} {:>10.4} {:>9.2?}",
+        "Louvain",
+        community_count(&lv.labels),
+        modularity(g, &lv.labels),
+        nmi(&lv.labels, &pp.ground_truth),
+        t_lv
+    );
+
+    println!(
+        "\nthe paper's trade-off in miniature: LPA trades a little modularity for speed,\n\
+         while NMI against the planted truth stays comparable."
+    );
+}

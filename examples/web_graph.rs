@@ -1,0 +1,60 @@
+//! Web-graph scenario: a miniature of the paper's Fig. 6 on one
+//! host-structured web crawl — all five implementations, runtime and
+//! modularity side by side.
+//!
+//! ```text
+//! cargo run --release --example web_graph
+//! ```
+
+use nu_lpa::baselines::{
+    flpa, gunrock_lp, louvain, networkit_plp, GunrockConfig, LouvainConfig, PlpConfig,
+};
+use nu_lpa::core::{lpa_native, LpaConfig};
+use nu_lpa::graph::gen::{web_crawl, web_crawl_hosts};
+use nu_lpa::metrics::{community_count, modularity, nmi};
+use std::time::Instant;
+
+fn main() {
+    let n = 20_000;
+    let seed = 7;
+    let g = web_crawl(n, 8, 0.08, seed);
+    let hosts = web_crawl_hosts(n, seed);
+    println!(
+        "web crawl: {} pages, {} links, {} hosts",
+        g.num_vertices(),
+        g.num_edges() / 2,
+        community_count(&hosts)
+    );
+    println!("\n{:<12} {:>10} {:>8} {:>10} {:>10}", "method", "time", "k", "Q", "host NMI");
+
+    let report = |name: &str, labels: Vec<u32>, t: std::time::Duration| {
+        println!(
+            "{:<12} {:>7.2?} {:>8} {:>10.4} {:>10.4}",
+            name,
+            t,
+            community_count(&labels),
+            modularity(&g, &labels),
+            nmi(&labels, &hosts),
+        );
+    };
+
+    let t0 = Instant::now();
+    let r = flpa(&g, 1);
+    report("FLPA", r.labels, t0.elapsed());
+
+    let t0 = Instant::now();
+    let r = networkit_plp(&g, &PlpConfig::default());
+    report("NetworKit", r.labels, t0.elapsed());
+
+    let t0 = Instant::now();
+    let r = gunrock_lp(&g, &GunrockConfig::default());
+    report("Gunrock-LP", r.labels, t0.elapsed());
+
+    let t0 = Instant::now();
+    let r = louvain(&g, &LouvainConfig::default());
+    report("Louvain", r.labels, t0.elapsed());
+
+    let t0 = Instant::now();
+    let r = lpa_native(&g, &LpaConfig::default());
+    report("nu-LPA", r.labels, t0.elapsed());
+}

@@ -1,0 +1,348 @@
+//! `nulpa` — command-line community detection and graph partitioning.
+//!
+//! ```text
+//! nulpa stats     <graph>                       graph statistics
+//! nulpa detect    <graph> [options]             community detection
+//! nulpa partition <graph> -k <parts> [options]  balanced k-way partitioning
+//! nulpa generate  <dataset> [options]           write a synthetic stand-in
+//! ```
+//!
+//! Graphs are read as MatrixMarket (`.mtx`) or whitespace edge lists
+//! (anything else); `-` reads an edge list from stdin. Outputs one label
+//! per line in vertex order.
+
+use nu_lpa::baselines::{
+    flpa, gunrock_lp, gve_lpa, leiden, louvain, networkit_plp, GunrockConfig, GveLpaConfig,
+    LeidenConfig, LouvainConfig, PlpConfig,
+};
+use nu_lpa::core::{
+    coarsen_lpa, lpa_gpu, lpa_native, pulp_partition, top_k_predictions, CoarsenConfig,
+    LpaConfig, PulpConfig,
+};
+use nu_lpa::graph::datasets::spec_by_name;
+use nu_lpa::graph::stats::average_clustering;
+use nu_lpa::graph::subgraph::community_subgraph;
+use nu_lpa::graph::io::{read_edge_list, read_matrix_market, write_edge_list};
+use nu_lpa::graph::Csr;
+use nu_lpa::metrics::{community_count, cut_fraction, imbalance, modularity_par};
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("detect") => cmd_detect(&args[1..]),
+        Some("partition") => cmd_partition(&args[1..]),
+        Some("coarsen") => cmd_coarsen(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("predict") => cmd_predict(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "nulpa — nu-LPA community detection (paper reproduction)\n\n\
+         USAGE:\n  nulpa stats <graph>\n  nulpa detect <graph> [--method M] [--output FILE] [--quality]\n  \
+         nulpa partition <graph> -k N [--balance F] [--output FILE]\n  \
+         nulpa coarsen <graph> --target N [--output FILE]\n  \
+         nulpa inspect <graph> [--top N]\n  \
+         nulpa predict <graph> [-k N]\n  \
+         nulpa generate <dataset> [--scale F] [--output FILE]\n\n\
+         METHODS: nu-lpa (default), nu-lpa-sim (simulated A100), flpa,\n  \
+         networkit, gunrock, louvain, leiden, gve-lpa\n\n\
+         DATASETS: any Table-1 name, e.g. uk-2002, com-Orkut, asia_osm, kmer_A2a"
+    );
+}
+
+fn load_graph(path: &str) -> Result<Csr, String> {
+    if path == "-" {
+        let stdin = std::io::stdin();
+        return read_edge_list(stdin.lock(), None, true).map_err(|e| e.to_string());
+    }
+    let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let r = BufReader::new(f);
+    if path.ends_with(".mtx") {
+        read_matrix_market(r).map_err(|e| format!("{path}: {e}"))
+    } else {
+        read_edge_list(r, None, true).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn write_labels(labels: &[u32], output: Option<&str>) -> Result<(), String> {
+    match output {
+        None => Ok(()),
+        Some(path) => {
+            let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut w = BufWriter::new(f);
+            for l in labels {
+                writeln!(w, "{l}").map_err(|e| e.to_string())?;
+            }
+            w.flush().map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats: missing graph path")?;
+    let g = load_graph(path)?;
+    println!("vertices:     {}", g.num_vertices());
+    println!("edges:        {} directed ({} undirected)", g.num_edges(), g.num_edges() / 2);
+    println!("avg degree:   {:.2}", g.avg_degree());
+    println!("max degree:   {}", g.max_degree());
+    println!("total weight: {:.1}", g.total_weight());
+    println!("self loops:   {}", g.num_self_loops());
+    println!("symmetric:    {}", g.is_symmetric());
+    Ok(())
+}
+
+fn cmd_detect(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("detect: missing graph path")?;
+    let g = load_graph(path)?;
+    let method = opt_value(args, "--method").unwrap_or("nu-lpa");
+    let output = opt_value(args, "--output");
+    let quality = args.iter().any(|a| a == "--quality");
+
+    let t0 = Instant::now();
+    let labels: Vec<u32> = match method {
+        "nu-lpa" => lpa_native(&g, &LpaConfig::default()).labels,
+        "nu-lpa-sim" => {
+            let r = lpa_gpu(&g, &LpaConfig::default());
+            eprintln!(
+                "simulated: {} cycles, {} waves, {:.1}% divergence, {} probes",
+                r.stats.sim_cycles,
+                r.stats.waves,
+                100.0 * r.stats.divergence_ratio(),
+                r.stats.probes
+            );
+            r.labels
+        }
+        "flpa" => flpa(&g, 1).labels,
+        "networkit" => networkit_plp(&g, &PlpConfig::default()).labels,
+        "gunrock" => gunrock_lp(&g, &GunrockConfig::default()).labels,
+        "louvain" => louvain(&g, &LouvainConfig::default()).labels,
+        "leiden" => leiden(&g, &LeidenConfig::default()).labels,
+        "gve-lpa" => gve_lpa(&g, &GveLpaConfig::default()).labels,
+        other => return Err(format!("unknown method `{other}`")),
+    };
+    let elapsed = t0.elapsed();
+
+    eprintln!(
+        "{} communities in {:.2?} ({:.1} M edges/s)",
+        community_count(&labels),
+        elapsed,
+        g.num_edges() as f64 / elapsed.as_secs_f64().max(1e-9) / 1e6
+    );
+    if quality {
+        eprintln!("modularity Q = {:.4}", modularity_par(&g, &labels));
+    }
+    match output {
+        Some(_) => write_labels(&labels, output),
+        None => {
+            let out = std::io::stdout();
+            let mut w = BufWriter::new(out.lock());
+            for l in &labels {
+                writeln!(w, "{l}").map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("partition: missing graph path")?;
+    let g = load_graph(path)?;
+    let k: usize = opt_value(args, "-k")
+        .ok_or("partition: missing -k <parts>")?
+        .parse()
+        .map_err(|_| "partition: bad -k value")?;
+    let balance: f64 = opt_value(args, "--balance")
+        .map(|s| s.parse().map_err(|_| "partition: bad --balance"))
+        .transpose()?
+        .unwrap_or(1.05);
+
+    let t0 = Instant::now();
+    let r = pulp_partition(
+        &g,
+        &PulpConfig {
+            num_parts: k,
+            balance,
+            ..Default::default()
+        },
+    );
+    eprintln!(
+        "{k}-way partition in {:.2?}: cut fraction {:.4}, imbalance {:.3}, {} sweeps",
+        t0.elapsed(),
+        cut_fraction(&g, &r.parts),
+        imbalance(&r.parts, k),
+        r.iterations
+    );
+    write_labels(&r.parts, opt_value(args, "--output"))?;
+    if opt_value(args, "--output").is_none() {
+        let out = std::io::stdout();
+        let mut w = BufWriter::new(out.lock());
+        for p in &r.parts {
+            writeln!(w, "{p}").map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_coarsen(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("coarsen: missing graph path")?;
+    let g = load_graph(path)?;
+    let target: usize = opt_value(args, "--target")
+        .map(|s| s.parse().map_err(|_| "coarsen: bad --target"))
+        .transpose()?
+        .unwrap_or(64);
+    let t0 = Instant::now();
+    let h = coarsen_lpa(
+        &g,
+        &CoarsenConfig {
+            target_vertices: target,
+            ..Default::default()
+        },
+    );
+    match h.coarsest() {
+        None => {
+            eprintln!("graph already at or below the target size; nothing to do");
+            Ok(())
+        }
+        Some(coarsest) => {
+            eprintln!(
+                "{} levels in {:.2?}: {} -> {} vertices, {} -> {} edges",
+                h.levels.len(),
+                t0.elapsed(),
+                g.num_vertices(),
+                coarsest.num_vertices(),
+                g.num_edges(),
+                coarsest.num_edges(),
+            );
+            match opt_value(args, "--output") {
+                Some(out) => {
+                    let f = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+                    write_edge_list(coarsest, BufWriter::new(f)).map_err(|e| e.to_string())
+                }
+                None => {
+                    let out = std::io::stdout();
+                    write_edge_list(coarsest, BufWriter::new(out.lock()))
+                        .map_err(|e| e.to_string())
+                }
+            }
+        }
+    }
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("inspect: missing graph path")?;
+    let g = load_graph(path)?;
+    let top: usize = opt_value(args, "--top")
+        .map(|s| s.parse().map_err(|_| "inspect: bad --top"))
+        .transpose()?
+        .unwrap_or(5);
+
+    let labels = lpa_native(&g, &LpaConfig::default()).labels;
+    let mut sizes: Vec<(u32, usize)> = nu_lpa::metrics::community_sizes(&labels)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, s)| s > 0)
+        .map(|(c, s)| (c as u32, s))
+        .collect();
+    sizes.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    println!(
+        "{} communities, Q = {:.4}; top {}:",
+        sizes.len(),
+        modularity_par(&g, &labels),
+        top.min(sizes.len())
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>12}",
+        "community", "size", "edges", "density", "clustering"
+    );
+    for &(c, size) in sizes.iter().take(top) {
+        let sub = community_subgraph(&g, &labels, c);
+        let m = sub.graph.num_edges() / 2;
+        let possible = size * size.saturating_sub(1) / 2;
+        println!(
+            "{:<12} {:>8} {:>10} {:>12.4} {:>12.4}",
+            c,
+            size,
+            m,
+            if possible == 0 { 0.0 } else { m as f64 / possible as f64 },
+            average_clustering(&sub.graph),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_predict(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("predict: missing graph path")?;
+    let g = load_graph(path)?;
+    let k: usize = opt_value(args, "-k")
+        .map(|s| s.parse().map_err(|_| "predict: bad -k"))
+        .transpose()?
+        .unwrap_or(10);
+    let t0 = Instant::now();
+    let labels = lpa_native(&g, &LpaConfig::default()).labels;
+    let preds = top_k_predictions(&g, &labels, k);
+    eprintln!(
+        "{} predictions in {:.2?} (community-aware Adamic-Adar)",
+        preds.len(),
+        t0.elapsed()
+    );
+    let out = std::io::stdout();
+    let mut w = BufWriter::new(out.lock());
+    for (u, v, s) in preds {
+        writeln!(w, "{u} {v} {s:.6}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("generate: missing dataset name")?;
+    let spec = spec_by_name(name).ok_or_else(|| format!("unknown dataset `{name}`"))?;
+    let scale: f64 = opt_value(args, "--scale")
+        .map(|s| s.parse().map_err(|_| "generate: bad --scale"))
+        .transpose()?
+        .unwrap_or(nu_lpa::graph::datasets::DEFAULT_SCALE);
+    let d = spec.generate(scale);
+    eprintln!(
+        "{}: {} vertices, {} edges (stand-in for {} at scale {scale})",
+        name,
+        d.graph.num_vertices(),
+        d.graph.num_edges(),
+        spec.name
+    );
+    match opt_value(args, "--output") {
+        Some(path) => {
+            let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            write_edge_list(&d.graph, BufWriter::new(f)).map_err(|e| e.to_string())
+        }
+        None => {
+            let out = std::io::stdout();
+            write_edge_list(&d.graph, BufWriter::new(out.lock())).map_err(|e| e.to_string())
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # nu-lpa — facade crate
+//!
+//! Re-exports the whole ν-LPA reproduction workspace under one roof so
+//! examples and downstream users can depend on a single crate.
+//!
+//! * [`graph`] — CSR graphs, generators, dataset stand-ins ([`nulpa_graph`]).
+//! * [`simt`] — the SIMT/GPU execution-model simulator ([`nulpa_simt`]).
+//! * [`hashtab`] — per-vertex open-addressing hashtables ([`nulpa_hashtab`]).
+//! * [`core`] — the ν-LPA algorithm itself ([`nulpa_core`]).
+//! * [`baselines`] — FLPA, NetworKit PLP, Gunrock LP, Louvain ([`nulpa_baselines`]).
+//! * [`metrics`] — modularity, NMI, partition stats ([`nulpa_metrics`]).
+
+pub use nulpa_baselines as baselines;
+pub use nulpa_core as core;
+pub use nulpa_graph as graph;
+pub use nulpa_hashtab as hashtab;
+pub use nulpa_metrics as metrics;
+pub use nulpa_simt as simt;

@@ -1,0 +1,220 @@
+//! End-to-end tests of the `nulpa` command-line tool.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_nulpa");
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("nulpa-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn two_cliques_edge_list() -> String {
+    // two triangles joined by a light bridge
+    "0 1\n1 2\n0 2\n3 4\n4 5\n3 5\n2 3 0.2\n".to_string()
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = Command::new(BIN).arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = Command::new(BIN).arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn stats_on_edge_list_file() {
+    let path = tmp("stats.txt");
+    std::fs::write(&path, two_cliques_edge_list()).unwrap();
+    let out = Command::new(BIN).arg("stats").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("vertices:     6"), "{text}");
+    assert!(text.contains("symmetric:    true"), "{text}");
+}
+
+#[test]
+fn detect_finds_two_communities() {
+    let path = tmp("detect.txt");
+    std::fs::write(&path, two_cliques_edge_list()).unwrap();
+    let out = Command::new(BIN)
+        .args(["detect", path.to_str().unwrap(), "--quality"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let labels: Vec<u32> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.parse().unwrap())
+        .collect();
+    assert_eq!(labels.len(), 6);
+    assert_eq!(labels[0], labels[1]);
+    assert_eq!(labels[0], labels[2]);
+    assert_eq!(labels[3], labels[4]);
+    assert_ne!(labels[0], labels[3]);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("2 communities"));
+}
+
+#[test]
+fn detect_all_methods_run() {
+    let path = tmp("methods.txt");
+    std::fs::write(&path, two_cliques_edge_list()).unwrap();
+    for method in [
+        "nu-lpa",
+        "nu-lpa-sim",
+        "flpa",
+        "networkit",
+        "gunrock",
+        "louvain",
+        "leiden",
+        "gve-lpa",
+    ] {
+        let out = Command::new(BIN)
+            .args(["detect", path.to_str().unwrap(), "--method", method])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{method} failed");
+        let n = String::from_utf8_lossy(&out.stdout).lines().count();
+        assert_eq!(n, 6, "{method} wrote {n} labels");
+    }
+}
+
+#[test]
+fn detect_reads_stdin() {
+    let mut child = Command::new(BIN)
+        .args(["detect", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(two_cliques_edge_list().as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 6);
+}
+
+#[test]
+fn partition_balances() {
+    let path = tmp("part.txt");
+    // a ring of 16 vertices
+    let mut s = String::new();
+    for i in 0..16 {
+        s.push_str(&format!("{} {}\n", i, (i + 1) % 16));
+    }
+    std::fs::write(&path, s).unwrap();
+    let out = Command::new(BIN)
+        .args(["partition", path.to_str().unwrap(), "-k", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let parts: Vec<u32> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.parse().unwrap())
+        .collect();
+    assert_eq!(parts.len(), 16);
+    assert!(parts.iter().all(|&p| p < 4));
+}
+
+#[test]
+fn generate_pipes_into_detect() {
+    let gpath = tmp("gen.txt");
+    let out = Command::new(BIN)
+        .args([
+            "generate",
+            "asia_osm",
+            "--scale",
+            "0.00002",
+            "--output",
+            gpath.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = Command::new(BIN)
+        .args(["detect", gpath.to_str().unwrap(), "--method", "louvain", "--quality"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("modularity"));
+}
+
+#[test]
+fn coarsen_shrinks_graph() {
+    let path = tmp("coarsen-in.txt");
+    // ring of 64 so coarsening has room to shrink
+    let mut s = String::new();
+    for i in 0..64 {
+        s.push_str(&format!("{} {}\n", i, (i + 1) % 64));
+    }
+    std::fs::write(&path, s).unwrap();
+    let out = Command::new(BIN)
+        .args(["coarsen", path.to_str().unwrap(), "--target", "8"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("levels"), "{stderr}");
+    // the coarsest edge list should be non-empty and smaller than input
+    let lines = String::from_utf8_lossy(&out.stdout).lines().count();
+    assert!(lines > 1 && lines < 129, "{lines}");
+}
+
+#[test]
+fn predict_ranks_missing_clique_edge() {
+    let path = tmp("predict-in.txt");
+    // two 4-cliques, one missing edge (1-2) in the first
+    let txt = "0 1\n0 2\n0 3\n1 3\n2 3\n4 5\n4 6\n4 7\n5 6\n5 7\n6 7\n3 4 0.2\n";
+    std::fs::write(&path, txt).unwrap();
+    let out = Command::new(BIN)
+        .args(["predict", path.to_str().unwrap(), "-k", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let top = String::from_utf8_lossy(&out.stdout);
+    assert!(top.starts_with("1 2 "), "{top}");
+}
+
+#[test]
+fn inspect_reports_top_communities() {
+    let path = tmp("inspect-in.txt");
+    std::fs::write(&path, two_cliques_edge_list()).unwrap();
+    let out = Command::new(BIN)
+        .args(["inspect", path.to_str().unwrap(), "--top", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 communities"), "{text}");
+    assert!(text.contains("density"), "{text}");
+}
+
+#[test]
+fn output_file_written() {
+    let path = tmp("outfile-in.txt");
+    let lpath = tmp("outfile-labels.txt");
+    std::fs::write(&path, two_cliques_edge_list()).unwrap();
+    let out = Command::new(BIN)
+        .args([
+            "detect",
+            path.to_str().unwrap(),
+            "--output",
+            lpath.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let labels = std::fs::read_to_string(&lpath).unwrap();
+    assert_eq!(labels.lines().count(), 6);
+}

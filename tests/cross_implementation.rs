@@ -1,0 +1,102 @@
+//! Cross-implementation invariants: the quality/runtime orderings the
+//! paper's Fig. 6 reports, verified as properties rather than absolute
+//! numbers.
+
+use nu_lpa::baselines::{
+    flpa, gunrock_lp, louvain, networkit_plp, GunrockConfig, LouvainConfig, PlpConfig,
+};
+use nu_lpa::core::{lpa_gpu, lpa_native, LpaConfig};
+use nu_lpa::graph::gen::{
+    caveman_ground_truth, caveman_weighted, grid2d, planted_partition, web_crawl,
+};
+use nu_lpa::metrics::{check_labels, modularity, same_partition};
+use nu_lpa::simt::DeviceConfig;
+
+#[test]
+fn every_implementation_validates_on_random_web_graph() {
+    let g = web_crawl(3000, 6, 0.1, 5);
+    check_labels(&g, &flpa(&g, 1).labels).unwrap();
+    check_labels(&g, &networkit_plp(&g, &PlpConfig::default()).labels).unwrap();
+    check_labels(&g, &gunrock_lp(&g, &GunrockConfig::default()).labels).unwrap();
+    check_labels(&g, &louvain(&g, &LouvainConfig::default()).labels).unwrap();
+    check_labels(&g, &lpa_native(&g, &LpaConfig::default()).labels).unwrap();
+    check_labels(
+        &g,
+        &lpa_gpu(&g, &LpaConfig::default().with_device(DeviceConfig::tiny())).labels,
+    )
+    .unwrap();
+}
+
+#[test]
+fn louvain_tops_modularity_on_planted_graph() {
+    // Fig. 6c: cuGraph-Louvain has the best modularity
+    let pp = planted_partition(&[80, 80, 80, 80], 12.0, 1.0, 7);
+    let g = &pp.graph;
+    let q_louvain = modularity(g, &louvain(g, &LouvainConfig::default()).labels);
+    for (name, labels) in [
+        ("flpa", flpa(g, 1).labels),
+        ("plp", networkit_plp(g, &PlpConfig::default()).labels),
+        ("nu-lpa", lpa_native(g, &LpaConfig::default()).labels),
+    ] {
+        let q = modularity(g, &labels);
+        assert!(
+            q_louvain >= q - 1e-9,
+            "{name}: {q} exceeds louvain {q_louvain}"
+        );
+    }
+}
+
+#[test]
+fn synchronous_lp_worst_on_sparse_graphs() {
+    // Fig. 6c: Gunrock's modularity is "very low" — reproduced on the
+    // oscillation-prone sparse categories
+    let g = grid2d(40, 40, 1.0, 3);
+    let q_sync = modularity(&g, &gunrock_lp(&g, &GunrockConfig::default()).labels);
+    let q_nu = modularity(&g, &lpa_native(&g, &LpaConfig::default()).labels);
+    let q_flpa = modularity(&g, &flpa(&g, 1).labels);
+    assert!(q_sync < q_nu && q_sync < q_flpa, "sync {q_sync} nu {q_nu} flpa {q_flpa}");
+}
+
+#[test]
+fn all_implementations_agree_on_obvious_cliques() {
+    let g = caveman_weighted(5, 6, 0.5);
+    let truth = caveman_ground_truth(5, 6);
+    assert!(same_partition(&flpa(&g, 1).labels, &truth), "flpa");
+    assert!(
+        same_partition(&networkit_plp(&g, &PlpConfig::default()).labels, &truth),
+        "plp"
+    );
+    assert!(
+        same_partition(&louvain(&g, &LouvainConfig::default()).labels, &truth),
+        "louvain"
+    );
+    assert!(
+        same_partition(&lpa_native(&g, &LpaConfig::default()).labels, &truth),
+        "nu-lpa native"
+    );
+    assert!(
+        same_partition(
+            &lpa_gpu(&g, &LpaConfig::default().with_device(DeviceConfig::tiny())).labels,
+            &truth
+        ),
+        "nu-lpa gpu"
+    );
+}
+
+#[test]
+fn nu_lpa_beats_flpa_quality_on_road_networks() {
+    // Fig. 6c: ν-LPA's modularity win over FLPA concentrates on road
+    // networks and k-mer graphs
+    let g = grid2d(80, 80, 0.55, 11);
+    let q_nu = modularity(&g, &lpa_native(&g, &LpaConfig::default()).labels);
+    let q_flpa = modularity(&g, &flpa(&g, 1).labels);
+    assert!(q_nu > q_flpa, "nu {q_nu} vs flpa {q_flpa}");
+}
+
+#[test]
+fn gpu_and_native_quality_comparable_on_web_graph() {
+    let g = web_crawl(4000, 8, 0.08, 2);
+    let q_native = modularity(&g, &lpa_native(&g, &LpaConfig::default()).labels);
+    let q_gpu = modularity(&g, &lpa_gpu(&g, &LpaConfig::default()).labels);
+    assert!((q_native - q_gpu).abs() < 0.15, "native {q_native} gpu {q_gpu}");
+}

@@ -1,0 +1,100 @@
+//! End-to-end pipeline tests: every dataset stand-in through every ν-LPA
+//! backend, with structural validation and quality sanity bounds.
+
+use nu_lpa::core::{lpa_gpu, lpa_native, lpa_seq, LpaConfig};
+use nu_lpa::graph::datasets::{all_specs, Category, TEST_SCALE};
+use nu_lpa::metrics::{check_labels, community_count, modularity};
+use nu_lpa::simt::DeviceConfig;
+
+#[test]
+fn all_datasets_native_backend() {
+    for spec in all_specs() {
+        let d = spec.generate(TEST_SCALE);
+        let g = &d.graph;
+        let r = lpa_native(g, &LpaConfig::default());
+        check_labels(g, &r.labels).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert!(r.iterations >= 1 && r.iterations <= 20, "{}", spec.name);
+        assert!(
+            community_count(&r.labels) >= 1,
+            "{}: no communities",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn all_datasets_gpu_backend() {
+    for spec in all_specs() {
+        let d = spec.generate(TEST_SCALE);
+        let g = &d.graph;
+        let r = lpa_gpu(g, &LpaConfig::default());
+        check_labels(g, &r.labels).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert!(r.stats.sim_cycles > 0, "{}: no simulated work", spec.name);
+        assert!(r.stats.waves > 0, "{}", spec.name);
+    }
+}
+
+#[test]
+fn structured_categories_reach_positive_modularity() {
+    // road and k-mer stand-ins have strong spatial/chain structure: every
+    // backend should find clearly positive modularity there
+    for spec in all_specs().into_iter().filter(|s| {
+        matches!(s.category, Category::Road | Category::Kmer)
+    }) {
+        let d = spec.generate(TEST_SCALE);
+        let g = &d.graph;
+        for (name, labels) in [
+            ("seq", lpa_seq(g, &LpaConfig::default()).labels),
+            ("native", lpa_native(g, &LpaConfig::default()).labels),
+            ("gpu", lpa_gpu(g, &LpaConfig::default()).labels),
+        ] {
+            let q = modularity(g, &labels);
+            assert!(q > 0.3, "{} {}: Q = {q}", spec.name, name);
+        }
+    }
+}
+
+#[test]
+fn social_standins_recover_planted_structure() {
+    for name in ["com-LiveJournal", "com-Orkut"] {
+        let spec = nu_lpa::graph::datasets::spec_by_name(name).unwrap();
+        // orkut at TEST_SCALE is only 77 vertices; use a larger slice
+        let d = spec.generate(TEST_SCALE * 8.0);
+        let truth = d.ground_truth.expect("social stand-ins carry truth");
+        let r = lpa_native(&d.graph, &LpaConfig::default());
+        let n = nu_lpa::metrics::nmi(&r.labels, &truth);
+        assert!(n > 0.5, "{name}: NMI = {n}");
+    }
+}
+
+#[test]
+fn gpu_tiny_device_handles_every_dataset() {
+    // waves much smaller than the graphs: exercises multi-wave paths
+    let cfg = LpaConfig::default().with_device(DeviceConfig::tiny());
+    for spec in all_specs().into_iter().take(4) {
+        let d = spec.generate(TEST_SCALE);
+        let r = lpa_gpu(&d.graph, &cfg);
+        check_labels(&d.graph, &r.labels).unwrap();
+        assert!(r.stats.waves >= 1);
+    }
+}
+
+#[test]
+fn table1_community_counts_are_plausible() {
+    // k-mer graphs are unions of small components: |Γ| must be large
+    // relative to |V| (the paper reports tens of millions on 200M vertices)
+    let d = nu_lpa::graph::datasets::spec_by_name("kmer_V1r")
+        .unwrap()
+        .generate(TEST_SCALE);
+    let r = lpa_native(&d.graph, &LpaConfig::default());
+    let k = community_count(&r.labels);
+    let n = d.graph.num_vertices();
+    assert!(k * 4 > n / 60, "too few communities: {k} of {n}");
+    // web graphs concentrate into fewer, larger communities
+    let d = nu_lpa::graph::datasets::spec_by_name("webbase-2001")
+        .unwrap()
+        .generate(TEST_SCALE);
+    let r = lpa_native(&d.graph, &LpaConfig::default());
+    let kweb = community_count(&r.labels);
+    assert!(kweb < d.graph.num_vertices() / 4, "web graph under-merged: {kweb}");
+}

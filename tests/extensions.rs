@@ -1,0 +1,120 @@
+//! Integration tests for the extensions: PuLP partitioning, Dynamic
+//! Frontier LPA, Leiden, and the LP family, exercised through the public
+//! facade on dataset stand-ins.
+
+use nu_lpa::baselines::{
+    communities_connected, copra, labelrank, leiden, slpa, CopraConfig, LabelRankConfig,
+    LeidenConfig, SlpaConfig,
+};
+use nu_lpa::core::{
+    lpa_dynamic, lpa_native, pulp_partition, EdgeBatch, LpaConfig, PulpConfig,
+};
+use nu_lpa::graph::datasets::{spec_by_name, TEST_SCALE};
+use nu_lpa::graph::gen::web_crawl;
+use nu_lpa::metrics::{check_labels, cut_fraction, imbalance, modularity};
+
+#[test]
+fn pulp_partitions_every_dataset_category() {
+    for name in ["uk-2002", "com-LiveJournal", "asia_osm", "kmer_A2a"] {
+        let d = spec_by_name(name).unwrap().generate(TEST_SCALE);
+        let g = &d.graph;
+        let k = 4;
+        let r = pulp_partition(
+            g,
+            &PulpConfig {
+                num_parts: k,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.parts.len(), g.num_vertices(), "{name}");
+        assert!(imbalance(&r.parts, k) <= 1.10, "{name}");
+        assert!(cut_fraction(g, &r.parts) <= 1.0, "{name}");
+    }
+}
+
+#[test]
+fn dynamic_updates_track_a_growing_crawl() {
+    let g0 = web_crawl(3000, 6, 0.1, 13);
+    let cfg = LpaConfig::default();
+    let base = lpa_native(&g0, &cfg);
+    let base_q = modularity(&g0, &base.labels);
+
+    // three growth batches
+    let mut g = g0;
+    let mut labels = base.labels;
+    for round in 0..3u32 {
+        let batch = EdgeBatch {
+            insertions: (0..20)
+                .map(|i| {
+                    let u = (i * 131 + round * 977) % 3000;
+                    let v = (i * 577 + round * 311 + 1) % 3000;
+                    (u, v, 1.0)
+                })
+                .filter(|&(u, v, _)| u != v)
+                .collect(),
+            deletions: vec![],
+        };
+        let (g_new, r) = lpa_dynamic(&g, &labels, &batch, &cfg);
+        check_labels(&g_new, &r.labels).unwrap();
+        let q = modularity(&g_new, &r.labels);
+        // random inter-edges can only dilute structure mildly per batch
+        assert!(q > base_q - 0.1, "round {round}: Q = {q} (base {base_q})");
+        g = g_new;
+        labels = r.labels;
+    }
+}
+
+#[test]
+fn leiden_guarantee_on_datasets() {
+    for name in ["uk-2002", "asia_osm"] {
+        let d = spec_by_name(name).unwrap().generate(TEST_SCALE);
+        let r = leiden(&d.graph, &LeidenConfig::default());
+        assert!(
+            communities_connected(&d.graph, &r.labels),
+            "{name}: disconnected community from Leiden"
+        );
+    }
+}
+
+#[test]
+fn lp_family_quality_band_on_social_standin() {
+    let d = spec_by_name("com-LiveJournal")
+        .unwrap()
+        .generate(TEST_SCALE * 4.0);
+    let g = &d.graph;
+    let q_lpa = modularity(g, &lpa_native(g, &LpaConfig::default()).labels);
+    let q_slpa = modularity(g, &slpa(g, &SlpaConfig::default()).labels);
+    let q_copra = modularity(g, &copra(g, &CopraConfig::default()).labels);
+    let q_lr = modularity(g, &labelrank(g, &LabelRankConfig::default()).labels);
+    // all four find real structure on a social stand-in
+    for (name, q) in [("lpa", q_lpa), ("slpa", q_slpa), ("copra", q_copra), ("labelrank", q_lr)] {
+        assert!(q > 0.3, "{name}: Q = {q}");
+    }
+}
+
+#[test]
+fn partition_respects_tight_and_loose_balance() {
+    let d = spec_by_name("europe_osm").unwrap().generate(TEST_SCALE);
+    let g = &d.graph;
+    let tight = pulp_partition(
+        g,
+        &PulpConfig {
+            num_parts: 6,
+            balance: 1.01,
+            ..Default::default()
+        },
+    );
+    let loose = pulp_partition(
+        g,
+        &PulpConfig {
+            num_parts: 6,
+            balance: 1.5,
+            ..Default::default()
+        },
+    );
+    assert!(imbalance(&tight.parts, 6) <= 1.02 + 0.05);
+    // looser balance can only help (or tie) the cut
+    assert!(
+        cut_fraction(g, &loose.parts) <= cut_fraction(g, &tight.parts) + 0.05
+    );
+}

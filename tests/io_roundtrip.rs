@@ -1,0 +1,56 @@
+//! Graph I/O through the public facade: serialize a generated dataset,
+//! read it back, and run the full pipeline on the reloaded graph.
+
+use nu_lpa::core::{lpa_native, LpaConfig};
+use nu_lpa::graph::gen::{planted_partition, web_crawl};
+use nu_lpa::graph::io::{
+    read_edge_list, read_matrix_market, write_edge_list, write_matrix_market,
+};
+use nu_lpa::metrics::modularity;
+use std::io::Cursor;
+
+#[test]
+fn matrix_market_roundtrip_preserves_pipeline_results() {
+    let g = web_crawl(800, 5, 0.1, 7);
+    let mut buf = Vec::new();
+    write_matrix_market(&g, &mut buf).unwrap();
+    let g2 = read_matrix_market(Cursor::new(&buf)).unwrap();
+    assert_eq!(g, g2);
+
+    let q1 = modularity(&g, &lpa_native(&g, &LpaConfig::default()).labels);
+    let q2 = modularity(&g2, &lpa_native(&g2, &LpaConfig::default()).labels);
+    assert_eq!(q1, q2);
+}
+
+#[test]
+fn edge_list_roundtrip() {
+    let pp = planted_partition(&[50, 50], 8.0, 1.0, 1);
+    let mut buf = Vec::new();
+    write_edge_list(&pp.graph, &mut buf).unwrap();
+    let g2 = read_edge_list(Cursor::new(&buf), Some(pp.graph.num_vertices()), false).unwrap();
+    assert_eq!(pp.graph, g2);
+}
+
+#[test]
+fn mtx_header_variants_parse() {
+    let sym = "%%MatrixMarket matrix coordinate pattern symmetric\n4 4 3\n2 1\n3 2\n4 3\n";
+    let g = read_matrix_market(Cursor::new(sym)).unwrap();
+    assert_eq!(g.num_vertices(), 4);
+    assert_eq!(g.num_edges(), 6);
+
+    let gen = "%%MatrixMarket matrix coordinate integer general\n3 3 2\n1 2 5\n3 1 2\n";
+    let g = read_matrix_market(Cursor::new(gen)).unwrap();
+    assert_eq!(g.edge_weight(0, 1), Some(5.0));
+    assert_eq!(g.edge_weight(0, 2), Some(2.0)); // symmetrized
+}
+
+#[test]
+fn loaded_graph_runs_all_backends() {
+    let txt = "# toy communities\n0 1\n1 2\n0 2\n3 4\n4 5\n3 5\n2 3 0.25\n";
+    let g = read_edge_list(Cursor::new(txt), None, true).unwrap();
+    let r = lpa_native(&g, &LpaConfig::default());
+    assert_eq!(r.labels[0], r.labels[1]);
+    assert_eq!(r.labels[1], r.labels[2]);
+    assert_eq!(r.labels[3], r.labels[4]);
+    assert_ne!(r.labels[0], r.labels[3]);
+}

@@ -1,0 +1,141 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for *any* graph, not just the fixtures.
+
+use nu_lpa::core::{lpa_gpu, lpa_native, lpa_seq, LpaConfig, SwapMode};
+use nu_lpa::graph::components::connected_components;
+use nu_lpa::graph::permute::{random_permutation, relabel};
+use nu_lpa::graph::{GraphBuilder, VertexId};
+use nu_lpa::metrics::{check_labels, community_count, modularity, same_partition};
+use nu_lpa::simt::DeviceConfig;
+use proptest::prelude::*;
+
+/// Arbitrary small undirected graph: up to `n` vertices, random edges.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = nu_lpa::graph::Csr> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0.1f32..4.0), 0..max_m)
+            .prop_map(move |edges| {
+                GraphBuilder::new(n)
+                    .add_undirected_edges(
+                        edges.into_iter().filter(|(u, v, _)| u != v),
+                    )
+                    .build()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lpa_seq_labels_always_valid(g in arb_graph(60, 150)) {
+        let r = lpa_seq(&g, &LpaConfig::default());
+        prop_assert!(check_labels(&g, &r.labels).is_ok());
+        prop_assert!(r.iterations >= 1);
+        prop_assert_eq!(r.changed_per_iter.len(), r.iterations as usize);
+    }
+
+    #[test]
+    fn lpa_native_labels_always_valid(g in arb_graph(60, 150)) {
+        let r = lpa_native(&g, &LpaConfig::default());
+        prop_assert!(check_labels(&g, &r.labels).is_ok());
+    }
+
+    #[test]
+    fn lpa_gpu_labels_always_valid(g in arb_graph(50, 120)) {
+        let cfg = LpaConfig::default().with_device(DeviceConfig::tiny());
+        let r = lpa_gpu(&g, &cfg);
+        prop_assert!(check_labels(&g, &r.labels).is_ok());
+        prop_assert!(r.stats.sim_cycles <= r.stats.lane_cycles + r.stats.idle_cycles);
+    }
+
+    #[test]
+    fn modularity_always_in_range(g in arb_graph(50, 150)) {
+        let r = lpa_seq(&g, &LpaConfig::default());
+        let q = modularity(&g, &r.labels);
+        prop_assert!((-0.5..=1.0).contains(&q), "Q = {}", q);
+    }
+
+    #[test]
+    fn pick_less_every_iteration_never_raises_labels(g in arb_graph(40, 100)) {
+        let cfg = LpaConfig::default().with_swap_mode(SwapMode::PickLess { every: 1 });
+        let r = lpa_seq(&g, &cfg);
+        for (v, &l) in r.labels.iter().enumerate() {
+            prop_assert!((l as usize) <= v);
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_never_move(g in arb_graph(40, 60)) {
+        let r = lpa_seq(&g, &LpaConfig::default());
+        for v in g.vertices() {
+            if g.degree(v) == 0 {
+                prop_assert_eq!(r.labels[v as usize], v);
+            }
+        }
+    }
+
+    #[test]
+    fn modularity_invariant_under_relabelling(
+        g in arb_graph(40, 100),
+        seed in 0u64..1000,
+    ) {
+        let r = lpa_seq(&g, &LpaConfig::default());
+        let q = modularity(&g, &r.labels);
+        let perm = random_permutation(g.num_vertices(), seed);
+        let h = relabel(&g, &perm);
+        // permute the labels the same way: vertex perm[v] gets label ...
+        // community ids are arbitrary; map them through perm too
+        let mut plabels: Vec<VertexId> = vec![0; g.num_vertices()];
+        for v in g.vertices() {
+            plabels[perm[v as usize] as usize] = perm[r.labels[v as usize] as usize];
+        }
+        let q2 = modularity(&h, &plabels);
+        prop_assert!((q - q2).abs() < 1e-9, "{} vs {}", q, q2);
+    }
+
+    #[test]
+    fn community_count_consistent_across_backends(g in arb_graph(40, 120)) {
+        // backends may find different partitions, but each must produce at
+        // least one community and at most |V|
+        let n = g.num_vertices();
+        for labels in [
+            lpa_seq(&g, &LpaConfig::default()).labels,
+            lpa_native(&g, &LpaConfig::default()).labels,
+        ] {
+            let k = community_count(&labels);
+            prop_assert!(k >= 1 && k <= n);
+        }
+    }
+
+    #[test]
+    fn same_partition_is_reflexive(g in arb_graph(30, 80)) {
+        let r = lpa_seq(&g, &LpaConfig::default());
+        prop_assert!(same_partition(&r.labels, &r.labels));
+    }
+
+    #[test]
+    fn communities_never_cross_components(g in arb_graph(50, 120)) {
+        // labels only travel along edges, so two vertices sharing a
+        // community must share a connected component — in every backend
+        let comps = connected_components(&g);
+        for labels in [
+            lpa_seq(&g, &LpaConfig::default()).labels,
+            lpa_native(&g, &LpaConfig::default()).labels,
+            lpa_gpu(&g, &LpaConfig::default().with_device(DeviceConfig::tiny())).labels,
+        ] {
+            let mut rep: std::collections::HashMap<u32, u32> = Default::default();
+            for v in g.vertices() {
+                let entry = rep.entry(labels[v as usize]).or_insert(comps[v as usize]);
+                prop_assert_eq!(*entry, comps[v as usize], "community spans components");
+            }
+        }
+    }
+
+    #[test]
+    fn community_count_at_least_component_count_under_lpa(g in arb_graph(50, 120)) {
+        let comps = connected_components(&g);
+        let k_comp = community_count(&nu_lpa::metrics::compact_labels(&comps).0);
+        let labels = lpa_native(&g, &LpaConfig::default()).labels;
+        prop_assert!(community_count(&labels) >= k_comp);
+    }
+}
