@@ -10,7 +10,9 @@ use rand_chacha::ChaCha8Rng;
 /// every tie toward community 0).
 #[inline]
 pub fn scramble(label: VertexId) -> u32 {
-    (label ^ 0x5bd1_e995).wrapping_mul(0x9e37_79b9).rotate_left(13)
+    (label ^ 0x5bd1_e995)
+        .wrapping_mul(0x9e37_79b9)
+        .rotate_left(13)
 }
 
 /// Seeded Fisher–Yates shuffle for processing orders.
@@ -19,7 +21,11 @@ pub fn shuffle<T>(items: &mut [T], seed: u64) {
 }
 
 /// Fold (weight, then scrambled label) maxima: returns the winning label.
-pub fn argmax_label(best: Option<(VertexId, f64)>, label: VertexId, w: f64) -> Option<(VertexId, f64)> {
+pub fn argmax_label(
+    best: Option<(VertexId, f64)>,
+    label: VertexId,
+    w: f64,
+) -> Option<(VertexId, f64)> {
     match best {
         Some((bl, bw)) if w > bw || (w == bw && scramble(label) < scramble(bl)) => Some((label, w)),
         None => Some((label, w)),

@@ -198,7 +198,13 @@ mod tests {
             b.push_undirected(4, i, 1.0);
         }
         let g = b.build();
-        let r = copra(&g, &CopraConfig { max_labels: 2, ..cfg() });
+        let r = copra(
+            &g,
+            &CopraConfig {
+                max_labels: 2,
+                ..cfg()
+            },
+        );
         // the two cliques resolve to separate communities
         assert_ne!(r.labels[0], r.labels[8]);
         assert!(check_labels(&g, &r.labels).is_ok());
@@ -207,7 +213,13 @@ mod tests {
     #[test]
     fn v1_behaves_like_plain_lpa() {
         let g = caveman_weighted(3, 6, 0.5);
-        let r = copra(&g, &CopraConfig { max_labels: 1, ..cfg() });
+        let r = copra(
+            &g,
+            &CopraConfig {
+                max_labels: 1,
+                ..cfg()
+            },
+        );
         assert!(same_partition(&r.labels, &caveman_ground_truth(3, 6)));
         assert!(r.memberships.iter().all(|m| m.len() == 1));
     }
@@ -232,6 +244,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let pp = planted_partition(&[50, 50], 8.0, 1.0, 7);
-        assert_eq!(copra(&pp.graph, &cfg()).labels, copra(&pp.graph, &cfg()).labels);
+        assert_eq!(
+            copra(&pp.graph, &cfg()).labels,
+            copra(&pp.graph, &cfg()).labels
+        );
     }
 }

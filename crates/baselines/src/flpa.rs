@@ -60,12 +60,7 @@ pub fn flpa(g: &Csr, seed: u64) -> FlpaResult {
         }
         let max_w = weights.values().cloned().fold(f64::MIN, f64::max);
         dominant.clear();
-        dominant.extend(
-            weights
-                .iter()
-                .filter(|(_, &w)| w == max_w)
-                .map(|(&l, _)| l),
-        );
+        dominant.extend(weights.iter().filter(|(_, &w)| w == max_w).map(|(&l, _)| l));
         // deterministic iteration order for reproducibility
         dominant.sort_unstable();
 

@@ -69,11 +69,7 @@ pub fn gunrock_lp(g: &Csr, config: &GunrockConfig) -> GunrockResult {
                     .map_or(old[v as usize], |(l, _)| l)
             })
             .collect();
-        let changed = new
-            .iter()
-            .zip(&old)
-            .filter(|(a, b)| a != b)
-            .count();
+        let changed = new.iter().zip(&old).filter(|(a, b)| a != b).count();
         labels = new;
         changed_per_iter.push(changed);
         if (changed as f64) < config.tolerance * n as f64 {
@@ -121,10 +117,7 @@ mod tests {
         let q_sync = modularity(&g, &gunrock_lp(&g, &cfg()).labels);
         let q_async = modularity(&g, &crate::flpa::flpa(&g, 1).labels);
         assert!(q_sync < 0.2, "sync should be near zero, got {q_sync}");
-        assert!(
-            q_sync < q_async - 0.2,
-            "sync {q_sync} vs async {q_async}"
-        );
+        assert!(q_sync < q_async - 0.2, "sync {q_sync} vs async {q_async}");
     }
 
     #[test]

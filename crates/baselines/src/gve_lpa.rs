@@ -166,8 +166,7 @@ pub fn gve_lpa(g: &Csr, config: &GveLpaConfig) -> GveLpaResult {
 mod tests {
     use super::*;
     use nulpa_graph::gen::{
-        caveman_ground_truth, caveman_weighted, complete, erdos_renyi, planted_partition,
-        web_crawl,
+        caveman_ground_truth, caveman_weighted, complete, erdos_renyi, planted_partition, web_crawl,
     };
     use nulpa_graph::Csr;
     use nulpa_metrics::{check_labels, community_count, modularity, nmi, same_partition};

@@ -207,6 +207,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "inflation")]
     fn rejects_bad_inflation() {
-        labelrank(&Csr::empty(1), &LabelRankConfig { inflation: 0.5, ..cfg() });
+        labelrank(
+            &Csr::empty(1),
+            &LabelRankConfig {
+                inflation: 0.5,
+                ..cfg()
+            },
+        );
     }
 }

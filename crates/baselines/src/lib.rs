@@ -30,16 +30,16 @@ pub mod gunrock_lp;
 pub mod gve_lpa;
 pub mod labelrank;
 pub mod leiden;
-pub mod slpa;
 pub mod louvain;
 pub mod networkit_plp;
+pub mod slpa;
 
 pub use copra::{copra, CopraConfig, CopraResult};
 pub use flpa::{flpa, FlpaResult};
+pub use gunrock_lp::{gunrock_lp, GunrockConfig, GunrockResult};
 pub use gve_lpa::{gve_lpa, GveLpaConfig, GveLpaResult};
 pub use labelrank::{labelrank, LabelRankConfig, LabelRankResult};
 pub use leiden::{communities_connected, leiden, LeidenConfig, LeidenResult};
-pub use slpa::{slpa, SlpaConfig, SlpaResult};
-pub use gunrock_lp::{gunrock_lp, GunrockConfig, GunrockResult};
 pub use louvain::{louvain, LouvainConfig, LouvainResult};
 pub use networkit_plp::{networkit_plp, PlpConfig, PlpResult};
+pub use slpa::{slpa, SlpaConfig, SlpaResult};

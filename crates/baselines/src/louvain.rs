@@ -233,7 +233,11 @@ mod tests {
         let g = erdos_renyi(200, 800, 6);
         let r = louvain(&g, &cfg());
         for pair in r.modularity_per_level.windows(2) {
-            assert!(pair[1] >= pair[0] - 1e-6, "levels: {:?}", r.modularity_per_level);
+            assert!(
+                pair[1] >= pair[0] - 1e-6,
+                "levels: {:?}",
+                r.modularity_per_level
+            );
         }
     }
 

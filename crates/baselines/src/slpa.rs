@@ -52,7 +52,10 @@ pub struct SlpaResult {
 
 /// Run SLPA.
 pub fn slpa(g: &Csr, config: &SlpaConfig) -> SlpaResult {
-    assert!((0.0..=0.5).contains(&config.threshold), "threshold in [0, 0.5]");
+    assert!(
+        (0.0..=0.5).contains(&config.threshold),
+        "threshold in [0, 0.5]"
+    );
     let n = g.num_vertices();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
 
@@ -92,14 +95,11 @@ pub fn slpa(g: &Csr, config: &SlpaConfig) -> SlpaResult {
                 *spoken.entry(label).or_insert(0.0) += w as f64;
             }
             // the listener adopts the most popular spoken label
-            let Some((&best, _)) = spoken
-                .iter()
-                .max_by(|a, b| {
-                    a.1.partial_cmp(b.1)
-                        .unwrap()
-                        .then_with(|| scramble(*b.0).cmp(&scramble(*a.0)))
-                })
-            else {
+            let Some((&best, _)) = spoken.iter().max_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .unwrap()
+                    .then_with(|| scramble(*b.0).cmp(&scramble(*a.0)))
+            }) else {
                 continue;
             };
             *memory[u as usize].entry(best).or_insert(0) += 1;
@@ -178,14 +178,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let pp = planted_partition(&[40, 40], 8.0, 1.0, 2);
-        assert_eq!(slpa(&pp.graph, &cfg()).labels, slpa(&pp.graph, &cfg()).labels);
-        let other = slpa(
-            &pp.graph,
-            &SlpaConfig {
-                seed: 99,
-                ..cfg()
-            },
+        assert_eq!(
+            slpa(&pp.graph, &cfg()).labels,
+            slpa(&pp.graph, &cfg()).labels
         );
+        let other = slpa(&pp.graph, &SlpaConfig { seed: 99, ..cfg() });
         // different randomness usually gives a different label vector
         // (identical partitions are fine; identical raw labels unlikely)
         let _ = other;
@@ -216,6 +213,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "threshold")]
     fn rejects_bad_threshold() {
-        slpa(&Csr::empty(1), &SlpaConfig { threshold: 0.9, ..cfg() });
+        slpa(
+            &Csr::empty(1),
+            &SlpaConfig {
+                threshold: 0.9,
+                ..cfg()
+            },
+        );
     }
 }

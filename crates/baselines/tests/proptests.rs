@@ -3,9 +3,9 @@
 //! including degenerate ones.
 
 use nulpa_baselines::{
-    copra, flpa, gunrock_lp, gve_lpa, labelrank, leiden, louvain, networkit_plp, slpa,
-    CopraConfig, GunrockConfig, GveLpaConfig, LabelRankConfig, LeidenConfig, LouvainConfig,
-    PlpConfig, SlpaConfig,
+    copra, flpa, gunrock_lp, gve_lpa, labelrank, leiden, louvain, networkit_plp, slpa, CopraConfig,
+    GunrockConfig, GveLpaConfig, LabelRankConfig, LeidenConfig, LouvainConfig, PlpConfig,
+    SlpaConfig,
 };
 use nulpa_graph::GraphBuilder;
 use nulpa_metrics::{check_labels, modularity};

@@ -12,7 +12,13 @@ fn benches(c: &mut Criterion) {
         b.iter(|| black_box(web_crawl(10_000, 8, 0.08, 1).num_edges()))
     });
     group.bench_function("planted_partition", |b| {
-        b.iter(|| black_box(planted_partition(&[2500; 4], 12.0, 1.0, 1).graph.num_edges()))
+        b.iter(|| {
+            black_box(
+                planted_partition(&[2500; 4], 12.0, 1.0, 1)
+                    .graph
+                    .num_edges(),
+            )
+        })
     });
     group.bench_function("grid2d", |b| {
         b.iter(|| black_box(grid2d(100, 100, 0.55, 1).num_edges()))

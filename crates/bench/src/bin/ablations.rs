@@ -11,7 +11,7 @@
 //! Metrics: simulated cycles on the GPU backend, iterations, and
 //! modularity, geometric-mean-normalized across the figure datasets.
 
-use nulpa_bench::{geomean, print_header, BenchArgs};
+use nulpa_bench::{geomean, print_header, BenchArgs, Report, Table};
 use nulpa_core::{lpa_gpu, LpaConfig};
 use nulpa_graph::datasets::figure_specs;
 use nulpa_metrics::modularity_par;
@@ -41,7 +41,7 @@ fn sweep(args: &BenchArgs, configs: &[(String, LpaConfig)]) -> Vec<(String, f64,
         .map(|(i, (name, _))| {
             (
                 name.clone(),
-                geomean(&cycles[i]),
+                geomean(&cycles[i]).unwrap_or(f64::NAN),
                 quality[i].iter().sum::<f64>() / quality[i].len() as f64,
                 iters[i].iter().sum::<f64>() / iters[i].len() as f64,
             )
@@ -59,8 +59,17 @@ fn print_rows(rows: &[(String, f64, f64, f64)]) {
     }
 }
 
+fn to_table(title: &str, rows: &[(String, f64, f64, f64)]) -> Table {
+    let mut t = Table::new(title, &["rel_runtime", "mean_Q", "iters"]);
+    for (name, rc, q, it) in rows {
+        t.row(name, &[*rc, *q, *it]);
+    }
+    t
+}
+
 fn main() {
     let args = BenchArgs::parse();
+    let mut report = Report::new("ablations", &args);
 
     print_header("Ablation 1: vertex pruning");
     let rows = sweep(
@@ -74,6 +83,7 @@ fn main() {
         ],
     );
     print_rows(&rows);
+    report.push(to_table("Ablation 1: vertex pruning", &rows));
 
     print_header("Ablation 2: convergence tolerance τ");
     let configs: Vec<(String, LpaConfig)> = [0.1, 0.05, 0.01, 1e-5]
@@ -81,13 +91,16 @@ fn main() {
         .map(|t| {
             (
                 format!("tau = {t}"),
-                LpaConfig::default().with_tolerance(t).with_max_iterations(100),
+                LpaConfig::default()
+                    .with_tolerance(t)
+                    .with_max_iterations(100),
             )
         })
         .collect();
     let rows = sweep(&args, &configs);
     print_rows(&rows);
     println!("(paper: tau = 1e-2 gives nearly the quality of 1e-5, much faster)");
+    report.push(to_table("Ablation 2: convergence tolerance tau", &rows));
 
     print_header("Ablation 3: shared-memory hashtables for low-degree vertices");
     let rows = sweep(
@@ -102,6 +115,10 @@ fn main() {
     );
     print_rows(&rows);
     println!("(paper: shared-memory tables gave little to no performance gain)");
+    report.push(to_table(
+        "Ablation 3: shared-memory hashtables for low-degree vertices",
+        &rows,
+    ));
 
     print_header("Ablation 4: iteration cap");
     let configs: Vec<(String, LpaConfig)> = [5u32, 10, 20, 100]
@@ -115,4 +132,10 @@ fn main() {
         .collect();
     let rows = sweep(&args, &configs);
     print_rows(&rows);
+    report.push(to_table("Ablation 4: iteration cap", &rows));
+
+    match report.write(&args.json) {
+        Ok(path) => eprintln!("json report written to {path}"),
+        Err(e) => eprintln!("warning: could not write json report: {e}"),
+    }
 }

@@ -94,7 +94,7 @@ fn main() {
 
     println!(
         "\nmean relative cost: default {:.3}, coalesced {:.3} (paper: coalesced did not improve performance)",
-        geomean(&rel_default),
-        geomean(&rel_coalesced)
+        geomean(&rel_default).unwrap_or(f64::NAN),
+        geomean(&rel_coalesced).unwrap_or(f64::NAN)
     );
 }

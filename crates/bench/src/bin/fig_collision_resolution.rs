@@ -26,7 +26,12 @@ fn main() {
     for spec in figure_specs() {
         let d = spec.generate(args.scale);
         let g = &d.graph;
-        eprintln!("running {} (|V|={}, |E|={})", spec.name, g.num_vertices(), g.num_edges());
+        eprintln!(
+            "running {} (|V|={}, |E|={})",
+            spec.name,
+            g.num_vertices(),
+            g.num_edges()
+        );
         let mut graph_cycles = Vec::new();
         for (i, s) in strategies.iter().enumerate() {
             let cfg = LpaConfig::default().with_probe(*s);
@@ -50,16 +55,16 @@ fn main() {
         println!(
             "{:<18} {:>14.3} {:>16.3} {:>12.3}",
             s.label(),
-            geomean(&rel_cycles[i]),
-            geomean(&probes_per_edge[i]),
-            geomean(&divergence[i]),
+            geomean(&rel_cycles[i]).unwrap_or(f64::NAN),
+            geomean(&probes_per_edge[i]).unwrap_or(f64::NAN),
+            geomean(&divergence[i]).unwrap_or(f64::NAN),
         );
     }
-    let qd = geomean(&rel_cycles[3]);
+    let qd = geomean(&rel_cycles[3]).unwrap_or(f64::NAN);
     println!(
         "\nquadratic-double vs linear/quadratic/double: {:.2}x / {:.2}x / {:.2}x (paper: 2.8x / 3.7x / 3.2x)",
-        geomean(&rel_cycles[0]) / qd,
-        geomean(&rel_cycles[1]) / qd,
-        geomean(&rel_cycles[2]) / qd,
+        geomean(&rel_cycles[0]).unwrap_or(f64::NAN) / qd,
+        geomean(&rel_cycles[1]).unwrap_or(f64::NAN) / qd,
+        geomean(&rel_cycles[2]).unwrap_or(f64::NAN) / qd,
     );
 }

@@ -15,7 +15,7 @@
 
 use nulpa_baselines::{flpa, gunrock_lp, louvain, networkit_plp};
 use nulpa_baselines::{GunrockConfig, LouvainConfig, PlpConfig};
-use nulpa_bench::{geomean, median_time, print_header, BenchArgs};
+use nulpa_bench::{geomean, median_time, print_header, BenchArgs, Report, Table};
 use nulpa_core::{lpa_native, LpaConfig};
 use nulpa_graph::datasets::all_specs;
 use nulpa_graph::Csr;
@@ -39,14 +39,18 @@ fn main() {
 
     let mut speedups = vec![Vec::new(); IMPLS.len()];
     let mut all_q = vec![Vec::new(); IMPLS.len()];
-    let mut rows_runtime = Vec::new();
-    let mut rows_quality = Vec::new();
+    let mut per_graph: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
     let mut best_rate = (String::new(), 0.0f64);
 
     for spec in all_specs() {
         let d = spec.generate(args.scale);
         let g = &d.graph;
-        eprintln!("running {} (|V|={}, |E|={})", spec.name, g.num_vertices(), g.num_edges());
+        eprintln!(
+            "running {} (|V|={}, |E|={})",
+            spec.name,
+            g.num_vertices(),
+            g.num_edges()
+        );
 
         let mut times = Vec::new();
         let mut quals = Vec::new();
@@ -64,23 +68,23 @@ fn main() {
         if rate > best_rate.1 {
             best_rate = (spec.name.to_string(), rate);
         }
-        rows_runtime.push(format!(
-            "{:<17} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
-            spec.name, times[0], times[1], times[2], times[3], times[4]
-        ));
-        rows_quality.push(format!(
-            "{:<17} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
-            spec.name, quals[0], quals[1], quals[2], quals[3], quals[4]
-        ));
+        per_graph.push((spec.name.to_string(), times, quals));
     }
+
+    let fmt_row = |name: &str, v: &[f64]| {
+        format!(
+            "{:<17} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            name, v[0], v[1], v[2], v[3], v[4]
+        )
+    };
 
     print_header("Fig. 6a: runtime in seconds");
     println!(
         "{:<17} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "graph", IMPLS[0], IMPLS[1], IMPLS[2], IMPLS[3], IMPLS[4]
     );
-    for r in &rows_runtime {
-        println!("{r}");
+    for (name, times, _) in &per_graph {
+        println!("{}", fmt_row(name, times));
     }
 
     print_header("Fig. 6b: speedup of nu-LPA (geometric mean over graphs)");
@@ -88,12 +92,10 @@ fn main() {
         println!(
             "nu-LPA vs {:<10}: {:>8.2}x",
             IMPLS[i],
-            geomean(&speedups[i])
+            geomean(&speedups[i]).unwrap_or(f64::NAN)
         );
     }
-    println!(
-        "(paper, GPU vs CPUs: 364x FLPA, 62x NetworKit, 2.6x Gunrock, 37x Louvain)"
-    );
+    println!("(paper, GPU vs CPUs: 364x FLPA, 62x NetworKit, 2.6x Gunrock, 37x Louvain)");
     println!(
         "peak processing rate: {:.1} M edges/s on {} (paper: 3.0 B edges/s on it-2004)",
         best_rate.1, best_rate.0
@@ -104,8 +106,8 @@ fn main() {
         "{:<17} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "graph", IMPLS[0], IMPLS[1], IMPLS[2], IMPLS[3], IMPLS[4]
     );
-    for r in &rows_quality {
-        println!("{r}");
+    for (name, _, quals) in &per_graph {
+        println!("{}", fmt_row(name, quals));
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let nu_q = mean(&all_q[4]);
@@ -117,4 +119,25 @@ fn main() {
         100.0 * (nu_q - mean(&all_q[1])) / mean(&all_q[1]).abs().max(1e-9),
         100.0 * (nu_q - mean(&all_q[3])) / mean(&all_q[3]).abs().max(1e-9),
     );
+
+    // machine-readable mirror of the three panels
+    let mut report = Report::new("fig_compare", &args);
+    let mut t_run = Table::new("Fig. 6a: runtime in seconds", &IMPLS);
+    let mut t_qual = Table::new("Fig. 6c: modularity of detected communities", &IMPLS);
+    for (name, times, quals) in &per_graph {
+        t_run.row(name, times);
+        t_qual.row(name, quals);
+    }
+    let mut t_speed = Table::new(
+        "Fig. 6b: speedup of nu-LPA (geometric mean over graphs)",
+        &["speedup"],
+    );
+    for i in 0..4 {
+        t_speed.row(IMPLS[i], &[geomean(&speedups[i]).unwrap_or(f64::NAN)]);
+    }
+    report.push(t_run).push(t_speed).push(t_qual);
+    match report.write(&args.json) {
+        Ok(path) => eprintln!("json report written to {path}"),
+        Err(e) => eprintln!("warning: could not write json report: {e}"),
+    }
 }

@@ -23,7 +23,12 @@ fn main() {
     for spec in figure_specs() {
         let d = spec.generate(args.scale);
         let g = &d.graph;
-        eprintln!("running {} (|V|={}, |E|={})", spec.name, g.num_vertices(), g.num_edges());
+        eprintln!(
+            "running {} (|V|={}, |E|={})",
+            spec.name,
+            g.num_vertices(),
+            g.num_edges()
+        );
         let mut cycles = Vec::new();
         let mut walls = Vec::new();
         for (i, vt) in types.iter().enumerate() {
@@ -50,14 +55,14 @@ fn main() {
         println!(
             "{:<8} {:>16.3} {:>14.3} {:>12.4}",
             label,
-            geomean(&rel_cycles[i]),
-            geomean(&rel_wall[i]),
+            geomean(&rel_cycles[i]).unwrap_or(f64::NAN),
+            geomean(&rel_wall[i]).unwrap_or(f64::NAN),
             mean_q
         );
     }
     println!(
         "\nDouble/Float simulated slowdown: {:.2}x; |ΔQ| = {:.4} (paper: moderate speedup, no quality loss)",
-        geomean(&rel_cycles[1]),
+        geomean(&rel_cycles[1]).unwrap_or(f64::NAN),
         (qualities[0].iter().sum::<f64>() - qualities[1].iter().sum::<f64>()).abs()
             / qualities[0].len() as f64
     );

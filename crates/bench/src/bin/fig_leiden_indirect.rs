@@ -65,8 +65,8 @@ fn main() {
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!(
         "\nnu-LPA speedup: {:.2}x vs Louvain, {:.2}x vs Leiden",
-        geomean(&speed_vs[0]),
-        geomean(&speed_vs[1])
+        geomean(&speed_vs[0]).unwrap_or(f64::NAN),
+        geomean(&speed_vs[1]).unwrap_or(f64::NAN)
     );
     println!(
         "mean modularity: nu-LPA {:.4}, Louvain {:.4}, Leiden {:.4}",

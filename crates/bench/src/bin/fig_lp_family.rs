@@ -24,13 +24,26 @@ fn main() {
     print_header("LP family: runtime (s) and modularity per dataset");
     println!(
         "{:<17} {:>8} {:>8} {:>8} {:>10} | {:>7} {:>7} {:>7} {:>9}",
-        "graph", "t(LPA)", "t(COPRA)", "t(SLPA)", "t(LblRank)", "Q(LPA)", "Q(COP)", "Q(SLP)", "Q(LR)"
+        "graph",
+        "t(LPA)",
+        "t(COPRA)",
+        "t(SLPA)",
+        "t(LblRank)",
+        "Q(LPA)",
+        "Q(COP)",
+        "Q(SLP)",
+        "Q(LR)"
     );
 
     for spec in all_specs() {
         let d = spec.generate(args.scale);
         let g = &d.graph;
-        eprintln!("running {} (|V|={}, |E|={})", spec.name, g.num_vertices(), g.num_edges());
+        eprintln!(
+            "running {} (|V|={}, |E|={})",
+            spec.name,
+            g.num_vertices(),
+            g.num_edges()
+        );
 
         let mut times = Vec::new();
         let mut quals = Vec::new();
@@ -51,7 +64,15 @@ fn main() {
         }
         println!(
             "{:<17} {:>8.4} {:>8.4} {:>8.4} {:>10.4} | {:>7.3} {:>7.3} {:>7.3} {:>9.3}",
-            spec.name, times[0], times[1], times[2], times[3], quals[0], quals[1], quals[2], quals[3]
+            spec.name,
+            times[0],
+            times[1],
+            times[2],
+            times[3],
+            quals[0],
+            quals[1],
+            quals[2],
+            quals[3]
         );
     }
 
@@ -61,7 +82,7 @@ fn main() {
         println!(
             "  {:<10} {:>8.2}x   mean Q {:.4}",
             m,
-            geomean(&rel_time[i]),
+            geomean(&rel_time[i]).unwrap_or(f64::NAN),
             mean_q
         );
     }

@@ -43,7 +43,12 @@ fn main() {
     for spec in &specs {
         let d = spec.generate(args.scale);
         let g = &d.graph;
-        eprintln!("running {} (|V|={}, |E|={})", spec.name, g.num_vertices(), g.num_edges());
+        eprintln!(
+            "running {} (|V|={}, |E|={})",
+            spec.name,
+            g.num_vertices(),
+            g.num_edges()
+        );
         let mut graph_cycles = Vec::new();
         let mut graph_q = Vec::new();
         for mode in &modes {
@@ -61,15 +66,21 @@ fn main() {
     }
 
     print_header("Fig. 1: mean relative runtime & modularity by swap-prevention method");
-    println!("{:<8} {:>16} {:>20}", "method", "rel. runtime", "rel. modularity");
+    println!(
+        "{:<8} {:>16} {:>20}",
+        "method", "rel. runtime", "rel. modularity"
+    );
     let mut best = (String::new(), 0.0f64);
     for (i, mode) in modes.iter().enumerate() {
-        let rc = geomean(&cycles[i]);
-        let rq = geomean(&quality[i]);
+        let rc = geomean(&cycles[i]).unwrap_or(f64::NAN);
+        let rq = geomean(&quality[i]).unwrap_or(f64::NAN);
         println!("{:<8} {:>16.3} {:>20.4}", mode.label(), rc, rq);
         if rq > best.1 {
             best = (mode.label(), rq);
         }
     }
-    println!("\nhighest mean relative modularity: {} (paper: PL4)", best.0);
+    println!(
+        "\nhighest mean relative modularity: {} (paper: PL4)",
+        best.0
+    );
 }

@@ -18,7 +18,12 @@ fn main() {
     for spec in figure_specs() {
         let d = spec.generate(args.scale);
         let g = &d.graph;
-        eprintln!("running {} (|V|={}, |E|={})", spec.name, g.num_vertices(), g.num_edges());
+        eprintln!(
+            "running {} (|V|={}, |E|={})",
+            spec.name,
+            g.num_vertices(),
+            g.num_edges()
+        );
         let mut cycles = Vec::new();
         for &sd in &degrees {
             let cfg = LpaConfig::default().with_switch_degree(sd);
@@ -35,7 +40,7 @@ fn main() {
     println!("{:>8} {:>14}", "switch", "rel. runtime");
     let mut best = (0u32, f64::MAX);
     for (i, &sd) in degrees.iter().enumerate() {
-        let r = geomean(&rel[i]);
+        let r = geomean(&rel[i]).unwrap_or(f64::NAN);
         println!("{:>8} {:>14.3}", sd, r);
         if r < best.1 {
             best = (sd, r);

@@ -1,39 +1,57 @@
 //! Shared utilities for the figure/table binaries.
 
 use nulpa_graph::datasets::{DEFAULT_SCALE, TEST_SCALE};
+use nulpa_obs::json::{escape, fmt_f64};
 use std::time::{Duration, Instant};
 
+/// Flag summary printed by `--help` and appended to parse errors.
+pub const USAGE: &str = "options: --scale <f> (fraction of the paper's graph sizes), \
+--quick (tiny test scale), --repeats <n> (runs per measurement), \
+--json <path> (machine-readable results), --help";
+
 /// Command-line arguments shared by every harness binary.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BenchArgs {
     /// Fraction of the paper's dataset sizes to generate.
     pub scale: f64,
     /// Wall-clock repetitions per measurement (paper: 5).
     pub repeats: usize,
+    /// Override path for the machine-readable JSON report (binaries that
+    /// emit one default to `results/<binary>.json`).
+    pub json: Option<String>,
 }
 
 impl BenchArgs {
-    /// Parse `--scale <f>`, `--quick`, `--repeats <n>` from `std::env`.
+    /// Parse `--scale <f>`, `--quick`, `--repeats <n>`, `--json <path>`
+    /// from `std::env`. `--help`/`-h` prints usage and exits 0; a parse
+    /// error prints usage and exits 2.
     pub fn parse() -> Self {
         match Self::parse_from(std::env::args().skip(1)) {
-            Ok(a) => a,
+            Ok(Some(a)) => a,
+            Ok(None) => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
             Err(e) => {
-                eprintln!("{e} (supported: --scale <f>, --quick, --repeats <n>)");
+                eprintln!("{e}\n{USAGE}");
                 std::process::exit(2);
             }
         }
     }
 
-    /// Testable parser over any argument iterator.
-    pub fn parse_from<I>(args: I) -> Result<Self, String>
+    /// Testable parser over any argument iterator. `Ok(None)` means
+    /// `--help` was requested.
+    pub fn parse_from<I>(args: I) -> Result<Option<Self>, String>
     where
         I: IntoIterator<Item = String>,
     {
         let mut scale = DEFAULT_SCALE;
         let mut repeats = 5;
+        let mut json = None;
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
+                "--help" | "-h" => return Ok(None),
                 "--quick" => {
                     scale = TEST_SCALE;
                     repeats = 2;
@@ -50,10 +68,17 @@ impl BenchArgs {
                         .and_then(|s| s.parse().ok())
                         .ok_or("--repeats needs an integer")?;
                 }
+                "--json" => {
+                    json = Some(args.next().ok_or("--json needs a path")?);
+                }
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
-        Ok(BenchArgs { scale, repeats })
+        Ok(Some(BenchArgs {
+            scale,
+            repeats,
+            json,
+        }))
     }
 }
 
@@ -74,16 +99,148 @@ pub fn median_time<T>(repeats: usize, mut f: impl FnMut() -> T) -> (Duration, T)
 }
 
 /// Geometric mean of a series of positive ratios (the paper's "mean
-/// relative runtime" aggregation).
-pub fn geomean(xs: &[f64]) -> f64 {
-    assert!(!xs.is_empty());
+/// relative runtime" aggregation). `None` on an empty series — there is
+/// no meaningful mean of nothing, and benchmark sweeps can legitimately
+/// produce empty series (e.g. `--scale` so small a dataset degenerates).
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
     let s: f64 = xs.iter().map(|&x| x.max(1e-300).ln()).sum();
-    (s / xs.len() as f64).exp()
+    Some((s / xs.len() as f64).exp())
 }
 
 /// Print a figure/table header with a separator line.
 pub fn print_header(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// One labelled table of a machine-readable benchmark report.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title, e.g. `"Fig. 6a: runtime in seconds"`.
+    pub title: String,
+    /// Column names (one per value in each row).
+    pub columns: Vec<String>,
+    /// Rows: a label (graph or config name) plus one value per column.
+    /// Non-finite values serialise as `null`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, label: &str, values: &[f64]) -> &mut Self {
+        self.rows.push((label.to_string(), values.to_vec()));
+        self
+    }
+}
+
+/// Machine-readable benchmark report: the same tables a figure binary
+/// prints, serialised as hand-rolled JSON (the build is offline — no
+/// serde). See EXPERIMENTS.md for the schema.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Report name; the default output path is `results/<name>.json`.
+    pub name: String,
+    /// Scale the datasets were generated at.
+    pub scale: f64,
+    /// Repetitions per measurement.
+    pub repeats: usize,
+    /// The tables, in print order.
+    pub tables: Vec<Table>,
+}
+
+impl Report {
+    /// New empty report carrying the run's arguments.
+    pub fn new(name: &str, args: &BenchArgs) -> Self {
+        Report {
+            name: name.to_string(),
+            scale: args.scale,
+            repeats: args.repeats,
+            tables: Vec::new(),
+        }
+    }
+
+    /// Append a table.
+    pub fn push(&mut self, table: Table) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Serialise to a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"name\": ");
+        out.push_str(&escape(&self.name));
+        out.push_str(",\n  \"scale\": ");
+        out.push_str(&fmt_f64(self.scale));
+        out.push_str(",\n  \"repeats\": ");
+        out.push_str(&fmt_f64(self.repeats as f64));
+        out.push_str(",\n  \"tables\": [");
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"title\": ");
+            out.push_str(&escape(&t.title));
+            out.push_str(", \"columns\": [");
+            for (j, c) in t.columns.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&escape(c));
+            }
+            out.push_str("], \"rows\": [");
+            for (j, (label, values)) in t.rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n      {\"label\": ");
+                out.push_str(&escape(label));
+                out.push_str(", \"values\": [");
+                for (k, v) in values.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&fmt_f64(*v));
+                }
+                out.push_str("]}");
+            }
+            if !t.rows.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push_str("]}");
+        }
+        if !self.tables.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Write the report to `args.json` if set, else `results/<name>.json`,
+    /// creating the directory as needed. Returns the path written.
+    pub fn write(&self, json_override: &Option<String>) -> Result<String, String> {
+        let path = json_override
+            .clone()
+            .unwrap_or_else(|| format!("results/{}.json", self.name));
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+        }
+        std::fs::write(&path, self.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        Ok(path)
+    }
 }
 
 #[cfg(test)]
@@ -92,9 +249,14 @@ mod tests {
 
     #[test]
     fn geomean_basics() {
-        assert!((geomean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
-        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
-        assert!((geomean(&[0.5, 2.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((geomean(&[0.5, 2.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_empty_is_none() {
+        assert_eq!(geomean(&[]), None);
     }
 
     #[test]
@@ -110,19 +272,38 @@ mod tests {
 
     #[test]
     fn args_defaults() {
-        let a = BenchArgs::parse_from(strs(&[])).unwrap();
+        let a = BenchArgs::parse_from(strs(&[])).unwrap().unwrap();
         assert_eq!(a.scale, nulpa_graph::datasets::DEFAULT_SCALE);
         assert_eq!(a.repeats, 5);
+        assert_eq!(a.json, None);
     }
 
     #[test]
     fn args_quick_and_overrides() {
-        let a = BenchArgs::parse_from(strs(&["--quick"])).unwrap();
+        let a = BenchArgs::parse_from(strs(&["--quick"])).unwrap().unwrap();
         assert_eq!(a.scale, nulpa_graph::datasets::TEST_SCALE);
         assert_eq!(a.repeats, 2);
-        let a = BenchArgs::parse_from(strs(&["--scale", "0.001", "--repeats", "7"])).unwrap();
+        let a = BenchArgs::parse_from(strs(&["--scale", "0.001", "--repeats", "7"]))
+            .unwrap()
+            .unwrap();
         assert_eq!(a.scale, 0.001);
         assert_eq!(a.repeats, 7);
+    }
+
+    #[test]
+    fn args_help_is_not_an_error() {
+        assert_eq!(BenchArgs::parse_from(strs(&["--help"])), Ok(None));
+        assert_eq!(BenchArgs::parse_from(strs(&["-h"])), Ok(None));
+        assert_eq!(BenchArgs::parse_from(strs(&["--quick", "-h"])), Ok(None));
+    }
+
+    #[test]
+    fn args_json_flag() {
+        let a = BenchArgs::parse_from(strs(&["--json", "out/x.json"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.json.as_deref(), Some("out/x.json"));
+        assert!(BenchArgs::parse_from(strs(&["--json"])).is_err());
     }
 
     #[test]
@@ -130,5 +311,25 @@ mod tests {
         assert!(BenchArgs::parse_from(strs(&["--scale"])).is_err());
         assert!(BenchArgs::parse_from(strs(&["--scale", "x"])).is_err());
         assert!(BenchArgs::parse_from(strs(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn report_serialises_to_parseable_json() {
+        let args = BenchArgs::parse_from(strs(&["--quick"])).unwrap().unwrap();
+        let mut rep = Report::new("unit_test", &args);
+        let mut t = Table::new("runtime", &["A", "B"]);
+        t.row("g1", &[1.5, f64::NAN]).row("g2", &[2.0, 3.0]);
+        rep.push(t);
+        rep.push(Table::new("empty", &[]));
+        let text = rep.to_json();
+        let v = nulpa_obs::json::parse(&text).expect("report JSON must parse");
+        assert_eq!(v.get("name").unwrap().as_str(), Some("unit_test"));
+        let tables = v.get("tables").unwrap().as_arr().unwrap();
+        assert_eq!(tables.len(), 2);
+        let rows = tables[0].get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows[0].get("label").unwrap().as_str(), Some("g1"));
+        let vals = rows[0].get("values").unwrap().as_arr().unwrap();
+        assert_eq!(vals[0].as_f64(), Some(1.5));
+        assert_eq!(vals[1], nulpa_obs::json::Json::Null); // NaN -> null
     }
 }

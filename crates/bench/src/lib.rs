@@ -21,4 +21,4 @@
 
 pub mod harness;
 
-pub use harness::{geomean, median_time, print_header, BenchArgs};
+pub use harness::{geomean, median_time, print_header, BenchArgs, Report, Table, USAGE};

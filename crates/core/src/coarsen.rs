@@ -225,7 +225,11 @@ mod tests {
         let g = grid2d(30, 30, 1.0, 0);
         let r = coarsen_lpa(&g, &cfg(50));
         let coarsest = r.coarsest().unwrap();
-        assert!(coarsest.num_vertices() <= 200, "{}", coarsest.num_vertices());
+        assert!(
+            coarsest.num_vertices() <= 200,
+            "{}",
+            coarsest.num_vertices()
+        );
         assert!(coarsest.num_vertices() < g.num_vertices() / 4);
     }
 

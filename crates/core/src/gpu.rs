@@ -27,15 +27,27 @@ use crate::partition::partition_candidates;
 use crate::result::LpaResult;
 use nulpa_graph::{Csr, VertexId};
 use nulpa_hashtab::{HashValue, ProbeStrategy, TableAddr, TableMut, TableSlot, EMPTY_KEY};
-use nulpa_simt::{DeferredStore, KernelStats, LaneMeter, WaveScheduler, Width};
+use nulpa_simt::{
+    track, DeferredStore, KernelStats, LaneMeter, NullSink, TraceSink, WaveScheduler, Width,
+};
 use std::cell::{Cell, RefCell};
 
 /// Run ν-LPA on the simulated device configured in `config`.
 pub fn lpa_gpu(g: &Csr, config: &LpaConfig) -> LpaResult {
+    lpa_gpu_traced(g, config, &mut NullSink)
+}
+
+/// [`lpa_gpu`] with structured tracing: per-iteration spans (active-vertex
+/// count, thread/block partition sizes, ΔN, Pick-Less gating), per-kernel
+/// and per-wave spans, and probe/warp-cost histograms, all keyed by
+/// simulated cycles. The sink never influences the computation — the
+/// neutrality test asserts identical labels and stats vs [`NullSink`].
+/// The caller owns `sink.finish()`.
+pub fn lpa_gpu_traced(g: &Csr, config: &LpaConfig, sink: &mut dyn TraceSink) -> LpaResult {
     config.validate().expect("invalid LPA config");
     match config.value_type {
-        ValueType::F32 => lpa_gpu_typed::<f32>(g, config),
-        ValueType::F64 => lpa_gpu_typed::<f64>(g, config),
+        ValueType::F32 => lpa_gpu_typed::<f32>(g, config, sink),
+        ValueType::F64 => lpa_gpu_typed::<f64>(g, config, sink),
     }
 }
 
@@ -147,7 +159,7 @@ struct GpuState<V: HashValue> {
     changed: Cell<usize>,
 }
 
-fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig) -> LpaResult {
+fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig, sink: &mut dyn TraceSink) -> LpaResult {
     let n = g.num_vertices();
     let m = g.num_edges();
     let sched = WaveScheduler::new(config.device, config.cost);
@@ -176,31 +188,44 @@ fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig) -> LpaResult {
     let mut converged = false;
     let mut iterations = 0;
 
+    if sink.is_enabled() {
+        sink.span_begin(
+            track::HOST,
+            "lpa_gpu",
+            0,
+            &[("n", n.into()), ("m", m.into())],
+        );
+    }
+
     for iter in 0..config.max_iterations {
         iterations = iter + 1;
         let pick_less = config.swap_mode.pick_less_on(iter);
         let do_cc = config.swap_mode.cross_check_on(iter);
         let prev_labels = do_cc.then(|| state.labels.borrow().as_slice().to_vec());
+        let t_iter = stats.sim_cycles;
+        if sink.is_enabled() {
+            sink.span_begin(track::HOST, "iteration", t_iter, &[("iter", iter.into())]);
+        }
 
         // Candidate set: unprocessed, non-isolated vertices (vertex
         // pruning); with pruning disabled, all non-isolated vertices.
         let candidates: Vec<VertexId> = {
             let processed = state.processed.borrow();
             (0..n as VertexId)
-                .filter(|&v| {
-                    (!config.pruning || !processed.get(v as usize)) && g.degree(v) > 0
-                })
+                .filter(|&v| (!config.pruning || !processed.get(v as usize)) && g.degree(v) > 0)
                 .collect()
         };
         let part = partition_candidates(g, candidates.into_iter(), config.switch_degree);
+        let (low_n, high_n) = (part.low.len(), part.high.len());
         state.changed.set(0);
 
         // --- thread-per-vertex kernel (low-degree) --------------------
-        let st_low = low_sched.launch_thread_per_item(
+        let st_low = low_sched.launch_thread_per_item_traced(
+            "kernel:thread",
+            stats.sim_cycles,
+            sink,
             &part.low,
-            |v, lane| {
-                process_vertex_thread(g, &state, v, pick_less, config, lane, addr)
-            },
+            |v, lane| process_vertex_thread(g, &state, v, pick_less, config, lane, addr),
             |_| {
                 state.labels.borrow_mut().flush();
                 state.processed.borrow_mut().flush();
@@ -209,11 +234,12 @@ fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig) -> LpaResult {
         stats.add(&st_low);
 
         // --- block-per-vertex kernel (high-degree) --------------------
-        let st_high = sched.launch_block_per_item(
+        let st_high = sched.launch_block_per_item_traced(
+            "kernel:block",
+            stats.sim_cycles,
+            sink,
             &part.high,
-            |v, ctx| {
-                process_vertex_block(g, &state, v, pick_less, config.probe, ctx, addr)
-            },
+            |v, ctx| process_vertex_block(g, &state, v, pick_less, config.probe, ctx, addr),
             |_| {
                 state.labels.borrow_mut().flush();
                 state.processed.borrow_mut().flush();
@@ -222,6 +248,7 @@ fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig) -> LpaResult {
         stats.add(&st_high);
 
         // --- Cross-Check pass (separate kernel; immediate writes) -----
+        let cross_check = prev_labels.is_some();
         if let Some(prev) = prev_labels {
             let changed_vertices: Vec<VertexId> = {
                 let labels = state.labels.borrow();
@@ -229,7 +256,19 @@ fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig) -> LpaResult {
                     .filter(|&v| labels.get(v as usize) != prev[v as usize])
                     .collect()
             };
-            let st_cc = sched.launch_thread_per_item(
+            let t_cc = stats.sim_cycles;
+            if sink.is_enabled() {
+                sink.span_begin(
+                    track::HOST,
+                    "cross_check",
+                    t_cc,
+                    &[("changed_vertices", changed_vertices.len().into())],
+                );
+            }
+            let st_cc = sched.launch_thread_per_item_traced(
+                "kernel:cross_check",
+                t_cc,
+                sink,
                 &changed_vertices,
                 |v, lane| {
                     let cost = &config.cost;
@@ -242,7 +281,10 @@ fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig) -> LpaResult {
                     if labels.get(c as usize) != c {
                         labels.write_through(v as usize, prev[v as usize]);
                         lane.atomic(cost, addr.labels + v as usize, Width::W32);
-                        state.processed.borrow_mut().write_through(v as usize, false);
+                        state
+                            .processed
+                            .borrow_mut()
+                            .write_through(v as usize, false);
                         lane.global_write(cost, addr.processed + v as usize, Width::W32);
                         // a reverted move no longer counts as a change
                         state.changed.set(state.changed.get().saturating_sub(1));
@@ -251,14 +293,48 @@ fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig) -> LpaResult {
                 |_| {},
             );
             stats.add(&st_cc);
+            if sink.is_enabled() {
+                sink.span_end(track::HOST, "cross_check", stats.sim_cycles, &[]);
+            }
         }
 
         let changed = state.changed.get();
         changed_per_iter.push(changed);
+        if sink.is_enabled() {
+            let active = low_n + high_n;
+            sink.counter("dN", stats.sim_cycles, changed as f64);
+            sink.counter("active_vertices", stats.sim_cycles, active as f64);
+            sink.span_end(
+                track::HOST,
+                "iteration",
+                stats.sim_cycles,
+                &[
+                    ("iter", iter.into()),
+                    ("active", active.into()),
+                    ("thread_partition", low_n.into()),
+                    ("block_partition", high_n.into()),
+                    ("dN", changed.into()),
+                    ("pick_less", pick_less.into()),
+                    ("cross_check", cross_check.into()),
+                ],
+            );
+        }
         if !pick_less && (changed as f64 / n.max(1) as f64) < config.tolerance {
             converged = true;
             break;
         }
+    }
+
+    if sink.is_enabled() {
+        sink.span_end(
+            track::HOST,
+            "lpa_gpu",
+            stats.sim_cycles,
+            &[
+                ("iterations", iterations.into()),
+                ("converged", converged.into()),
+            ],
+        );
     }
 
     let labels = state.labels.into_inner().into_inner();
@@ -376,7 +452,8 @@ fn process_vertex_block<V: HashValue>(
 ) {
     let cost = *ctx.cost;
     state.processed.borrow_mut().stage_set(v as usize);
-    ctx.lane(0).global_write(&cost, addr.processed + v as usize, Width::W32);
+    ctx.lane(0)
+        .global_write(&cost, addr.processed + v as usize, Width::W32);
 
     let degree = g.degree(v);
     let slot = TableSlot::for_vertex(g.offset(v), degree);
@@ -440,7 +517,8 @@ fn process_vertex_block<V: HashValue>(
         ctx.lane(0).alu(&cost, 2);
         if c_star != cur && (!pick_less || c_star < cur) {
             state.labels.borrow_mut().stage(v as usize, c_star);
-            ctx.lane(0).global_write(&cost, addr.labels + v as usize, Width::W32);
+            ctx.lane(0)
+                .global_write(&cost, addr.labels + v as usize, Width::W32);
             state.changed.set(state.changed.get() + 1);
             ctx.lane(0).atomic(&cost, addr.processed, Width::W32); // ΔN_T → ΔN
             let mut processed = state.processed.borrow_mut();

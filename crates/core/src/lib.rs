@@ -40,11 +40,11 @@ pub mod seq;
 
 pub use coarsen::{coarsen_lpa, CoarseLevel, CoarsenConfig, CoarsenResult};
 pub use config::{LpaConfig, SwapMode, ValueType};
-pub use linkpred::{adamic_adar, community_adamic_adar, top_k_predictions};
-pub use gpu::lpa_gpu;
 pub use dynamic::{apply_batch, frontier, lpa_dynamic, EdgeBatch};
-pub use native::{lpa_native, lpa_native_from_state};
+pub use gpu::{lpa_gpu, lpa_gpu_traced};
+pub use linkpred::{adamic_adar, community_adamic_adar, top_k_predictions};
+pub use native::{lpa_native, lpa_native_from_state, lpa_native_traced};
 pub use partition::{partition_all, partition_candidates, KernelPartition};
 pub use pulp::{pulp_partition, pulp_partition_weighted, PulpConfig, PulpResult};
 pub use result::LpaResult;
-pub use seq::lpa_seq;
+pub use seq::{lpa_seq, lpa_seq_traced};

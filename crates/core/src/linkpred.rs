@@ -96,11 +96,7 @@ impl Iterator for MergeCommon<'_> {
 
 /// Rank the top-`k` non-edges by community Adamic–Adar, scanning 2-hop
 /// candidate pairs (the only pairs with a non-zero score). `O(Σ d²)`.
-pub fn top_k_predictions(
-    g: &Csr,
-    labels: &[VertexId],
-    k: usize,
-) -> Vec<(VertexId, VertexId, f64)> {
+pub fn top_k_predictions(g: &Csr, labels: &[VertexId], k: usize) -> Vec<(VertexId, VertexId, f64)> {
     assert_eq!(labels.len(), g.num_vertices(), "labels length mismatch");
     let mut seen = std::collections::HashSet::new();
     let mut scored: Vec<(VertexId, VertexId, f64)> = Vec::new();
@@ -231,8 +227,9 @@ mod tests {
                 / pairs.len().max(1) as f64
         };
         let held_score = mean(&held);
-        let random: Vec<(VertexId, VertexId)> =
-            (0..20).map(|i| (i as VertexId, (i + 53) as VertexId)).collect();
+        let random: Vec<(VertexId, VertexId)> = (0..20)
+            .map(|i| (i as VertexId, (i + 53) as VertexId))
+            .collect();
         let random_score = mean(&random);
         assert!(
             held_score > random_score,

@@ -23,17 +23,25 @@ use crate::disjoint::DisjointBuffer;
 use crate::result::LpaResult;
 use nulpa_graph::{Csr, VertexId};
 use nulpa_hashtab::{HashValue, TableMut, TableSlot, EMPTY_KEY};
-use nulpa_simt::KernelStats;
+use nulpa_simt::{track, KernelStats, NullSink, TraceSink};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::time::Instant;
 
 /// Run the native parallel ν-LPA port.
 pub fn lpa_native(g: &Csr, config: &LpaConfig) -> LpaResult {
+    lpa_native_traced(g, config, &mut NullSink)
+}
+
+/// [`lpa_native`] with per-iteration tracing. There is no simulated clock
+/// here — spans are timestamped in elapsed wall-clock **microseconds**
+/// since the call started. The caller owns `sink.finish()`.
+pub fn lpa_native_traced(g: &Csr, config: &LpaConfig, sink: &mut dyn TraceSink) -> LpaResult {
     config.validate().expect("invalid LPA config");
     let init = (0..g.num_vertices() as VertexId).collect();
     match config.value_type {
-        ValueType::F32 => lpa_native_typed::<f32>(g, config, init, None),
-        ValueType::F64 => lpa_native_typed::<f64>(g, config, init, None),
+        ValueType::F32 => lpa_native_typed::<f32>(g, config, init, None, sink),
+        ValueType::F64 => lpa_native_typed::<f64>(g, config, init, None, sink),
     }
 }
 
@@ -50,8 +58,12 @@ pub fn lpa_native_from_state(
     config.validate().expect("invalid LPA config");
     assert_eq!(init_labels.len(), g.num_vertices(), "label length mismatch");
     match config.value_type {
-        ValueType::F32 => lpa_native_typed::<f32>(g, config, init_labels, Some(unprocessed)),
-        ValueType::F64 => lpa_native_typed::<f64>(g, config, init_labels, Some(unprocessed)),
+        ValueType::F32 => {
+            lpa_native_typed::<f32>(g, config, init_labels, Some(unprocessed), &mut NullSink)
+        }
+        ValueType::F64 => {
+            lpa_native_typed::<f64>(g, config, init_labels, Some(unprocessed), &mut NullSink)
+        }
     }
 }
 
@@ -60,6 +72,7 @@ fn lpa_native_typed<V: HashValue>(
     config: &LpaConfig,
     init_labels: Vec<VertexId>,
     unprocessed: Option<&[VertexId]>,
+    sink: &mut dyn TraceSink,
 ) -> LpaResult {
     let n = g.num_vertices();
     let labels: Vec<AtomicU32> = init_labels.into_iter().map(AtomicU32::new).collect();
@@ -82,6 +95,8 @@ fn lpa_native_typed<V: HashValue>(
     let mut changed_per_iter = Vec::new();
     let mut converged = false;
     let mut iterations = 0;
+    let t0 = Instant::now();
+    let now_us = |t0: &Instant| t0.elapsed().as_micros() as u64;
 
     for iter in 0..config.max_iterations {
         iterations = iter + 1;
@@ -92,6 +107,14 @@ fn lpa_native_typed<V: HashValue>(
                 .map(|l| l.load(Ordering::Relaxed))
                 .collect::<Vec<_>>()
         });
+        if sink.is_enabled() {
+            sink.span_begin(
+                track::HOST,
+                "iteration",
+                now_us(&t0),
+                &[("iter", iter.into())],
+            );
+        }
 
         // Shuffled sweep order: emulates the interleaved schedule a real
         // thread pool produces and avoids the ascending-cascade pathology
@@ -131,6 +154,22 @@ fn lpa_native_typed<V: HashValue>(
         }
 
         changed_per_iter.push(changed);
+        if sink.is_enabled() {
+            let ts = now_us(&t0);
+            sink.counter("dN", ts, changed as f64);
+            sink.counter("active_vertices", ts, candidates.len() as f64);
+            sink.span_end(
+                track::HOST,
+                "iteration",
+                ts,
+                &[
+                    ("iter", iter.into()),
+                    ("active", candidates.len().into()),
+                    ("dN", changed.into()),
+                    ("pick_less", pick_less.into()),
+                ],
+            );
+        }
         if !pick_less && (changed as f64 / n.max(1) as f64) < config.tolerance {
             converged = true;
             break;

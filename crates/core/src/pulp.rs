@@ -291,7 +291,9 @@ mod tests {
             b.push_undirected(i, (i + 1) % n as u32, 1.0);
         }
         let g = b.build();
-        let weights: Vec<f64> = (0..n).map(|v| if v % 5 == 0 { 10.0 } else { 1.0 }).collect();
+        let weights: Vec<f64> = (0..n)
+            .map(|v| if v % 5 == 0 { 10.0 } else { 1.0 })
+            .collect();
         let total: f64 = weights.iter().sum();
         let k = 4;
         let r = pulp_partition_weighted(&g, &cfg(k), Some(&weights));
@@ -303,7 +305,10 @@ mod tests {
         // may start above the cap, but no *move* may push a part above it —
         // and every part must respect the floor
         for (p, &w) in part_w.iter().enumerate() {
-            assert!(w >= total / (2.0 * k as f64) - 10.0, "part {p} too light: {w}");
+            assert!(
+                w >= total / (2.0 * k as f64) - 10.0,
+                "part {p} too light: {w}"
+            );
         }
         assert_eq!(r.parts.len(), n);
     }

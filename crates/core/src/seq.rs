@@ -17,13 +17,16 @@
 use crate::config::LpaConfig;
 use crate::result::LpaResult;
 use nulpa_graph::{Csr, VertexId};
-use nulpa_simt::KernelStats;
+use nulpa_simt::{track, KernelStats, NullSink, TraceSink};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Deterministic, magnitude-uncorrelated label order for tie-breaking.
 #[inline]
 pub(crate) fn scramble(label: VertexId) -> u32 {
-    (label ^ 0x5bd1_e995).wrapping_mul(0x9e37_79b9).rotate_left(13)
+    (label ^ 0x5bd1_e995)
+        .wrapping_mul(0x9e37_79b9)
+        .rotate_left(13)
 }
 
 /// Deterministically shuffle the candidate sweep order.
@@ -44,8 +47,16 @@ pub(crate) fn shuffle_candidates(candidates: &mut [VertexId], iter: u32) {
 
 /// Run the sequential reference LPA.
 pub fn lpa_seq(g: &Csr, config: &LpaConfig) -> LpaResult {
+    lpa_seq_traced(g, config, &mut NullSink)
+}
+
+/// [`lpa_seq`] with per-iteration tracing, timestamped in elapsed
+/// wall-clock microseconds (the reference backend has no simulated
+/// clock). The caller owns `sink.finish()`.
+pub fn lpa_seq_traced(g: &Csr, config: &LpaConfig, sink: &mut dyn TraceSink) -> LpaResult {
     config.validate().expect("invalid LPA config");
     let n = g.num_vertices();
+    let t0 = Instant::now();
     let mut labels: Vec<VertexId> = (0..n as VertexId).collect();
     let mut processed = vec![false; n];
     let mut changed_per_iter = Vec::new();
@@ -65,6 +76,15 @@ pub fn lpa_seq(g: &Csr, config: &LpaConfig) -> LpaResult {
             .filter(|&v| (!config.pruning || !processed[v as usize]) && g.degree(v) > 0)
             .collect();
         shuffle_candidates(&mut candidates, iter);
+        let active = candidates.len();
+        if sink.is_enabled() {
+            sink.span_begin(
+                track::HOST,
+                "iteration",
+                t0.elapsed().as_micros() as u64,
+                &[("iter", iter.into())],
+            );
+        }
 
         let mut changed = 0usize;
         for v in candidates {
@@ -109,6 +129,22 @@ pub fn lpa_seq(g: &Csr, config: &LpaConfig) -> LpaResult {
         }
 
         changed_per_iter.push(changed);
+        if sink.is_enabled() {
+            let ts = t0.elapsed().as_micros() as u64;
+            sink.counter("dN", ts, changed as f64);
+            sink.counter("active_vertices", ts, active as f64);
+            sink.span_end(
+                track::HOST,
+                "iteration",
+                ts,
+                &[
+                    ("iter", iter.into()),
+                    ("active", active.into()),
+                    ("dN", changed.into()),
+                    ("pick_less", pick_less.into()),
+                ],
+            );
+        }
         if !pick_less && (changed as f64 / n.max(1) as f64) < config.tolerance {
             converged = true;
             break;

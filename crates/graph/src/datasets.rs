@@ -82,7 +82,14 @@ pub fn all_specs() -> [DatasetSpec; 13] {
         spec("webbase-2001", Web, 118_000_000, 1_890_000_000, 8.6, true),
         spec("it-2004", Web, 41_300_000, 2_190_000_000, 27.9, true),
         spec("sk-2005", Web, 50_600_000, 3_800_000_000, 38.5, true),
-        spec("com-LiveJournal", Social, 4_000_000, 69_400_000, 17.4, false),
+        spec(
+            "com-LiveJournal",
+            Social,
+            4_000_000,
+            69_400_000,
+            17.4,
+            false,
+        ),
         spec("com-Orkut", Social, 3_070_000, 234_000_000, 76.2, false),
         spec("asia_osm", Road, 12_000_000, 25_400_000, 2.1, false),
         spec("europe_osm", Road, 50_900_000, 108_000_000, 2.1, false),
@@ -189,7 +196,9 @@ fn heavy_tailed_sizes(n: usize, min_size: usize, seed: u64) -> Vec<usize> {
         let u: f64 = r.gen_range(0.0_f64..1.0).max(1e-9);
         // inverse-CDF sample of Pareto(alpha = 1.6, xm = min_size)
         let s = (xm / u.powf(1.0 / 1.6)).round() as usize;
-        let s = s.clamp(min_size, (n / 4).max(min_size + 1)).min(left.max(1));
+        let s = s
+            .clamp(min_size, (n / 4).max(min_size + 1))
+            .min(left.max(1));
         sizes.push(s.min(left));
         left = left.saturating_sub(s);
     }
@@ -253,15 +262,14 @@ mod tests {
             .generate(DEFAULT_SCALE);
         assert!(d.graph.max_degree() as f64 > 2.0 * d.graph.avg_degree());
         // web stand-ins carry host ground truth
-        assert_eq!(
-            d.ground_truth.expect("hosts").len(),
-            d.graph.num_vertices()
-        );
+        assert_eq!(d.ground_truth.expect("hosts").len(), d.graph.num_vertices());
     }
 
     #[test]
     fn social_standins_carry_ground_truth() {
-        let d = spec_by_name("com-LiveJournal").unwrap().generate(TEST_SCALE);
+        let d = spec_by_name("com-LiveJournal")
+            .unwrap()
+            .generate(TEST_SCALE);
         let t = d.ground_truth.expect("social graphs carry planted truth");
         assert_eq!(t.len(), d.graph.num_vertices());
     }
@@ -283,8 +291,8 @@ mod tests {
     fn scaled_sizes_track_paper_ratios() {
         let lj = spec_by_name("com-LiveJournal").unwrap();
         let orkut = spec_by_name("com-Orkut").unwrap();
-        let ratio = lj.scaled_vertices(DEFAULT_SCALE) as f64
-            / orkut.scaled_vertices(DEFAULT_SCALE) as f64;
+        let ratio =
+            lj.scaled_vertices(DEFAULT_SCALE) as f64 / orkut.scaled_vertices(DEFAULT_SCALE) as f64;
         assert!((ratio - 4.0 / 3.07).abs() < 0.1);
     }
 

@@ -47,11 +47,10 @@ pub fn barabasi_albert_local(
     // an endpoint entry is pushed per edge end; a window of `window`
     // vertices spans about `2 * m_attach * window` entries
     let entry_window = window.saturating_mul(2 * m_attach);
-    let pick =
-        |r: &mut rand_chacha::ChaCha8Rng, ends: &Vec<VertexId>| -> VertexId {
-            let lo = ends.len().saturating_sub(entry_window);
-            ends[r.gen_range(lo..ends.len())]
-        };
+    let pick = |r: &mut rand_chacha::ChaCha8Rng, ends: &Vec<VertexId>| -> VertexId {
+        let lo = ends.len().saturating_sub(entry_window);
+        ends[r.gen_range(lo..ends.len())]
+    };
 
     // `ends` holds one entry per edge endpoint; sampling uniformly from it
     // is sampling proportionally to degree.

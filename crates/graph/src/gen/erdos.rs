@@ -18,7 +18,10 @@ use rand::Rng;
 /// undirected edges.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
     let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max_edges, "requested {m} edges but only {max_edges} possible");
+    assert!(
+        m <= max_edges,
+        "requested {m} edges but only {max_edges} possible"
+    );
     let mut r = rng(seed);
     let mut chosen = std::collections::HashSet::with_capacity(m * 2);
     let mut b = GraphBuilder::new(n).reserve(2 * m);

@@ -99,10 +99,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(
-            kmer_chain(4, 10, 20, 0.2, 9),
-            kmer_chain(4, 10, 20, 0.2, 9)
-        );
+        assert_eq!(kmer_chain(4, 10, 20, 0.2, 9), kmer_chain(4, 10, 20, 0.2, 9));
     }
 
     #[test]

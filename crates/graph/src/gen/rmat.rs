@@ -46,7 +46,10 @@ impl Default for RmatParams {
 pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Csr {
     assert!((1..31).contains(&scale));
     let sum = params.a + params.b + params.c + params.d;
-    assert!((sum - 1.0).abs() < 1e-6, "quadrant probabilities must sum to 1");
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "quadrant probabilities must sum to 1"
+    );
     let n = 1usize << scale;
     let m = edge_factor * n;
     let mut r = rng(seed);

@@ -63,7 +63,9 @@ pub fn read_edge_list<R: BufRead>(
             }
         }
     };
-    let mut b = GraphBuilder::new(n).reserve(edges.len() * 2).add_edges(edges);
+    let mut b = GraphBuilder::new(n)
+        .reserve(edges.len() * 2)
+        .add_edges(edges);
     if symmetrize {
         b = b.symmetrize();
     }
@@ -72,7 +74,12 @@ pub fn read_edge_list<R: BufRead>(
 
 /// Write the stored directed edges as `u v w` lines.
 pub fn write_edge_list<W: Write>(g: &Csr, mut out: W) -> std::io::Result<()> {
-    writeln!(out, "# nu-lpa edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        out,
+        "# nu-lpa edge list: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for u in g.vertices() {
         for (v, w) in g.neighbors(u) {
             writeln!(out, "{u} {v} {w}")?;

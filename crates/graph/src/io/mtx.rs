@@ -15,14 +15,15 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, IoError> {
     let mut lines = reader.lines().enumerate();
 
     // Header
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "empty file"))?;
+    let (_, header) = lines.next().ok_or_else(|| parse_err(1, "empty file"))?;
     let header = header?;
     if !header.starts_with("%%MatrixMarket") {
         return Err(parse_err(1, "missing %%MatrixMarket header"));
     }
-    let toks: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
+    let toks: Vec<String> = header
+        .split_whitespace()
+        .map(|s| s.to_lowercase())
+        .collect();
     if toks.len() < 5 || toks[1] != "matrix" || toks[2] != "coordinate" {
         return Err(parse_err(1, "only `matrix coordinate` supported"));
     }
@@ -110,7 +111,10 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, IoError> {
         b.push_undirected(u, v, w);
     }
     if seen != nnz {
-        return Err(parse_err(0, format!("expected {nnz} entries, found {seen}")));
+        return Err(parse_err(
+            0,
+            format!("expected {nnz} entries, found {seen}"),
+        ));
     }
     Ok(b.build())
 }
@@ -127,7 +131,13 @@ pub fn write_matrix_market<W: Write>(g: &Csr, mut out: W) -> std::io::Result<()>
         }
     }
     writeln!(out, "%%MatrixMarket matrix coordinate real symmetric")?;
-    writeln!(out, "{} {} {}", g.num_vertices(), g.num_vertices(), entries.len())?;
+    writeln!(
+        out,
+        "{} {} {}",
+        g.num_vertices(),
+        g.num_vertices(),
+        entries.len()
+    )?;
     for (u, v, w) in entries {
         writeln!(out, "{} {} {}", u + 1, v + 1, w)?;
     }
@@ -141,7 +151,8 @@ mod tests {
 
     #[test]
     fn parse_symmetric_pattern() {
-        let txt = "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n3 3 2\n2 1\n3 2\n";
+        let txt =
+            "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n3 3 2\n2 1\n3 2\n";
         let g = read_matrix_market(Cursor::new(txt)).unwrap();
         assert_eq!(g.num_vertices(), 3);
         assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
@@ -175,8 +186,7 @@ mod tests {
 
     #[test]
     fn general_with_both_directions_not_doubled() {
-        let txt =
-            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 3.0\n2 1 3.0\n";
+        let txt = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 3.0\n2 1 3.0\n";
         let g = read_matrix_market(Cursor::new(txt)).unwrap();
         assert_eq!(g.edge_weight(0, 1), Some(3.0));
         assert_eq!(g.edge_weight(1, 0), Some(3.0));

@@ -41,10 +41,8 @@ pub fn relabel(g: &Csr, perm: &[VertexId]) -> Csr {
     for v in g.vertices() {
         let nv = perm[v as usize] as usize;
         let base = offsets[nv];
-        let mut pairs: Vec<(VertexId, Weight)> = g
-            .neighbors(v)
-            .map(|(t, w)| (perm[t as usize], w))
-            .collect();
+        let mut pairs: Vec<(VertexId, Weight)> =
+            g.neighbors(v).map(|(t, w)| (perm[t as usize], w)).collect();
         pairs.sort_unstable_by_key(|&(t, _)| t);
         for (k, (t, w)) in pairs.into_iter().enumerate() {
             targets[base + k] = t;
@@ -89,10 +87,7 @@ mod tests {
         for u in g.vertices() {
             assert_eq!(g.degree(u), h.degree(perm[u as usize]));
             for (v, w) in g.neighbors(u) {
-                assert_eq!(
-                    h.edge_weight(perm[u as usize], perm[v as usize]),
-                    Some(w)
-                );
+                assert_eq!(h.edge_weight(perm[u as usize], perm[v as usize]), Some(w));
             }
         }
     }

@@ -225,9 +225,15 @@ mod tests {
         // keys 0, 7, 14 all hash to slot 0
         assert!(t.accumulate(0, 1.0, None).is_done());
         let r = t.accumulate(7, 1.0, None);
-        assert!(matches!(r, CoalescedAccumulate::Done { chain_steps: 1, .. }));
+        assert!(matches!(
+            r,
+            CoalescedAccumulate::Done { chain_steps: 1, .. }
+        ));
         let r = t.accumulate(14, 1.0, None);
-        assert!(matches!(r, CoalescedAccumulate::Done { chain_steps: 2, .. }));
+        assert!(matches!(
+            r,
+            CoalescedAccumulate::Done { chain_steps: 2, .. }
+        ));
         // re-accumulating a chained key finds it again
         assert!(t.accumulate(14, 1.0, None).is_done());
         assert_eq!(t.entries().len(), 3);
@@ -280,7 +286,11 @@ mod tests {
         let mut t = CoalescedTable::new(&mut k, &mut v, &mut n);
         let cost = CostModel::default_gpu();
         let mut m = LaneMeter::new();
-        let addr = CoalescedAddr { keys: 0, values: 100, nexts: 200 };
+        let addr = CoalescedAddr {
+            keys: 0,
+            values: 100,
+            nexts: 200,
+        };
         t.accumulate(0, 1.0, Some((&mut m, &cost, addr)));
         t.accumulate(7, 1.0, Some((&mut m, &cost, addr)));
         assert!(m.probes >= 2);

@@ -85,7 +85,11 @@ impl TableSlot {
             start: 2 * offset,
             reserve,
             capacity,
-            p2: if capacity == 0 { 0 } else { secondary_prime(capacity) },
+            p2: if capacity == 0 {
+                0
+            } else {
+                secondary_prime(capacity)
+            },
         }
     }
 

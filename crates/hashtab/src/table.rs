@@ -240,6 +240,7 @@ impl<'a, V: HashValue> TableMut<'a, V> {
                     charge_table_access(meter, cost, &addr, addr.values + s, V::WIDTH, false);
                 }
                 charge_table_access(meter, cost, &addr, addr.values + s, V::WIDTH, true);
+                meter.probe_done(probes as u64);
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -263,6 +264,7 @@ impl<'a, V: HashValue> TableMut<'a, V> {
                     charge_table_access(meter, cost, &addr, addr.values + s, V::WIDTH, false);
                 }
                 charge_table_access(meter, cost, &addr, addr.values + s, V::WIDTH, true);
+                meter.probe_done(probes as u64 + off as u64);
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -314,6 +316,7 @@ impl<'a, V: HashValue> TableMut<'a, V> {
                 }
                 meter.atomic(cost, addr.keys + s, Width::W32); // atomicCAS
                 meter.atomic(cost, addr.values + s, V::WIDTH); // atomicAdd
+                meter.probe_done(probes as u64);
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -336,6 +339,7 @@ impl<'a, V: HashValue> TableMut<'a, V> {
                 }
                 meter.atomic(cost, addr.keys + s, Width::W32);
                 meter.atomic(cost, addr.values + s, V::WIDTH);
+                meter.probe_done(probes as u64 + off as u64);
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -465,6 +469,7 @@ impl<'a, V: HashValue> TableShared<'a, V> {
                 meter.atomic(cost, addr.keys + s, Width::W32); // atomicCAS
                 if self.try_slot(s, key, weight) {
                     meter.atomic(cost, addr.values + s, V::WIDTH); // atomicAdd
+                    meter.probe_done(probes as u64);
                     return Accumulate::Done {
                         slot: s,
                         probes,
@@ -482,6 +487,7 @@ impl<'a, V: HashValue> TableShared<'a, V> {
             if (k == key || k == EMPTY_KEY) && self.try_slot(s, key, weight) {
                 meter.atomic(cost, addr.keys + s, Width::W32);
                 meter.atomic(cost, addr.values + s, V::WIDTH);
+                meter.probe_done(probes as u64 + off as u64);
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -634,7 +640,10 @@ mod tests {
         // table full; existing key still works
         assert!(t.accumulate(ProbeStrategy::Linear, 2, 1.0).is_done());
         // new key cannot fit
-        assert_eq!(t.accumulate(ProbeStrategy::Linear, 9, 1.0), Accumulate::Failed);
+        assert_eq!(
+            t.accumulate(ProbeStrategy::Linear, 9, 1.0),
+            Accumulate::Failed
+        );
     }
 
     #[test]
@@ -669,7 +678,10 @@ mod tests {
     fn zero_capacity_fails_cleanly() {
         let (mut kk, mut vv) = fresh(0);
         let mut t = TableMut::<f32>::new(&mut kk, &mut vv, 1);
-        assert_eq!(t.accumulate(ProbeStrategy::Linear, 1, 1.0), Accumulate::Failed);
+        assert_eq!(
+            t.accumulate(ProbeStrategy::Linear, 1, 1.0),
+            Accumulate::Failed
+        );
         assert_eq!(t.max_key(), None);
     }
 
@@ -756,6 +768,10 @@ mod tests {
         assert_eq!(m.probes, 3); // 1 for first insert, 2 for the collided one
         assert!(m.cycles > 0);
         assert!(m.global_reads >= 3);
+        // probe_done recorded one sequence per accumulate: lengths 1 and 2
+        assert_eq!(m.probe_hist.count, 2);
+        assert_eq!(m.probe_hist.sum, 3);
+        assert_eq!(m.probe_hist.max, 2);
     }
 
     #[test]
@@ -773,7 +789,14 @@ mod tests {
         let mut m = LaneMeter::new();
         for &key in &keys {
             a.accumulate(ProbeStrategy::QuadraticDouble, key, 1.0);
-            b.accumulate_metered(ProbeStrategy::QuadraticDouble, key, 1.0, addr, &mut m, &cost);
+            b.accumulate_metered(
+                ProbeStrategy::QuadraticDouble,
+                key,
+                1.0,
+                addr,
+                &mut m,
+                &cost,
+            );
         }
         assert_eq!(a.entries(), b.entries());
     }

@@ -64,7 +64,7 @@ mod tests {
     #[test]
     fn cut_counts_each_edge_once() {
         let g = complete(4); // 6 undirected edges
-        // split 2/2: 4 edges cross
+                             // split 2/2: 4 edges cross
         let parts = vec![0, 0, 1, 1];
         assert_eq!(edge_cut(&g, &parts), 4.0);
         assert!((cut_fraction(&g, &parts) - 4.0 / 6.0).abs() < 1e-12);

@@ -23,10 +23,10 @@ pub mod modularity;
 pub mod nmi;
 pub mod validate;
 
-pub use cut::{cut_fraction, edge_cut, imbalance};
 pub use community::{
     community_count, community_sizes, compact_labels, max_community_size, same_partition,
 };
+pub use cut::{cut_fraction, edge_cut, imbalance};
 pub use modularity::{delta_modularity, modularity, modularity_par};
 pub use nmi::nmi;
 pub use validate::{check_labels, count_unsupported, PartitionError};

@@ -40,7 +40,10 @@ impl std::fmt::Display for PartitionError {
                 write!(f, "vertex {vertex} has out-of-range label {label}")
             }
             PartitionError::Unsupported { vertex, label } => {
-                write!(f, "vertex {vertex} holds label {label} shared by no neighbour")
+                write!(
+                    f,
+                    "vertex {vertex} holds label {label} shared by no neighbour"
+                )
             }
         }
     }
@@ -105,7 +108,10 @@ mod tests {
         let g = caveman(2, 4);
         assert!(matches!(
             check_labels(&g, &[0, 1]),
-            Err(PartitionError::LengthMismatch { expected: 8, got: 2 })
+            Err(PartitionError::LengthMismatch {
+                expected: 8,
+                got: 2
+            })
         ));
     }
 
@@ -116,7 +122,10 @@ mod tests {
         labels[3] = 99;
         assert!(matches!(
             check_labels(&g, &labels),
-            Err(PartitionError::LabelOutOfRange { vertex: 3, label: 99 })
+            Err(PartitionError::LabelOutOfRange {
+                vertex: 3,
+                label: 99
+            })
         ));
     }
 
@@ -139,7 +148,10 @@ mod tests {
 
     #[test]
     fn error_messages_render() {
-        let e = PartitionError::Unsupported { vertex: 1, label: 6 };
+        let e = PartitionError::Unsupported {
+            vertex: 1,
+            label: 6,
+        };
         assert!(e.to_string().contains("vertex 1"));
     }
 }

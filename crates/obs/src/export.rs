@@ -1,0 +1,400 @@
+//! File exporters: JSONL event streams and Chrome trace-event files.
+//!
+//! Both are hand-rolled (the build environment is offline; no serde).
+//!
+//! # JSONL schema
+//!
+//! One JSON object per line, in emission order:
+//!
+//! ```text
+//! {"ev":"begin","track":0,"name":"iteration","ts":120,"args":{"iter":0}}
+//! {"ev":"end","track":0,"name":"iteration","ts":3456,"args":{"changed":12}}
+//! {"ev":"counter","name":"dN","ts":3456,"value":12}
+//! {"ev":"hist","name":"probe_len","count":96,"sum":120,"max":4,"mean":1.25,
+//!  "p50":1,"p99":4,"buckets":[[0,1,10],[1,2,60],[2,4,20],[4,8,6]]}
+//! ```
+//!
+//! `ts` is simulated cycles (wall-clock microseconds for the native
+//! backends). `hist` lines are aggregates flushed by `finish`; `buckets`
+//! entries are `[lo, hi, count]` with values in `[lo, hi)`.
+//!
+//! # Chrome trace-event schema
+//!
+//! The classic `{"traceEvents":[...]}` JSON accepted by Perfetto and
+//! `chrome://tracing`, using `B`/`E` duration events, `C` counters and
+//! `M` metadata, with one microsecond of trace time per simulated cycle
+//! and tracks mapped to thread ids. Aggregated histograms are appended as
+//! one instant (`i`) event each, carrying the buckets in `args`.
+
+use crate::hist::Hist;
+use crate::json::{escape, fmt_f64};
+use crate::sink::{TraceSink, Value};
+use std::collections::BTreeMap;
+use std::io::Write;
+
+fn args_json(args: &[(&str, Value)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&escape(k));
+        out.push(':');
+        out.push_str(&v.to_json());
+    }
+    out.push('}');
+    out
+}
+
+fn hist_fields(name: &str, h: &Hist) -> String {
+    let mut buckets = String::from("[");
+    for (i, (lo, hi, c)) in h.nonzero_buckets().enumerate() {
+        if i > 0 {
+            buckets.push(',');
+        }
+        buckets.push_str(&format!("[{lo},{hi},{c}]"));
+    }
+    buckets.push(']');
+    format!(
+        "{}:{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"buckets\":{}}}",
+        escape(name),
+        h.count,
+        h.sum,
+        h.max,
+        fmt_f64(h.mean()),
+        h.quantile(0.5),
+        h.quantile(0.99),
+        buckets
+    )
+}
+
+/// Streaming JSONL exporter (one event object per line).
+pub struct JsonlSink<W: Write> {
+    out: W,
+    hists: BTreeMap<String, Hist>,
+    error: Option<std::io::Error>,
+    finished: bool,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Write events to `out`.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            hists: BTreeMap::new(),
+            error: None,
+            finished: false,
+        }
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+        }
+    }
+
+    /// First I/O error encountered, if any (the sink goes quiet after).
+    pub fn take_error(&mut self) -> Option<std::io::Error> {
+        self.error.take()
+    }
+
+    /// Finalise and return the writer.
+    pub fn into_inner(mut self) -> Result<W, std::io::Error> {
+        self.finish();
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(self.out),
+        }
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn span_begin(&mut self, track: u32, name: &str, ts: u64, args: &[(&str, Value)]) {
+        let line = format!(
+            "{{\"ev\":\"begin\",\"track\":{track},\"name\":{},\"ts\":{ts},\"args\":{}}}",
+            escape(name),
+            args_json(args)
+        );
+        self.write_line(&line);
+    }
+
+    fn span_end(&mut self, track: u32, name: &str, ts: u64, args: &[(&str, Value)]) {
+        let line = format!(
+            "{{\"ev\":\"end\",\"track\":{track},\"name\":{},\"ts\":{ts},\"args\":{}}}",
+            escape(name),
+            args_json(args)
+        );
+        self.write_line(&line);
+    }
+
+    fn counter(&mut self, name: &str, ts: u64, value: f64) {
+        let line = format!(
+            "{{\"ev\":\"counter\",\"name\":{},\"ts\":{ts},\"value\":{}}}",
+            escape(name),
+            fmt_f64(value)
+        );
+        self.write_line(&line);
+    }
+
+    fn hist_sample(&mut self, name: &str, value: u64) {
+        self.hists
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    fn histogram(&mut self, name: &str, hist: &Hist) {
+        self.hists.entry(name.to_string()).or_default().merge(hist);
+    }
+
+    fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let hists = std::mem::take(&mut self.hists);
+        for (name, h) in &hists {
+            let line = format!("{{\"ev\":\"hist\",{}}}", hist_line_body(name, h));
+            self.write_line(&line);
+        }
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+fn hist_line_body(name: &str, h: &Hist) -> String {
+    let mut buckets = String::from("[");
+    for (i, (lo, hi, c)) in h.nonzero_buckets().enumerate() {
+        if i > 0 {
+            buckets.push(',');
+        }
+        buckets.push_str(&format!("[{lo},{hi},{c}]"));
+    }
+    buckets.push(']');
+    format!(
+        "\"name\":{},\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"buckets\":{}",
+        escape(name),
+        h.count,
+        h.sum,
+        h.max,
+        fmt_f64(h.mean()),
+        h.quantile(0.5),
+        h.quantile(0.99),
+        buckets
+    )
+}
+
+/// Chrome trace-event exporter (Perfetto / `chrome://tracing`).
+pub struct ChromeTraceSink<W: Write> {
+    out: W,
+    hists: BTreeMap<String, Hist>,
+    first: bool,
+    last_ts: u64,
+    error: Option<std::io::Error>,
+    finished: bool,
+}
+
+impl<W: Write> ChromeTraceSink<W> {
+    /// Write a trace to `out`; emits the header and track metadata.
+    pub fn new(out: W) -> Self {
+        let mut sink = ChromeTraceSink {
+            out,
+            hists: BTreeMap::new(),
+            first: true,
+            last_ts: 0,
+            error: None,
+            finished: false,
+        };
+        if let Err(e) = writeln!(sink.out, "{{\"traceEvents\":[") {
+            sink.error = Some(e);
+        }
+        sink.write_event(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{\"name\":\"nu-lpa (1 simulated cycle = 1 us)\"}}",
+        );
+        for (tid, label) in [(0u32, "host"), (1, "kernels"), (2, "waves")] {
+            sink.write_event(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":{}}}}}",
+                escape(label)
+            ));
+        }
+        sink
+    }
+
+    fn write_event(&mut self, json_obj: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        let sep = if self.first { "" } else { ",\n" };
+        self.first = false;
+        if let Err(e) = write!(self.out, "{sep}{json_obj}") {
+            self.error = Some(e);
+        }
+    }
+
+    /// First I/O error encountered, if any.
+    pub fn take_error(&mut self) -> Option<std::io::Error> {
+        self.error.take()
+    }
+
+    /// Finalise (write the footer) and return the writer.
+    pub fn into_inner(mut self) -> Result<W, std::io::Error> {
+        self.finish();
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(self.out),
+        }
+    }
+}
+
+impl<W: Write> TraceSink for ChromeTraceSink<W> {
+    fn span_begin(&mut self, track: u32, name: &str, ts: u64, args: &[(&str, Value)]) {
+        self.last_ts = self.last_ts.max(ts);
+        let ev = format!(
+            "{{\"name\":{},\"ph\":\"B\",\"pid\":0,\"tid\":{track},\"ts\":{ts},\"args\":{}}}",
+            escape(name),
+            args_json(args)
+        );
+        self.write_event(&ev);
+    }
+
+    fn span_end(&mut self, track: u32, name: &str, ts: u64, args: &[(&str, Value)]) {
+        self.last_ts = self.last_ts.max(ts);
+        let ev = format!(
+            "{{\"name\":{},\"ph\":\"E\",\"pid\":0,\"tid\":{track},\"ts\":{ts},\"args\":{}}}",
+            escape(name),
+            args_json(args)
+        );
+        self.write_event(&ev);
+    }
+
+    fn counter(&mut self, name: &str, ts: u64, value: f64) {
+        self.last_ts = self.last_ts.max(ts);
+        let ev = format!(
+            "{{\"name\":{},\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{ts},\
+             \"args\":{{\"value\":{}}}}}",
+            escape(name),
+            fmt_f64(value)
+        );
+        self.write_event(&ev);
+    }
+
+    fn hist_sample(&mut self, name: &str, value: u64) {
+        self.hists
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    fn histogram(&mut self, name: &str, hist: &Hist) {
+        self.hists.entry(name.to_string()).or_default().merge(hist);
+    }
+
+    fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let hists = std::mem::take(&mut self.hists);
+        let ts = self.last_ts;
+        for (name, h) in &hists {
+            let ev = format!(
+                "{{\"name\":{},\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":{ts},\"s\":\"g\",\
+                 \"args\":{{{}}}}}",
+                escape(&format!("hist:{name}")),
+                hist_fields(name, h)
+            );
+            self.write_event(&ev);
+        }
+        if self.error.is_none() {
+            if let Err(e) = write!(self.out, "\n]}}").and_then(|_| self.out.flush()) {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::sink::track;
+
+    fn drive(sink: &mut dyn TraceSink) {
+        sink.span_begin(track::HOST, "iteration", 0, &[("iter", 0u64.into())]);
+        sink.span_begin(
+            track::KERNEL,
+            "kernel:thread",
+            10,
+            &[("items", 4u64.into())],
+        );
+        sink.span_end(track::KERNEL, "kernel:thread", 90, &[]);
+        sink.counter("dN", 100, 3.0);
+        sink.span_end(track::HOST, "iteration", 100, &[("changed", 3u64.into())]);
+        sink.hist_sample("probe_len", 1);
+        sink.hist_sample("probe_len", 5);
+        sink.finish();
+    }
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let mut sink = JsonlSink::new(Vec::new());
+        drive(&mut sink);
+        let buf = sink.into_inner().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6); // 2 begin + 2 end + 1 counter + 1 hist
+        for line in &lines {
+            let v = parse(line).unwrap_or_else(|e| panic!("bad line {line}: {e}"));
+            assert!(v.get("ev").is_some());
+        }
+        let hist = parse(lines[5]).unwrap();
+        assert_eq!(hist.get("ev").unwrap().as_str(), Some("hist"));
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(hist.get("max").unwrap().as_u64(), Some(5));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_phases() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        drive(&mut sink);
+        let buf = sink.into_inner().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let v = parse(&text).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phases.iter().filter(|p| **p == "M").count(), 4);
+        assert_eq!(phases.iter().filter(|p| **p == "B").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "E").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "C").count(), 1);
+        assert_eq!(phases.iter().filter(|p| **p == "i").count(), 1);
+        // B/E timestamps are cycles
+        let b = events.iter().find(|e| {
+            e.get("ph").unwrap().as_str() == Some("B")
+                && e.get("name").unwrap().as_str() == Some("kernel:thread")
+        });
+        assert_eq!(b.unwrap().get("ts").unwrap().as_u64(), Some(10));
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        sink.span_begin(0, "x", 0, &[]);
+        sink.span_end(0, "x", 1, &[]);
+        sink.finish();
+        sink.finish();
+        let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+        assert!(parse(&text).is_ok());
+        assert_eq!(text.matches("]}").count(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Fixed-size log2-bucketed histogram.
+//!
+//! [`Hist`] is `Copy` and allocation-free so it can live inside
+//! `KernelStats` (which the simulator copies around and compares with
+//! `==`): 32 power-of-two buckets cover the full `u64` range of
+//! probe lengths and warp costs. Bucket 0 holds the value 0; bucket
+//! `k ≥ 1` holds values in `[2^(k-1), 2^k)`, with everything at or above
+//! `2^30` collapsed into the last bucket.
+
+/// Number of buckets.
+pub const HIST_BUCKETS: usize = 32;
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Hist {
+    /// Sample count per bucket (see module docs for bucket boundaries).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample recorded.
+    pub max: u64,
+}
+
+/// Bucket index for a value: 0 for 0, else `1 + floor(log2(v))`, clamped.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive-exclusive value bounds `[lo, hi)` of bucket `idx`
+/// (`hi == u64::MAX` for the overflow bucket).
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    match idx {
+        0 => (0, 1),
+        i if i >= HIST_BUCKETS - 1 => (1u64 << (HIST_BUCKETS - 2), u64::MAX),
+        i => (1u64 << (i - 1), 1u64 << i),
+    }
+}
+
+impl Hist {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket containing the q-th sample, capped at `max`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                return hi.saturating_sub(1).min(self.max).max(lo);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        for v in [0u64, 1, 2, 3, 7, 8, 1 << 29, (1 << 30) + 5, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(
+                v >= lo && (v < hi || hi == u64::MAX),
+                "v={v} lo={lo} hi={hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = Hist::new();
+        for v in [0u64, 1, 1, 5, 9] {
+            a.record(v);
+        }
+        assert_eq!(a.count, 5);
+        assert_eq!(a.sum, 16);
+        assert_eq!(a.max, 9);
+        assert_eq!(a.buckets[0], 1); // 0
+        assert_eq!(a.buckets[1], 2); // 1, 1
+        assert_eq!(a.buckets[3], 1); // 5
+        assert_eq!(a.buckets[4], 1); // 9
+
+        let mut b = Hist::new();
+        b.record(100);
+        b.merge(&a);
+        assert_eq!(b.count, 6);
+        assert_eq!(b.sum, 116);
+        assert_eq!(b.max, 100);
+        assert!((b.mean() - 116.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = Hist::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q99);
+        assert!(q99 <= h.max);
+        assert_eq!(Hist::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn copy_and_eq() {
+        let mut a = Hist::new();
+        a.record(3);
+        let b = a;
+        assert_eq!(a, b);
+        let mut c = b;
+        c.record(3);
+        assert_ne!(a, c);
+    }
+}

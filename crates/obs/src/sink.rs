@@ -1,0 +1,311 @@
+//! The [`TraceSink`] trait and the in-memory sinks.
+//!
+//! Instrumented code (the SIMT scheduler, the hashtable layer, the LPA
+//! drivers) emits *spans* (begin/end pairs on a track, timestamped in
+//! simulated cycles), *counters* (named time series) and *histogram
+//! samples* (aggregated, not timestamped). Production code paths take a
+//! `&mut dyn TraceSink`; the statically no-op [`NullSink`] is the default
+//! and lets the optimiser erase the instrumentation when tracing is off.
+//!
+//! Sinks must never influence the computation they observe: the
+//! neutrality test in the workspace root asserts byte-identical labels
+//! and `KernelStats` with and without a recording sink attached.
+
+use crate::hist::Hist;
+use std::collections::BTreeMap;
+
+/// Track (timeline row) identifiers used by the emitters. Chrome/Perfetto
+/// renders one row per `tid`; the constants keep iteration, kernel and
+/// wave spans on separate rows.
+pub mod track {
+    /// Host-side algorithm phases (iterations, convergence checks).
+    pub const HOST: u32 = 0;
+    /// Kernel launches.
+    pub const KERNEL: u32 = 1;
+    /// Individual waves inside a kernel launch.
+    pub const WAVE: u32 = 2;
+}
+
+/// A dynamically typed argument value attached to an event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    /// Render as a JSON fragment.
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::F64(v) => crate::json::fmt_f64(*v),
+            Value::Bool(v) => v.to_string(),
+            Value::Str(s) => crate::json::escape(s),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Receiver for trace events keyed by simulated cycles.
+///
+/// All methods take `&mut self`; emitters hold a `&mut dyn TraceSink`.
+/// Implementations must not panic on odd inputs (e.g. unbalanced spans):
+/// tracing is an observer, never a failure source.
+pub trait TraceSink {
+    /// False for the no-op sink: emitters may skip building args.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Open a span named `name` on `track` at simulated time `ts`.
+    fn span_begin(&mut self, track: u32, name: &str, ts: u64, args: &[(&str, Value)]);
+
+    /// Close the innermost span named `name` on `track` at time `ts`.
+    fn span_end(&mut self, track: u32, name: &str, ts: u64, args: &[(&str, Value)]);
+
+    /// Record a point on the counter time series `name`.
+    fn counter(&mut self, name: &str, ts: u64, value: f64);
+
+    /// Record one sample into the aggregated histogram `name`.
+    fn hist_sample(&mut self, name: &str, value: u64);
+
+    /// Merge a pre-aggregated histogram into the aggregate `name`.
+    fn histogram(&mut self, name: &str, hist: &Hist);
+
+    /// Flush and finalise (write footers). Must be idempotent.
+    fn finish(&mut self) {}
+}
+
+/// Statically no-op sink: the default when tracing is off.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+    #[inline]
+    fn span_begin(&mut self, _track: u32, _name: &str, _ts: u64, _args: &[(&str, Value)]) {}
+    #[inline]
+    fn span_end(&mut self, _track: u32, _name: &str, _ts: u64, _args: &[(&str, Value)]) {}
+    #[inline]
+    fn counter(&mut self, _name: &str, _ts: u64, _value: f64) {}
+    #[inline]
+    fn hist_sample(&mut self, _name: &str, _value: u64) {}
+    #[inline]
+    fn histogram(&mut self, _name: &str, _hist: &Hist) {}
+}
+
+/// One recorded event (owned form of the sink callbacks).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// Span opened.
+    Begin {
+        /// Timeline row.
+        track: u32,
+        /// Span name.
+        name: String,
+        /// Simulated cycles.
+        ts: u64,
+        /// Attached arguments.
+        args: Vec<(String, Value)>,
+    },
+    /// Span closed.
+    End {
+        /// Timeline row.
+        track: u32,
+        /// Span name.
+        name: String,
+        /// Simulated cycles.
+        ts: u64,
+        /// Attached arguments.
+        args: Vec<(String, Value)>,
+    },
+    /// Counter sample.
+    Counter {
+        /// Series name.
+        name: String,
+        /// Simulated cycles.
+        ts: u64,
+        /// Sample value.
+        value: f64,
+    },
+}
+
+fn own_args(args: &[(&str, Value)]) -> Vec<(String, Value)> {
+    args.iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+/// In-memory sink: keeps every event plus aggregated histograms. Used by
+/// tests (neutrality, exporter goldens) and the `trace` summary path.
+#[derive(Clone, Debug, Default)]
+pub struct RecordingSink {
+    /// Ordered event stream.
+    pub events: Vec<TraceEvent>,
+    /// Aggregated histograms by name.
+    pub hists: BTreeMap<String, Hist>,
+}
+
+impl RecordingSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count events of each kind: (begins, ends, counters).
+    pub fn span_counts(&self) -> (usize, usize, usize) {
+        let mut b = 0;
+        let mut e = 0;
+        let mut c = 0;
+        for ev in &self.events {
+            match ev {
+                TraceEvent::Begin { .. } => b += 1,
+                TraceEvent::End { .. } => e += 1,
+                TraceEvent::Counter { .. } => c += 1,
+            }
+        }
+        (b, e, c)
+    }
+
+    /// Names of Begin events, in order (for structural assertions).
+    pub fn begin_names(&self) -> Vec<&str> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::Begin { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn span_begin(&mut self, track: u32, name: &str, ts: u64, args: &[(&str, Value)]) {
+        self.events.push(TraceEvent::Begin {
+            track,
+            name: name.to_string(),
+            ts,
+            args: own_args(args),
+        });
+    }
+
+    fn span_end(&mut self, track: u32, name: &str, ts: u64, args: &[(&str, Value)]) {
+        self.events.push(TraceEvent::End {
+            track,
+            name: name.to_string(),
+            ts,
+            args: own_args(args),
+        });
+    }
+
+    fn counter(&mut self, name: &str, ts: u64, value: f64) {
+        self.events.push(TraceEvent::Counter {
+            name: name.to_string(),
+            ts,
+            value,
+        });
+    }
+
+    fn hist_sample(&mut self, name: &str, value: u64) {
+        self.hists
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    fn histogram(&mut self, name: &str, hist: &Hist) {
+        self.hists.entry(name.to_string()).or_default().merge(hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.is_enabled());
+        s.span_begin(0, "x", 0, &[]);
+        s.span_end(0, "x", 1, &[]);
+        s.counter("c", 0, 1.0);
+        s.hist_sample("h", 3);
+        s.finish();
+    }
+
+    #[test]
+    fn recording_sink_captures_in_order() {
+        let mut s = RecordingSink::new();
+        s.span_begin(track::HOST, "iter", 0, &[("i", 0u64.into())]);
+        s.counter("dN", 5, 12.0);
+        s.span_end(track::HOST, "iter", 10, &[]);
+        s.hist_sample("probe_len", 2);
+        s.hist_sample("probe_len", 9);
+        assert_eq!(s.span_counts(), (1, 1, 1));
+        assert_eq!(s.begin_names(), vec!["iter"]);
+        let h = &s.hists["probe_len"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 9);
+    }
+
+    #[test]
+    fn value_json_rendering() {
+        assert_eq!(Value::from(3u64).to_json(), "3");
+        assert_eq!(Value::from(-2i64).to_json(), "-2");
+        assert_eq!(Value::from(true).to_json(), "true");
+        assert_eq!(Value::from(0.5f64).to_json(), "0.5");
+        assert_eq!(Value::from("a\"b").to_json(), r#""a\"b""#);
+    }
+}

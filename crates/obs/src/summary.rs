@@ -1,0 +1,318 @@
+//! Reading trace files back: the `nulpa trace <file>` subcommand.
+//!
+//! Accepts both formats this crate writes — Chrome trace-event JSON and
+//! JSONL — and produces per-span aggregate statistics, final counter
+//! values, and the stored histograms.
+
+use crate::json::{parse, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate over all spans sharing a name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanAgg {
+    /// Completed begin/end pairs.
+    pub count: u64,
+    /// Total duration in trace time units.
+    pub total_dur: u64,
+    /// Longest single span.
+    pub max_dur: u64,
+}
+
+/// Histogram restored from a trace file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistAgg {
+    /// Sample count.
+    pub count: u64,
+    /// Sample sum.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// `[lo, hi, count)` bucket rows.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+/// Everything the summary prints.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Span aggregates by name.
+    pub spans: BTreeMap<String, SpanAgg>,
+    /// Last value seen per counter series.
+    pub counters: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub hists: BTreeMap<String, HistAgg>,
+    /// Events that could not be paired or parsed.
+    pub skipped: u64,
+    /// Largest timestamp seen.
+    pub end_ts: u64,
+}
+
+fn note_begin(stacks: &mut BTreeMap<(u64, String), Vec<u64>>, track: u64, name: &str, ts: u64) {
+    stacks
+        .entry((track, name.to_string()))
+        .or_default()
+        .push(ts);
+}
+
+fn note_end(
+    summary: &mut TraceSummary,
+    stacks: &mut BTreeMap<(u64, String), Vec<u64>>,
+    track: u64,
+    name: &str,
+    ts: u64,
+) {
+    let open = stacks.entry((track, name.to_string())).or_default().pop();
+    match open {
+        Some(begin_ts) => {
+            let agg = summary.spans.entry(name.to_string()).or_default();
+            let dur = ts.saturating_sub(begin_ts);
+            agg.count += 1;
+            agg.total_dur += dur;
+            agg.max_dur = agg.max_dur.max(dur);
+        }
+        None => summary.skipped += 1,
+    }
+}
+
+fn note_hist(summary: &mut TraceSummary, name: &str, obj: &Json) {
+    let mut h = HistAgg {
+        count: obj.get("count").and_then(Json::as_u64).unwrap_or(0),
+        sum: obj.get("sum").and_then(Json::as_u64).unwrap_or(0),
+        max: obj.get("max").and_then(Json::as_u64).unwrap_or(0),
+        mean: obj.get("mean").and_then(Json::as_f64).unwrap_or(0.0),
+        p50: obj.get("p50").and_then(Json::as_u64).unwrap_or(0),
+        p99: obj.get("p99").and_then(Json::as_u64).unwrap_or(0),
+        buckets: Vec::new(),
+    };
+    if let Some(rows) = obj.get("buckets").and_then(Json::as_arr) {
+        for row in rows {
+            if let Some([lo, hi, c]) = row.as_arr().and_then(|r| {
+                Some([
+                    r.first()?.as_u64()?,
+                    r.get(1)?.as_u64()?,
+                    r.get(2)?.as_u64()?,
+                ])
+            }) {
+                h.buckets.push((lo, hi, c));
+            }
+        }
+    }
+    summary.hists.insert(name.to_string(), h);
+}
+
+/// Summarise a parsed event list (Chrome `traceEvents` or JSONL lines).
+fn summarize_events(events: &[Json]) -> TraceSummary {
+    let mut summary = TraceSummary::default();
+    // Open-span stacks keyed by (track, name); names pair LIFO per track.
+    let mut stacks: BTreeMap<(u64, String), Vec<u64>> = BTreeMap::new();
+    for ev in events {
+        let ts = ev.get("ts").and_then(Json::as_u64).unwrap_or(0);
+        summary.end_ts = summary.end_ts.max(ts);
+        // Chrome form: "ph"; JSONL form: "ev".
+        let kind = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .or_else(|| ev.get("ev").and_then(Json::as_str));
+        let name = ev.get("name").and_then(Json::as_str).unwrap_or("");
+        let track = ev
+            .get("tid")
+            .and_then(Json::as_u64)
+            .or_else(|| ev.get("track").and_then(Json::as_u64))
+            .unwrap_or(0);
+        match kind {
+            Some("B") | Some("begin") => note_begin(&mut stacks, track, name, ts),
+            Some("E") | Some("end") => note_end(&mut summary, &mut stacks, track, name, ts),
+            Some("C") => {
+                if let Some(v) = ev
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_f64)
+                {
+                    summary.counters.insert(name.to_string(), v);
+                } else {
+                    summary.skipped += 1;
+                }
+            }
+            Some("counter") => {
+                if let Some(v) = ev.get("value").and_then(Json::as_f64) {
+                    summary.counters.insert(name.to_string(), v);
+                } else {
+                    summary.skipped += 1;
+                }
+            }
+            Some("hist") => note_hist(&mut summary, name, ev),
+            Some("i") => {
+                // Chrome instant event carrying a histogram: args is
+                // {"<histname>": {...fields...}}.
+                if let (Some(stripped), Some(args)) = (name.strip_prefix("hist:"), ev.get("args")) {
+                    if let Some(fields) = args.get(stripped) {
+                        note_hist(&mut summary, stripped, fields);
+                    } else {
+                        summary.skipped += 1;
+                    }
+                }
+            }
+            Some("M") => {}
+            _ => summary.skipped += 1,
+        }
+    }
+    summary.skipped += stacks.values().map(|s| s.len() as u64).sum::<u64>();
+    summary
+}
+
+/// Summarise trace file contents (auto-detects Chrome JSON vs JSONL).
+pub fn summarize(text: &str) -> Result<TraceSummary, String> {
+    let trimmed = text.trim_start();
+    if trimmed.starts_with('{') && trimmed.contains("traceEvents") {
+        let doc = parse(text.trim())?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .ok_or("missing traceEvents array")?;
+        return Ok(summarize_events(events));
+    }
+    // JSONL: one object per non-empty line
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        events.push(parse(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(summarize_events(&events))
+}
+
+/// Render the summary as the table the CLI prints.
+pub fn render(summary: &TraceSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace end: {} ticks (simulated cycles or us)",
+        summary.end_ts
+    );
+    if !summary.spans.is_empty() {
+        let _ = writeln!(out, "\nspans:");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>14} {:>14} {:>14}",
+            "name", "count", "total", "mean", "max"
+        );
+        for (name, s) in &summary.spans {
+            let mean = if s.count == 0 {
+                0.0
+            } else {
+                s.total_dur as f64 / s.count as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} {:>14} {:>14.1} {:>14}",
+                name, s.count, s.total_dur, mean, s.max_dur
+            );
+        }
+    }
+    if !summary.counters.is_empty() {
+        let _ = writeln!(out, "\ncounters (final value):");
+        for (name, v) in &summary.counters {
+            let _ = writeln!(out, "  {name:<28} {v}");
+        }
+    }
+    if !summary.hists.is_empty() {
+        let _ = writeln!(out, "\nhistograms:");
+        for (name, h) in &summary.hists {
+            let _ = writeln!(
+                out,
+                "  {:<28} count={} mean={:.2} p50={} p99={} max={}",
+                name, h.count, h.mean, h.p50, h.p99, h.max
+            );
+            for &(lo, hi, c) in &h.buckets {
+                let bar_len = if h.count == 0 {
+                    0
+                } else {
+                    ((c as f64 / h.count as f64) * 40.0).round() as usize
+                };
+                let _ = writeln!(
+                    out,
+                    "    [{:>10}, {:>10}) {:>10}  {}",
+                    lo,
+                    hi,
+                    c,
+                    "#".repeat(bar_len.max(usize::from(c > 0)))
+                );
+            }
+        }
+    }
+    if summary.skipped > 0 {
+        let _ = writeln!(
+            out,
+            "\n({} unpaired/unknown events skipped)",
+            summary.skipped
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{ChromeTraceSink, JsonlSink};
+    use crate::sink::{track, TraceSink};
+
+    fn drive(sink: &mut dyn TraceSink) {
+        sink.span_begin(track::HOST, "iteration", 0, &[]);
+        sink.span_begin(track::KERNEL, "kernel:thread", 5, &[]);
+        sink.span_end(track::KERNEL, "kernel:thread", 45, &[]);
+        sink.counter("dN", 50, 7.0);
+        sink.span_end(track::HOST, "iteration", 50, &[]);
+        sink.span_begin(track::HOST, "iteration", 50, &[]);
+        sink.span_end(track::HOST, "iteration", 80, &[]);
+        sink.hist_sample("probe_len", 1);
+        sink.hist_sample("probe_len", 6);
+        sink.finish();
+    }
+
+    #[test]
+    fn summarizes_chrome_and_jsonl_identically() {
+        let mut chrome = ChromeTraceSink::new(Vec::new());
+        drive(&mut chrome);
+        let chrome_text = String::from_utf8(chrome.into_inner().unwrap()).unwrap();
+
+        let mut jsonl = JsonlSink::new(Vec::new());
+        drive(&mut jsonl);
+        let jsonl_text = String::from_utf8(jsonl.into_inner().unwrap()).unwrap();
+
+        let a = summarize(&chrome_text).unwrap();
+        let b = summarize(&jsonl_text).unwrap();
+        assert_eq!(a, b);
+
+        assert_eq!(a.spans["iteration"].count, 2);
+        assert_eq!(a.spans["iteration"].total_dur, 80);
+        assert_eq!(a.spans["iteration"].max_dur, 50);
+        assert_eq!(a.spans["kernel:thread"].count, 1);
+        assert_eq!(a.counters["dN"], 7.0);
+        assert_eq!(a.hists["probe_len"].count, 2);
+        assert_eq!(a.skipped, 0);
+        assert_eq!(a.end_ts, 80);
+
+        let rendered = render(&a);
+        assert!(rendered.contains("iteration"));
+        assert!(rendered.contains("probe_len"));
+    }
+
+    #[test]
+    fn unbalanced_spans_are_counted_not_fatal() {
+        let text = concat!(
+            "{\"ev\":\"begin\",\"track\":0,\"name\":\"x\",\"ts\":0,\"args\":{}}\n",
+            "{\"ev\":\"end\",\"track\":0,\"name\":\"y\",\"ts\":5,\"args\":{}}\n",
+        );
+        let s = summarize(text).unwrap();
+        assert_eq!(s.spans.len(), 0);
+        assert_eq!(s.skipped, 2); // one unmatched end + one dangling begin
+    }
+}

@@ -78,6 +78,8 @@ impl Width {
     }
 }
 
+use nulpa_obs::Hist;
+
 /// Per-lane meter: accumulates cycles and event counts for one simulated
 /// thread (lane) during one kernel. Cheap to create; the wave scheduler
 /// makes one per lane and folds them into [`crate::stats::KernelStats`].
@@ -87,6 +89,9 @@ pub struct LaneMeter {
     pub cycles: u64,
     /// Hash-probe count (incremented by the hashtable layer).
     pub probes: u64,
+    /// Completed probe-sequence lengths (one sample per
+    /// [`LaneMeter::probe_done`] call from the hashtable layer).
+    pub probe_hist: Hist,
     /// Atomic operations issued.
     pub atomics: u64,
     /// Global reads issued.
@@ -146,6 +151,14 @@ impl LaneMeter {
         self.probes += 1;
     }
 
+    /// Record the completion of one probe sequence of `len` probes. Called
+    /// by the hashtable layer when a lookup/insert settles; feeds the
+    /// probe-length histogram surfaced in `KernelStats` and traces.
+    #[inline]
+    pub fn probe_done(&mut self, len: u64) {
+        self.probe_hist.record(len);
+    }
+
     #[inline]
     fn mem_cost(&mut self, cost: &CostModel, addr: usize, width: Width) -> u64 {
         let line = addr / LINE_WORDS;
@@ -182,6 +195,7 @@ impl LaneMeter {
     pub fn absorb(&mut self, other: &LaneMeter) {
         self.cycles += other.cycles;
         self.probes += other.probes;
+        self.probe_hist.merge(&other.probe_hist);
         self.atomics += other.atomics;
         self.global_reads += other.global_reads;
         self.global_writes += other.global_writes;

@@ -33,3 +33,7 @@ pub use deferred::DeferredStore;
 pub use device::DeviceConfig;
 pub use stats::KernelStats;
 pub use wave::{BlockCtx, WaveScheduler};
+
+// Tracing vocabulary, re-exported so instrumented crates depending on
+// nulpa-simt don't each need a direct nulpa-obs dependency.
+pub use nulpa_obs::{track, Hist, NullSink, RecordingSink, TraceSink, Value};

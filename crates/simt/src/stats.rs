@@ -1,6 +1,7 @@
 //! Aggregated kernel statistics.
 
 use crate::cost::LaneMeter;
+use nulpa_obs::Hist;
 
 /// Statistics for one kernel launch (or a sum over launches).
 ///
@@ -31,6 +32,12 @@ pub struct KernelStats {
     pub waves: u64,
     /// Threads (lanes with work) launched.
     pub threads: u64,
+    /// Log2 histogram of completed probe-sequence lengths (fed by
+    /// [`LaneMeter::probe_done`] via the hashtable layer).
+    pub probe_hist: Hist,
+    /// Log2 histogram of per-warp lockstep costs (one sample per warp
+    /// folded) — the divergence distribution behind `idle_cycles`.
+    pub warp_cost_hist: Hist,
 }
 
 impl KernelStats {
@@ -51,6 +58,8 @@ impl KernelStats {
         self.global_writes += other.global_writes;
         self.waves += other.waves;
         self.threads += other.threads;
+        self.probe_hist.merge(&other.probe_hist);
+        self.warp_cost_hist.merge(&other.warp_cost_hist);
     }
 
     /// Fold one warp's lanes into the stats; returns the warp's cost
@@ -61,10 +70,14 @@ impl KernelStats {
             self.lane_cycles += l.cycles;
             self.idle_cycles += warp_cost - l.cycles;
             self.probes += l.probes;
+            self.probe_hist.merge(&l.probe_hist);
             self.atomics += l.atomics;
             self.global_reads += l.global_reads;
             self.global_writes += l.global_writes;
             self.threads += 1;
+        }
+        if !lanes.is_empty() {
+            self.warp_cost_hist.record(warp_cost);
         }
         warp_cost
     }
@@ -77,6 +90,40 @@ impl KernelStats {
         } else {
             self.idle_cycles as f64 / total as f64
         }
+    }
+
+    /// Fraction of lockstep time spent on useful work:
+    /// `1 − divergence_ratio`.
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.divergence_ratio()
+    }
+
+    /// Achieved occupancy in `[0, 1]`: mean fraction of the device's
+    /// per-wave capacity (`wave_capacity` items) actually filled. A value
+    /// well below 1 means the tail wave dominates or launches are small.
+    pub fn occupancy(&self, wave_capacity: u64) -> f64 {
+        let cap = self.waves * wave_capacity;
+        if cap == 0 {
+            0.0
+        } else {
+            self.threads as f64 / cap as f64
+        }
+    }
+
+    /// Atomic operations per graph edge — the contention-pressure metric
+    /// the paper's atomics discussion is phrased in (`edges` = directed
+    /// edge count processed by the kernel).
+    pub fn atomics_per_edge(&self, edges: u64) -> f64 {
+        if edges == 0 {
+            0.0
+        } else {
+            self.atomics as f64 / edges as f64
+        }
+    }
+
+    /// Mean completed probe-sequence length (0 when no probes recorded).
+    pub fn mean_probe_len(&self) -> f64 {
+        self.probe_hist.mean()
     }
 }
 
@@ -94,7 +141,11 @@ mod tests {
     #[test]
     fn fold_warp_takes_max_and_counts_idle() {
         let mut s = KernelStats::new();
-        let lanes = vec![lane_with_cycles(10), lane_with_cycles(4), lane_with_cycles(7)];
+        let lanes = vec![
+            lane_with_cycles(10),
+            lane_with_cycles(4),
+            lane_with_cycles(7),
+        ];
         let warp = s.fold_warp(&lanes);
         assert_eq!(warp, 10);
         assert_eq!(s.lane_cycles, 21);

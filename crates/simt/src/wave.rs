@@ -17,6 +17,7 @@
 use crate::cost::{CostModel, LaneMeter};
 use crate::device::DeviceConfig;
 use crate::stats::KernelStats;
+use nulpa_obs::{track, NullSink, TraceSink, Value};
 
 /// Lockstep kernel launcher for a fixed device.
 #[derive(Clone, Copy, Debug)]
@@ -42,6 +43,34 @@ impl WaveScheduler {
     pub fn launch_thread_per_item<T, F, G>(
         &self,
         items: &[T],
+        kernel: F,
+        wave_end: G,
+    ) -> KernelStats
+    where
+        T: Copy,
+        F: FnMut(T, &mut LaneMeter),
+        G: FnMut(u64),
+    {
+        self.launch_thread_per_item_traced(
+            "kernel:thread",
+            0,
+            &mut NullSink,
+            items,
+            kernel,
+            wave_end,
+        )
+    }
+
+    /// [`Self::launch_thread_per_item`] with tracing: emits a kernel span
+    /// named `name` starting at simulated cycle `t0`, one span per wave
+    /// (warp-cost max/sum and divergence in the args), and the launch's
+    /// probe-length and warp-cost histograms into `sink`.
+    pub fn launch_thread_per_item_traced<T, F, G>(
+        &self,
+        name: &str,
+        t0: u64,
+        sink: &mut dyn TraceSink,
+        items: &[T],
         mut kernel: F,
         mut wave_end: G,
     ) -> KernelStats
@@ -53,7 +82,19 @@ impl WaveScheduler {
         let mut stats = KernelStats::new();
         let wave_cap = self.device.resident_threads();
         let warp = self.device.warp_size;
+        if sink.is_enabled() {
+            sink.span_begin(
+                track::KERNEL,
+                name,
+                t0,
+                &[
+                    ("items", items.len().into()),
+                    ("wave_capacity", wave_cap.into()),
+                ],
+            );
+        }
         for (w, wave_items) in items.chunks(wave_cap).enumerate() {
+            let before = WaveSnapshot::of(&stats);
             let mut meters: Vec<LaneMeter> = Vec::with_capacity(wave_items.len());
             for &it in wave_items {
                 let mut m = LaneMeter::new();
@@ -67,17 +108,43 @@ impl WaveScheduler {
                 critical = critical.max(c);
                 warp_total += c;
             }
-            stats.sim_cycles += self.wave_duration(critical, warp_total);
+            let dur = self.wave_duration(critical, warp_total);
+            let wave_t0 = t0 + stats.sim_cycles;
+            stats.sim_cycles += dur;
             stats.waves += 1;
+            before.emit_wave(
+                sink,
+                wave_t0,
+                dur,
+                wave_items.len(),
+                critical,
+                warp_total,
+                &stats,
+            );
             wave_end(w as u64);
         }
+        self.finish_kernel_span(sink, name, t0, &stats);
         stats
     }
 
     /// Block-per-item launch: one cooperative block per item (the paper's
     /// block-per-vertex kernel for high-degree vertices).
-    pub fn launch_block_per_item<T, F, G>(
+    pub fn launch_block_per_item<T, F, G>(&self, items: &[T], kernel: F, wave_end: G) -> KernelStats
+    where
+        T: Copy,
+        F: FnMut(T, &mut BlockCtx<'_>),
+        G: FnMut(u64),
+    {
+        self.launch_block_per_item_traced("kernel:block", 0, &mut NullSink, items, kernel, wave_end)
+    }
+
+    /// [`Self::launch_block_per_item`] with tracing; see
+    /// [`Self::launch_thread_per_item_traced`] for the span layout.
+    pub fn launch_block_per_item_traced<T, F, G>(
         &self,
+        name: &str,
+        t0: u64,
+        sink: &mut dyn TraceSink,
         items: &[T],
         mut kernel: F,
         mut wave_end: G,
@@ -90,7 +157,19 @@ impl WaveScheduler {
         let mut stats = KernelStats::new();
         let wave_cap = self.device.resident_blocks();
         let warp = self.device.warp_size;
+        if sink.is_enabled() {
+            sink.span_begin(
+                track::KERNEL,
+                name,
+                t0,
+                &[
+                    ("items", items.len().into()),
+                    ("wave_capacity", wave_cap.into()),
+                ],
+            );
+        }
         for (w, wave_items) in items.chunks(wave_cap).enumerate() {
+            let before = WaveSnapshot::of(&stats);
             let mut critical = 0u64;
             let mut warp_total = 0u64;
             for &it in wave_items {
@@ -104,11 +183,57 @@ impl WaveScheduler {
                 }
                 critical = critical.max(block_cost);
             }
-            stats.sim_cycles += self.wave_duration(critical, warp_total);
+            let dur = self.wave_duration(critical, warp_total);
+            let wave_t0 = t0 + stats.sim_cycles;
+            stats.sim_cycles += dur;
             stats.waves += 1;
+            before.emit_wave(
+                sink,
+                wave_t0,
+                dur,
+                wave_items.len(),
+                critical,
+                warp_total,
+                &stats,
+            );
             wave_end(w as u64);
         }
+        self.finish_kernel_span(sink, name, t0, &stats);
         stats
+    }
+
+    /// Close the kernel span and flush the launch's histograms.
+    fn finish_kernel_span(
+        &self,
+        sink: &mut dyn TraceSink,
+        name: &str,
+        t0: u64,
+        stats: &KernelStats,
+    ) {
+        if !sink.is_enabled() {
+            return;
+        }
+        sink.span_end(
+            track::KERNEL,
+            name,
+            t0 + stats.sim_cycles,
+            &[
+                ("waves", stats.waves.into()),
+                ("threads", stats.threads.into()),
+                ("sim_cycles", stats.sim_cycles.into()),
+                ("divergence", stats.divergence_ratio().into()),
+                ("probes", stats.probes.into()),
+                ("atomics", stats.atomics.into()),
+                ("global_reads", stats.global_reads.into()),
+                ("global_writes", stats.global_writes.into()),
+            ],
+        );
+        if !stats.probe_hist.is_empty() {
+            sink.histogram("probe_len", &stats.probe_hist);
+        }
+        if !stats.warp_cost_hist.is_empty() {
+            sink.histogram("warp_cost", &stats.warp_cost_hist);
+        }
     }
 
     /// Duration of one wave under a latency/throughput/occupancy model.
@@ -131,10 +256,61 @@ impl WaveScheduler {
     fn wave_duration(&self, critical: u64, warp_total: u64) -> u64 {
         let d = &self.device;
         let resident_warps = (d.max_threads_per_sm / d.warp_size).max(1); // per SM
-        let occupancy =
-            (resident_warps as f64 / d.saturation_warps_per_sm.max(1) as f64).min(1.0);
+        let occupancy = (resident_warps as f64 / d.saturation_warps_per_sm.max(1) as f64).min(1.0);
         let width = (d.issue_width() as f64 * occupancy).max(1.0);
         critical.max((warp_total as f64 / width).ceil() as u64)
+    }
+}
+
+/// Pre-wave counter snapshot, used to attribute per-wave deltas (lane vs
+/// idle cycles → wave-local divergence) to the wave's trace span.
+#[derive(Clone, Copy)]
+struct WaveSnapshot {
+    lane_cycles: u64,
+    idle_cycles: u64,
+}
+
+impl WaveSnapshot {
+    fn of(stats: &KernelStats) -> Self {
+        WaveSnapshot {
+            lane_cycles: stats.lane_cycles,
+            idle_cycles: stats.idle_cycles,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_wave(
+        self,
+        sink: &mut dyn TraceSink,
+        wave_t0: u64,
+        dur: u64,
+        items: usize,
+        warp_cost_max: u64,
+        warp_cost_sum: u64,
+        stats: &KernelStats,
+    ) {
+        if !sink.is_enabled() {
+            return;
+        }
+        let lane = stats.lane_cycles - self.lane_cycles;
+        let idle = stats.idle_cycles - self.idle_cycles;
+        let divergence = if lane + idle == 0 {
+            0.0
+        } else {
+            idle as f64 / (lane + idle) as f64
+        };
+        sink.span_begin(track::WAVE, "wave", wave_t0, &[]);
+        sink.span_end(
+            track::WAVE,
+            "wave",
+            wave_t0 + dur,
+            &[
+                ("items", items.into()),
+                ("warp_cost_max", warp_cost_max.into()),
+                ("warp_cost_sum", warp_cost_sum.into()),
+                ("divergence", Value::F64(divergence)),
+            ],
+        );
     }
 }
 
@@ -291,11 +467,8 @@ mod tests {
         let s = sched(); // block_size 8
         let items = [0usize, 1, 2];
         let mut lanes_seen = Vec::new();
-        let stats = s.launch_block_per_item(
-            &items,
-            |_, ctx| lanes_seen.push(ctx.num_lanes()),
-            |_| {},
-        );
+        let stats =
+            s.launch_block_per_item(&items, |_, ctx| lanes_seen.push(ctx.num_lanes()), |_| {});
         assert_eq!(lanes_seen, vec![8, 8, 8]);
         assert_eq!(stats.threads, 24);
     }
@@ -360,11 +533,7 @@ mod tests {
     #[test]
     fn reduction_charges_log_steps() {
         let s = sched();
-        let stats = s.launch_block_per_item(
-            &[()],
-            |_, ctx| ctx.charge_reduction(8),
-            |_| {},
-        );
+        let stats = s.launch_block_per_item(&[()], |_, ctx| ctx.charge_reduction(8), |_| {});
         // log2(8) = 3 steps; each step: shared (1) + alu (1) = 2 cycles
         assert_eq!(stats.sim_cycles, 6);
     }
@@ -372,8 +541,7 @@ mod tests {
     #[test]
     fn reduction_of_one_is_free() {
         let s = sched();
-        let stats =
-            s.launch_block_per_item(&[()], |_, ctx| ctx.charge_reduction(1), |_| {});
+        let stats = s.launch_block_per_item(&[()], |_, ctx| ctx.charge_reduction(1), |_| {});
         assert_eq!(stats.sim_cycles, 0);
     }
 
@@ -398,6 +566,85 @@ mod tests {
             c_restricted > 2 * c_full,
             "restricted {c_restricted} vs full {c_full}"
         );
+    }
+
+    #[test]
+    fn traced_launch_emits_kernel_and_wave_spans() {
+        let s = sched(); // tiny: 64 resident threads
+        let items: Vec<usize> = (0..130).collect();
+        let mut sink = nulpa_obs::RecordingSink::new();
+        let stats = s.launch_thread_per_item_traced(
+            "kernel:test",
+            100,
+            &mut sink,
+            &items,
+            |_, m| m.alu(&CostModel::default_gpu(), 1),
+            |_| {},
+        );
+        // 1 kernel span + 3 wave spans
+        assert_eq!(sink.span_counts(), (4, 4, 0));
+        assert_eq!(sink.begin_names()[0], "kernel:test");
+        assert_eq!(sink.begin_names()[1..], ["wave", "wave", "wave"]);
+        // kernel span ends at t0 + sim_cycles
+        let last = sink.events.last().unwrap();
+        match last {
+            nulpa_obs::TraceEvent::End { name, ts, .. } => {
+                assert_eq!(name, "kernel:test");
+                assert_eq!(*ts, 100 + stats.sim_cycles);
+            }
+            other => panic!("expected kernel End, got {other:?}"),
+        }
+        // warp-cost histogram flushed (probe hist empty: no probes made)
+        assert!(sink.hists.contains_key("warp_cost"));
+        assert!(!sink.hists.contains_key("probe_len"));
+        assert_eq!(sink.hists["warp_cost"].count, stats.warp_cost_hist.count);
+    }
+
+    #[test]
+    fn traced_and_untraced_launch_agree() {
+        let s = sched();
+        let items: Vec<usize> = (0..100).collect();
+        let kernel = |it: usize, m: &mut LaneMeter| {
+            m.alu(&CostModel::default_gpu(), (it % 7) as u64);
+            m.global_read(&CostModel::default_gpu(), it * 3, Width::W32);
+        };
+        let plain = s.launch_thread_per_item(&items, kernel, |_| {});
+        let mut sink = nulpa_obs::RecordingSink::new();
+        let traced = s.launch_thread_per_item_traced("k", 0, &mut sink, &items, kernel, |_| {});
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn block_traced_launch_spans() {
+        let s = sched(); // 8 resident blocks
+        let items: Vec<usize> = (0..9).collect();
+        let mut sink = nulpa_obs::RecordingSink::new();
+        let stats = s.launch_block_per_item_traced(
+            "kernel:block",
+            0,
+            &mut sink,
+            &items,
+            |_, ctx| ctx.for_each_strided(4, |_, m| m.alu(&CostModel::default_gpu(), 2)),
+            |_| {},
+        );
+        assert_eq!(stats.waves, 2);
+        assert_eq!(sink.span_counts(), (3, 3, 0)); // kernel + 2 waves
+    }
+
+    #[test]
+    fn probe_done_reaches_kernel_hist() {
+        let s = sched();
+        let stats = s.launch_thread_per_item(
+            &[0usize, 1, 2],
+            |it, m| {
+                m.probe();
+                m.probe_done(1 + it as u64);
+            },
+            |_| {},
+        );
+        assert_eq!(stats.probe_hist.count, 3);
+        assert_eq!(stats.probe_hist.max, 3);
+        assert_eq!(stats.probes, 3);
     }
 
     #[test]

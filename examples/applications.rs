@@ -7,8 +7,8 @@
 //! ```
 
 use nu_lpa::core::{
-    coarsen_lpa, lpa_native, pulp_partition_weighted, top_k_predictions, CoarsenConfig,
-    LpaConfig, PulpConfig,
+    coarsen_lpa, lpa_native, pulp_partition_weighted, top_k_predictions, CoarsenConfig, LpaConfig,
+    PulpConfig,
 };
 use nu_lpa::graph::gen::web_crawl;
 use nu_lpa::metrics::{cut_fraction, imbalance};
@@ -41,11 +41,7 @@ fn main() {
         t0.elapsed()
     );
     for (i, level) in hierarchy.levels.iter().enumerate() {
-        let max_w = level
-            .vertex_weights
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let max_w = level.vertex_weights.iter().cloned().fold(0.0f64, f64::max);
         println!(
             "  level {}: {} vertices, heaviest super-vertex holds {:.0} pages",
             i,
@@ -82,12 +78,19 @@ fn main() {
     let t0 = Instant::now();
     let labels = lpa_native(&g, &LpaConfig::default()).labels;
     let preds = top_k_predictions(&g, &labels, 5);
-    println!("\n[link prediction] top 5 candidate links in {:.1?}:", t0.elapsed());
+    println!(
+        "\n[link prediction] top 5 candidate links in {:.1?}:",
+        t0.elapsed()
+    );
     for (u, v, s) in preds {
         let same = labels[u as usize] == labels[v as usize];
         println!(
             "  {u} -- {v}  score {s:.3} ({}) ",
-            if same { "same community" } else { "cross-community" }
+            if same {
+                "same community"
+            } else {
+                "cross-community"
+            }
         );
     }
 }

@@ -12,7 +12,11 @@ fn main() {
     // A graph with obvious structure: 4 cliques of 8 vertices, joined in a
     // ring by light bridges.
     let g = caveman_weighted(4, 8, 0.5);
-    println!("graph: {} vertices, {} directed edges", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} directed edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // Run ν-LPA with the paper's defaults: asynchronous LPA, Pick-Less
     // every 4 iterations, quadratic-double per-vertex hashtables, f32

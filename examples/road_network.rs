@@ -22,7 +22,10 @@ fn main() {
         g.avg_degree()
     );
 
-    println!("\n{:<22} {:>8} {:>10} {:>12}", "method", "k", "Q", "largest");
+    println!(
+        "\n{:<22} {:>8} {:>10} {:>12}",
+        "method", "k", "Q", "largest"
+    );
     let report = |name: &str, labels: &[u32]| {
         println!(
             "{:<22} {:>8} {:>10.4} {:>12}",

@@ -34,7 +34,10 @@ fn main() {
     let lv = louvain(g, &LouvainConfig::default());
     let t_lv = t0.elapsed();
 
-    println!("\n{:<10} {:>8} {:>10} {:>10} {:>12}", "method", "k", "Q", "NMI", "time");
+    println!(
+        "\n{:<10} {:>8} {:>10} {:>10} {:>12}",
+        "method", "k", "Q", "NMI", "time"
+    );
     println!(
         "{:<10} {:>8} {:>10.4} {:>10.4} {:>9.2?}",
         "nu-LPA",

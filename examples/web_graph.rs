@@ -25,7 +25,10 @@ fn main() {
         g.num_edges() / 2,
         community_count(&hosts)
     );
-    println!("\n{:<12} {:>10} {:>8} {:>10} {:>10}", "method", "time", "k", "Q", "host NMI");
+    println!(
+        "\n{:<12} {:>10} {:>8} {:>10} {:>10}",
+        "method", "time", "k", "Q", "host NMI"
+    );
 
     let report = |name: &str, labels: Vec<u32>, t: std::time::Duration| {
         println!(

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate. Tier 1 (must stay green): release build + root test suite.
+# Then workspace tests, formatting, and clippy with warnings denied.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier 1: cargo build --release"
+cargo build --release
+
+echo "==> tier 1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests"
+cargo test -q --workspace
+
+echo "==> rustfmt"
+cargo fmt --all --check
+
+echo "==> clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

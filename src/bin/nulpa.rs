@@ -10,21 +10,27 @@
 //! Graphs are read as MatrixMarket (`.mtx`) or whitespace edge lists
 //! (anything else); `-` reads an edge list from stdin. Outputs one label
 //! per line in vertex order.
+//!
+//! `detect --trace <path>` writes a structured trace of the run:
+//! `.jsonl` paths get a line-delimited event stream, anything else a
+//! Chrome trace-event file loadable in Perfetto (`ui.perfetto.dev`).
+//! `nulpa trace <path>` summarises either format.
 
 use nu_lpa::baselines::{
     flpa, gunrock_lp, gve_lpa, leiden, louvain, networkit_plp, GunrockConfig, GveLpaConfig,
     LeidenConfig, LouvainConfig, PlpConfig,
 };
 use nu_lpa::core::{
-    coarsen_lpa, lpa_gpu, lpa_native, pulp_partition, top_k_predictions, CoarsenConfig,
-    LpaConfig, PulpConfig,
+    coarsen_lpa, lpa_gpu_traced, lpa_native, lpa_native_traced, pulp_partition, top_k_predictions,
+    CoarsenConfig, LpaConfig, PulpConfig,
 };
 use nu_lpa::graph::datasets::spec_by_name;
+use nu_lpa::graph::io::{read_edge_list, read_matrix_market, write_edge_list};
 use nu_lpa::graph::stats::average_clustering;
 use nu_lpa::graph::subgraph::community_subgraph;
-use nu_lpa::graph::io::{read_edge_list, read_matrix_market, write_edge_list};
 use nu_lpa::graph::Csr;
 use nu_lpa::metrics::{community_count, cut_fraction, imbalance, modularity_par};
+use nu_lpa::obs::{summary, ChromeTraceSink, Hist, JsonlSink, NullSink, TraceSink, Value};
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -39,6 +45,7 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("--help") | Some("-h") | None => {
             usage();
             Ok(())
@@ -57,14 +64,18 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "nulpa — nu-LPA community detection (paper reproduction)\n\n\
-         USAGE:\n  nulpa stats <graph>\n  nulpa detect <graph> [--method M] [--output FILE] [--quality]\n  \
+         USAGE:\n  nulpa stats <graph>\n  nulpa detect <graph> [--method M] [--output FILE] [--quality] [--trace FILE]\n  \
          nulpa partition <graph> -k N [--balance F] [--output FILE]\n  \
          nulpa coarsen <graph> --target N [--output FILE]\n  \
          nulpa inspect <graph> [--top N]\n  \
          nulpa predict <graph> [-k N]\n  \
-         nulpa generate <dataset> [--scale F] [--output FILE]\n\n\
+         nulpa generate <dataset> [--scale F] [--output FILE]\n  \
+         nulpa trace <tracefile>\n\n\
          METHODS: nu-lpa (default), nu-lpa-sim (simulated A100), flpa,\n  \
          networkit, gunrock, louvain, leiden, gve-lpa\n\n\
+         TRACING: --trace x.jsonl writes a JSONL event stream; any other\n  \
+         extension writes a Chrome trace-event file (open in Perfetto).\n  \
+         Only nu-lpa and nu-lpa-sim are instrumented.\n\n\
          DATASETS: any Table-1 name, e.g. uk-2002, com-Orkut, asia_osm, kmer_A2a"
     );
 }
@@ -104,11 +115,95 @@ fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// File-backed trace sink for `--trace`: format picked by extension
+/// (`.jsonl` → JSONL event stream, anything else → Chrome trace-event
+/// JSON for Perfetto).
+enum FileSink {
+    Jsonl(JsonlSink<BufWriter<std::fs::File>>),
+    Chrome(ChromeTraceSink<BufWriter<std::fs::File>>),
+}
+
+impl FileSink {
+    fn create(path: &str) -> Result<Self, String> {
+        let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let w = BufWriter::new(f);
+        Ok(if path.ends_with(".jsonl") {
+            FileSink::Jsonl(JsonlSink::new(w))
+        } else {
+            FileSink::Chrome(ChromeTraceSink::new(w))
+        })
+    }
+
+    /// Finalise, flush, and surface any deferred I/O error.
+    fn close(self, path: &str) -> Result<(), String> {
+        let err = |e: std::io::Error| format!("{path}: {e}");
+        match self {
+            FileSink::Jsonl(mut s) => {
+                s.finish();
+                if let Some(e) = s.take_error() {
+                    return Err(err(e));
+                }
+                s.into_inner().map_err(&err)?.flush().map_err(&err)
+            }
+            FileSink::Chrome(mut s) => {
+                s.finish();
+                if let Some(e) = s.take_error() {
+                    return Err(err(e));
+                }
+                s.into_inner().map_err(&err)?.flush().map_err(&err)
+            }
+        }
+    }
+}
+
+impl TraceSink for FileSink {
+    fn span_begin(&mut self, track: u32, name: &str, ts: u64, args: &[(&str, Value)]) {
+        match self {
+            FileSink::Jsonl(s) => s.span_begin(track, name, ts, args),
+            FileSink::Chrome(s) => s.span_begin(track, name, ts, args),
+        }
+    }
+    fn span_end(&mut self, track: u32, name: &str, ts: u64, args: &[(&str, Value)]) {
+        match self {
+            FileSink::Jsonl(s) => s.span_end(track, name, ts, args),
+            FileSink::Chrome(s) => s.span_end(track, name, ts, args),
+        }
+    }
+    fn counter(&mut self, name: &str, ts: u64, value: f64) {
+        match self {
+            FileSink::Jsonl(s) => s.counter(name, ts, value),
+            FileSink::Chrome(s) => s.counter(name, ts, value),
+        }
+    }
+    fn hist_sample(&mut self, name: &str, value: u64) {
+        match self {
+            FileSink::Jsonl(s) => s.hist_sample(name, value),
+            FileSink::Chrome(s) => s.hist_sample(name, value),
+        }
+    }
+    fn histogram(&mut self, name: &str, hist: &Hist) {
+        match self {
+            FileSink::Jsonl(s) => s.histogram(name, hist),
+            FileSink::Chrome(s) => s.histogram(name, hist),
+        }
+    }
+    fn finish(&mut self) {
+        match self {
+            FileSink::Jsonl(s) => s.finish(),
+            FileSink::Chrome(s) => s.finish(),
+        }
+    }
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("stats: missing graph path")?;
     let g = load_graph(path)?;
     println!("vertices:     {}", g.num_vertices());
-    println!("edges:        {} directed ({} undirected)", g.num_edges(), g.num_edges() / 2);
+    println!(
+        "edges:        {} directed ({} undirected)",
+        g.num_edges(),
+        g.num_edges() / 2
+    );
     println!("avg degree:   {:.2}", g.avg_degree());
     println!("max degree:   {}", g.max_degree());
     println!("total weight: {:.1}", g.total_weight());
@@ -123,30 +218,48 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
     let method = opt_value(args, "--method").unwrap_or("nu-lpa");
     let output = opt_value(args, "--output");
     let quality = args.iter().any(|a| a == "--quality");
+    let trace_path = opt_value(args, "--trace");
+    if trace_path.is_some() && !matches!(method, "nu-lpa" | "nu-lpa-sim") {
+        return Err(format!(
+            "--trace: method `{method}` is not instrumented (use nu-lpa or nu-lpa-sim)"
+        ));
+    }
+    let mut file_sink = trace_path.map(FileSink::create).transpose()?;
+    let mut null = NullSink;
 
     let t0 = Instant::now();
-    let labels: Vec<u32> = match method {
-        "nu-lpa" => lpa_native(&g, &LpaConfig::default()).labels,
-        "nu-lpa-sim" => {
-            let r = lpa_gpu(&g, &LpaConfig::default());
-            eprintln!(
-                "simulated: {} cycles, {} waves, {:.1}% divergence, {} probes",
-                r.stats.sim_cycles,
-                r.stats.waves,
-                100.0 * r.stats.divergence_ratio(),
-                r.stats.probes
-            );
-            r.labels
+    let labels: Vec<u32> = {
+        let sink: &mut dyn TraceSink = match file_sink.as_mut() {
+            Some(s) => s,
+            None => &mut null,
+        };
+        match method {
+            "nu-lpa" => lpa_native_traced(&g, &LpaConfig::default(), sink).labels,
+            "nu-lpa-sim" => {
+                let r = lpa_gpu_traced(&g, &LpaConfig::default(), sink);
+                eprintln!(
+                    "simulated: {} cycles, {} waves, {:.1}% divergence, {} probes",
+                    r.stats.sim_cycles,
+                    r.stats.waves,
+                    100.0 * r.stats.divergence_ratio(),
+                    r.stats.probes
+                );
+                r.labels
+            }
+            "flpa" => flpa(&g, 1).labels,
+            "networkit" => networkit_plp(&g, &PlpConfig::default()).labels,
+            "gunrock" => gunrock_lp(&g, &GunrockConfig::default()).labels,
+            "louvain" => louvain(&g, &LouvainConfig::default()).labels,
+            "leiden" => leiden(&g, &LeidenConfig::default()).labels,
+            "gve-lpa" => gve_lpa(&g, &GveLpaConfig::default()).labels,
+            other => return Err(format!("unknown method `{other}`")),
         }
-        "flpa" => flpa(&g, 1).labels,
-        "networkit" => networkit_plp(&g, &PlpConfig::default()).labels,
-        "gunrock" => gunrock_lp(&g, &GunrockConfig::default()).labels,
-        "louvain" => louvain(&g, &LouvainConfig::default()).labels,
-        "leiden" => leiden(&g, &LeidenConfig::default()).labels,
-        "gve-lpa" => gve_lpa(&g, &GveLpaConfig::default()).labels,
-        other => return Err(format!("unknown method `{other}`")),
     };
     let elapsed = t0.elapsed();
+    if let (Some(s), Some(tp)) = (file_sink, trace_path) {
+        s.close(tp)?;
+        eprintln!("trace written to {tp}");
+    }
 
     eprintln!(
         "{} communities in {:.2?} ({:.1} M edges/s)",
@@ -246,8 +359,7 @@ fn cmd_coarsen(args: &[String]) -> Result<(), String> {
                 }
                 None => {
                     let out = std::io::stdout();
-                    write_edge_list(coarsest, BufWriter::new(out.lock()))
-                        .map_err(|e| e.to_string())
+                    write_edge_list(coarsest, BufWriter::new(out.lock())).map_err(|e| e.to_string())
                 }
             }
         }
@@ -290,7 +402,11 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
             c,
             size,
             m,
-            if possible == 0 { 0.0 } else { m as f64 / possible as f64 },
+            if possible == 0 {
+                0.0
+            } else {
+                m as f64 / possible as f64
+            },
             average_clustering(&sub.graph),
         );
     }
@@ -345,4 +461,12 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             write_edge_list(&d.graph, BufWriter::new(out.lock())).map_err(|e| e.to_string())
         }
     }
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("trace: missing trace file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let s = summary::summarize(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", summary::render(&s));
+    Ok(())
 }

@@ -9,10 +9,13 @@
 //! * [`core`] — the ν-LPA algorithm itself ([`nulpa_core`]).
 //! * [`baselines`] — FLPA, NetworKit PLP, Gunrock LP, Louvain ([`nulpa_baselines`]).
 //! * [`metrics`] — modularity, NMI, partition stats ([`nulpa_metrics`]).
+//! * [`obs`] — structured tracing: sinks, histograms, JSONL/Perfetto
+//!   exporters ([`nulpa_obs`]).
 
 pub use nulpa_baselines as baselines;
 pub use nulpa_core as core;
 pub use nulpa_graph as graph;
 pub use nulpa_hashtab as hashtab;
 pub use nulpa_metrics as metrics;
+pub use nulpa_obs as obs;
 pub use nulpa_simt as simt;

@@ -141,9 +141,19 @@ fn generate_pipes_into_detect() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = Command::new(BIN)
-        .args(["detect", gpath.to_str().unwrap(), "--method", "louvain", "--quality"])
+        .args([
+            "detect",
+            gpath.to_str().unwrap(),
+            "--method",
+            "louvain",
+            "--quality",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -163,7 +173,11 @@ fn coarsen_shrinks_graph() {
         .args(["coarsen", path.to_str().unwrap(), "--target", "8"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("levels"), "{stderr}");
     // the coarsest edge list should be non-empty and smaller than input
@@ -194,7 +208,11 @@ fn inspect_reports_top_communities() {
         .args(["inspect", path.to_str().unwrap(), "--top", "2"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("2 communities"), "{text}");
     assert!(text.contains("density"), "{text}");

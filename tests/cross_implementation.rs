@@ -54,7 +54,10 @@ fn synchronous_lp_worst_on_sparse_graphs() {
     let q_sync = modularity(&g, &gunrock_lp(&g, &GunrockConfig::default()).labels);
     let q_nu = modularity(&g, &lpa_native(&g, &LpaConfig::default()).labels);
     let q_flpa = modularity(&g, &flpa(&g, 1).labels);
-    assert!(q_sync < q_nu && q_sync < q_flpa, "sync {q_sync} nu {q_nu} flpa {q_flpa}");
+    assert!(
+        q_sync < q_nu && q_sync < q_flpa,
+        "sync {q_sync} nu {q_nu} flpa {q_flpa}"
+    );
 }
 
 #[test]
@@ -98,5 +101,8 @@ fn gpu_and_native_quality_comparable_on_web_graph() {
     let g = web_crawl(4000, 8, 0.08, 2);
     let q_native = modularity(&g, &lpa_native(&g, &LpaConfig::default()).labels);
     let q_gpu = modularity(&g, &lpa_gpu(&g, &LpaConfig::default()).labels);
-    assert!((q_native - q_gpu).abs() < 0.15, "native {q_native} gpu {q_gpu}");
+    assert!(
+        (q_native - q_gpu).abs() < 0.15,
+        "native {q_native} gpu {q_gpu}"
+    );
 }

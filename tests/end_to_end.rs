@@ -38,9 +38,10 @@ fn all_datasets_gpu_backend() {
 fn structured_categories_reach_positive_modularity() {
     // road and k-mer stand-ins have strong spatial/chain structure: every
     // backend should find clearly positive modularity there
-    for spec in all_specs().into_iter().filter(|s| {
-        matches!(s.category, Category::Road | Category::Kmer)
-    }) {
+    for spec in all_specs()
+        .into_iter()
+        .filter(|s| matches!(s.category, Category::Road | Category::Kmer))
+    {
         let d = spec.generate(TEST_SCALE);
         let g = &d.graph;
         for (name, labels) in [
@@ -96,5 +97,8 @@ fn table1_community_counts_are_plausible() {
         .generate(TEST_SCALE);
     let r = lpa_native(&d.graph, &LpaConfig::default());
     let kweb = community_count(&r.labels);
-    assert!(kweb < d.graph.num_vertices() / 4, "web graph under-merged: {kweb}");
+    assert!(
+        kweb < d.graph.num_vertices() / 4,
+        "web graph under-merged: {kweb}"
+    );
 }

@@ -6,9 +6,7 @@ use nu_lpa::baselines::{
     communities_connected, copra, labelrank, leiden, slpa, CopraConfig, LabelRankConfig,
     LeidenConfig, SlpaConfig,
 };
-use nu_lpa::core::{
-    lpa_dynamic, lpa_native, pulp_partition, EdgeBatch, LpaConfig, PulpConfig,
-};
+use nu_lpa::core::{lpa_dynamic, lpa_native, pulp_partition, EdgeBatch, LpaConfig, PulpConfig};
 use nu_lpa::graph::datasets::{spec_by_name, TEST_SCALE};
 use nu_lpa::graph::gen::web_crawl;
 use nu_lpa::metrics::{check_labels, cut_fraction, imbalance, modularity};
@@ -87,7 +85,12 @@ fn lp_family_quality_band_on_social_standin() {
     let q_copra = modularity(g, &copra(g, &CopraConfig::default()).labels);
     let q_lr = modularity(g, &labelrank(g, &LabelRankConfig::default()).labels);
     // all four find real structure on a social stand-in
-    for (name, q) in [("lpa", q_lpa), ("slpa", q_slpa), ("copra", q_copra), ("labelrank", q_lr)] {
+    for (name, q) in [
+        ("lpa", q_lpa),
+        ("slpa", q_slpa),
+        ("copra", q_copra),
+        ("labelrank", q_lr),
+    ] {
         assert!(q > 0.3, "{name}: Q = {q}");
     }
 }
@@ -114,7 +117,5 @@ fn partition_respects_tight_and_loose_balance() {
     );
     assert!(imbalance(&tight.parts, 6) <= 1.02 + 0.05);
     // looser balance can only help (or tie) the cut
-    assert!(
-        cut_fraction(g, &loose.parts) <= cut_fraction(g, &tight.parts) + 0.05
-    );
+    assert!(cut_fraction(g, &loose.parts) <= cut_fraction(g, &tight.parts) + 0.05);
 }

@@ -3,9 +3,7 @@
 
 use nu_lpa::core::{lpa_native, LpaConfig};
 use nu_lpa::graph::gen::{planted_partition, web_crawl};
-use nu_lpa::graph::io::{
-    read_edge_list, read_matrix_market, write_edge_list, write_matrix_market,
-};
+use nu_lpa::graph::io::{read_edge_list, read_matrix_market, write_edge_list, write_matrix_market};
 use nu_lpa::metrics::modularity;
 use std::io::Cursor;
 

@@ -12,14 +12,13 @@ use proptest::prelude::*;
 /// Arbitrary small undirected graph: up to `n` vertices, random edges.
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = nu_lpa::graph::Csr> {
     (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32, 0.1f32..4.0), 0..max_m)
-            .prop_map(move |edges| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0.1f32..4.0), 0..max_m).prop_map(
+            move |edges| {
                 GraphBuilder::new(n)
-                    .add_undirected_edges(
-                        edges.into_iter().filter(|(u, v, _)| u != v),
-                    )
+                    .add_undirected_edges(edges.into_iter().filter(|(u, v, _)| u != v))
                     .build()
-            })
+            },
+        )
     })
 }
 

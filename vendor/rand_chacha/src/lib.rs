@@ -1,0 +1,266 @@
+//! Offline vendored stub of `rand_chacha` 0.3: the [`ChaCha8Rng`] (and
+//! [`ChaCha20Rng`]) generators, bit-identical to the real crate.
+//!
+//! The workspace's graph generators and tests are all seeded through
+//! `ChaCha8Rng::seed_from_u64`, so this implementation reproduces both the
+//! ChaCha block function (djb's original 64-bit-counter/64-bit-nonce
+//! variant, which is what `rand_chacha` uses) and the `BlockRng` buffering
+//! semantics of `rand_core` 0.6 — including the four-blocks-per-refill
+//! layout and the word-crossing behaviour of `next_u64` — so the emitted
+//! stream matches the real crate word for word.
+
+use rand::{RngCore, SeedableRng};
+
+/// "expand 32-byte k" in little-endian words.
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Words buffered per refill: rand_chacha computes four 16-word blocks at
+/// a time (its SIMD width), and the buffer order is block-major.
+const BUF_WORDS: usize = 64;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even (8 for ChaCha8).
+fn chacha_block(input: &[u32; 16], rounds: u32, out: &mut [u32; 16]) {
+    let mut x = *input;
+    for _ in 0..rounds / 2 {
+        // column round
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // diagonal round
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = x[i].wrapping_add(input[i]);
+    }
+}
+
+/// Generic ChaCha RNG over a compile-time round count.
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const ROUNDS: u32> {
+    /// Key words (seed).
+    key: [u32; 8],
+    /// 64-bit block counter (words 12–13 of the state).
+    counter: u64,
+    /// 64-bit stream id / nonce (words 14–15 of the state).
+    stream: u64,
+    /// Buffered output words (four blocks).
+    results: [u32; BUF_WORDS],
+    /// Next unread index into `results`; `BUF_WORDS` means empty.
+    index: usize,
+}
+
+/// ChaCha with 8 rounds (the paper repo's seeded RNG everywhere).
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+impl<const ROUNDS: u32> ChaChaRng<ROUNDS> {
+    fn state_for_block(&self, block: u64) -> [u32; 16] {
+        let mut s = [0u32; 16];
+        s[..4].copy_from_slice(&CONSTANTS);
+        s[4..12].copy_from_slice(&self.key);
+        s[12] = block as u32;
+        s[13] = (block >> 32) as u32;
+        s[14] = self.stream as u32;
+        s[15] = (self.stream >> 32) as u32;
+        s
+    }
+
+    /// Refill the four-block buffer at the current counter.
+    fn generate(&mut self) {
+        let mut out = [0u32; 16];
+        for b in 0..4u64 {
+            let input = self.state_for_block(self.counter.wrapping_add(b));
+            chacha_block(&input, ROUNDS, &mut out);
+            self.results[b as usize * 16..(b as usize + 1) * 16].copy_from_slice(&out);
+        }
+        self.counter = self.counter.wrapping_add(4);
+    }
+
+    /// Set the stream id (nonce words); resets buffered output.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.index = BUF_WORDS;
+    }
+
+    /// Current word position consumed from the start of the stream.
+    pub fn get_word_pos(&self) -> u128 {
+        let blocks_buffered = if self.index == BUF_WORDS { 0 } else { 4 };
+        let base = (self.counter as u128).wrapping_sub(blocks_buffered) * 16;
+        if self.index == BUF_WORDS {
+            base
+        } else {
+            base + self.index as u128
+        }
+    }
+}
+
+impl<const ROUNDS: u32> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            stream: 0,
+            results: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        }
+    }
+}
+
+impl<const ROUNDS: u32> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.generate();
+            self.index = 0;
+        }
+        let v = self.results[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // rand_core 0.6 BlockRng::next_u64 semantics, including the
+        // buffer-boundary crossing case.
+        let len = BUF_WORDS;
+        let index = self.index;
+        if index < len - 1 {
+            self.index += 2;
+            (u64::from(self.results[index + 1]) << 32) | u64::from(self.results[index])
+        } else if index == len - 1 {
+            let x = u64::from(self.results[len - 1]);
+            self.generate();
+            let y = u64::from(self.results[0]);
+            self.index = 1;
+            (y << 32) | x
+        } else {
+            self.generate();
+            self.index = 2;
+            (u64::from(self.results[1]) << 32) | u64::from(self.results[0])
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // Whole-word consumption, as BlockRng's fill_bytes.
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 block-function test vector (20 rounds). The nonce
+    /// there is the 96-bit IETF layout, so we poke the state words
+    /// directly — the block function itself is variant-independent.
+    #[test]
+    fn rfc8439_block_vector() {
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&CONSTANTS);
+        for i in 0..8 {
+            let b = (i as u32) * 4;
+            input[4 + i] = u32::from_le_bytes([b as u8, b as u8 + 1, b as u8 + 2, b as u8 + 3]);
+        }
+        input[12] = 1; // counter
+        input[13] = 0x0900_0000;
+        input[14] = 0x4a00_0000;
+        input[15] = 0x0000_0000;
+        let mut out = [0u32; 16];
+        chacha_block(&input, 20, &mut out);
+        let expected: [u32; 16] = [
+            0xe4e7_f110,
+            0x1559_3bd1,
+            0x1fdd_0f50,
+            0xc471_20a3,
+            0xc7f4_d1c7,
+            0x0368_c033,
+            0x9aaa_2204,
+            0x4e6c_d4c3,
+            0x4664_82d2,
+            0x09aa_9f07,
+            0x05d7_c214,
+            0xa202_8bd9,
+            0xd19c_12b5,
+            0xb94e_16de,
+            0xe883_d0cb,
+            0x4e3c_50a2,
+        ];
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..200 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        assert_ne!(
+            (0..8).map(|_| a.next_u32()).collect::<Vec<_>>(),
+            (0..8).map(|_| c.next_u32()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn next_u64_crosses_buffer_boundary() {
+        // Consume 63 words, then draw a u64: low half is word 63, high
+        // half is word 64 (the first word of the next refill).
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let words: Vec<u32> = {
+            let mut s = ChaCha8Rng::seed_from_u64(1);
+            (0..130).map(|_| s.next_u32()).collect()
+        };
+        for _ in 0..63 {
+            r.next_u32();
+        }
+        let v = r.next_u64();
+        assert_eq!(v as u32, words[63]);
+        assert_eq!((v >> 32) as u32, words[64]);
+        // and the stream continues at word 65
+        assert_eq!(r.next_u32(), words[65]);
+    }
+
+    #[test]
+    fn mixed_width_stream_is_word_addressed() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let w0 = a.next_u32();
+        let w12 = a.next_u64();
+        let mut b = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(b.next_u32(), w0);
+        let lo = b.next_u32();
+        let hi = b.next_u32();
+        assert_eq!(w12, (u64::from(hi) << 32) | u64::from(lo));
+    }
+}

@@ -1,0 +1,302 @@
+//! Offline vendored stub of the `rayon` API surface this workspace uses.
+//!
+//! Executes everything **sequentially** on the calling thread, preserving
+//! rayon's combinator semantics (`fold` produces per-split accumulators
+//! that `reduce` merges; here there is exactly one split). Sequential
+//! execution is deterministic, which is a strict subset of the behaviours
+//! the real work-stealing pool can produce, so all code written against
+//! rayon's API remains correct — just not parallel. The algorithmic code
+//! paths (atomics, Jacobi snapshots, chunked scratch pools) are unchanged
+//! and still exercised.
+
+/// A "parallel" iterator: a thin wrapper around a sequential iterator.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each item.
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keep items matching the predicate.
+    pub fn filter<P>(self, p: P) -> ParIter<std::iter::Filter<I, P>>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(p))
+    }
+
+    /// Filter-map in one pass.
+    pub fn filter_map<F, R>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<R>,
+    {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Rayon's `fold`: produce per-split accumulators (one split here).
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Rayon's `reduce`: merge items pairwise starting from the identity.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Sum all items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.0.sum()
+    }
+
+    /// Count items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Maximum item.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Minimum item.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.0.collect()
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f)
+    }
+
+    /// True if any item matches.
+    pub fn any<P>(mut self, p: P) -> bool
+    where
+        P: FnMut(I::Item) -> bool,
+    {
+        self.0.any(p)
+    }
+
+    /// True if all items match.
+    pub fn all<P>(mut self, p: P) -> bool
+    where
+        P: FnMut(I::Item) -> bool,
+    {
+        self.0.all(p)
+    }
+}
+
+impl<'a, T: 'a + Copy, I: Iterator<Item = &'a T>> ParIter<I> {
+    /// Copy referenced items.
+    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
+        ParIter(self.0.copied())
+    }
+
+    /// Clone referenced items.
+    pub fn cloned(self) -> ParIter<std::iter::Cloned<I>> {
+        ParIter(self.0.cloned())
+    }
+}
+
+/// Conversion into a (sequentially emulated) parallel iterator.
+pub trait IntoParallelIterator {
+    /// The wrapped iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    type Item = T::Item;
+    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter()` on collections whose references iterate.
+pub trait IntoParallelRefIterator<'a> {
+    /// The wrapped iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (a reference).
+    type Item: 'a;
+    /// Iterate by reference.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    type Item = <&'a C as IntoIterator>::Item;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter_mut()` on collections whose mutable references iterate.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The wrapped iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (a mutable reference).
+    type Item: 'a;
+    /// Iterate by mutable reference.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+{
+    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+    type Item = <&'a mut C as IntoIterator>::Item;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Chunked slice access (`par_chunks`).
+pub trait ParallelSlice<T> {
+    /// Iterate over `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(size))
+    }
+}
+
+/// Run two closures ("in parallel": sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by the stub).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a (no-op) thread pool.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    _num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requested worker count (ignored: execution is sequential).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+}
+
+/// A no-op pool: `install` just runs the closure on this thread.
+pub struct ThreadPool;
+
+impl ThreadPool {
+    /// Run `f` "inside" the pool.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude::*`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_filter_collect() {
+        let v: Vec<u32> = (0u32..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+        let odd: Vec<u32> = v.par_iter().filter(|&&x| x % 4 == 2).copied().collect();
+        assert_eq!(odd, vec![2, 6, 10, 14, 18]);
+    }
+
+    #[test]
+    fn fold_then_reduce() {
+        let total = (0u64..100)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn chunks_and_sum() {
+        let data: Vec<usize> = (0..1000).collect();
+        let s: usize = data.par_chunks(64).map(|c| c.iter().sum::<usize>()).sum();
+        assert_eq!(s, 499500);
+    }
+
+    #[test]
+    fn pool_installs() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 41 + 1), 42);
+    }
+}
