@@ -21,6 +21,7 @@
 //! LPA "emerged as the most efficient, delivering communities of
 //! comparable quality".
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod common;

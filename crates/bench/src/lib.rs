@@ -17,6 +17,7 @@
 //! sizes; default 1/2000) and `--quick` (tiny test scale), prints the
 //! same rows/series the paper reports, and is deterministic.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;

@@ -279,7 +279,10 @@ fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig, sink: &mut dyn Trace
                     // A change is good iff the leader vertex c is in its own
                     // community (paper §4.1); otherwise revert atomically.
                     if labels.get(c as usize) != c {
-                        labels.write_through(v as usize, prev[v as usize]);
+                        // atomicExch, as in the reference implementation:
+                        // the revert takes effect immediately, not at the
+                        // wave flush.
+                        labels.atomic_exchange(v as usize, prev[v as usize]);
                         lane.atomic(cost, addr.labels + v as usize, Width::W32);
                         state
                             .processed

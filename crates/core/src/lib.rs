@@ -24,14 +24,21 @@
 //! assert!(modularity(&g, &result.labels) > 0.5);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coarsen;
 pub mod config;
+// The only unsafe code in the workspace lives in these two modules
+// (audited, allowlisted in scripts/ci.sh): `disjoint` hands out
+// non-overlapping mutable table regions from one buffer, and `native`
+// shares label slices across rayon workers with vertex-disjoint writes.
+#[allow(unsafe_code)]
 pub mod disjoint;
 pub mod dynamic;
 pub mod gpu;
 pub mod linkpred;
+#[allow(unsafe_code)]
 pub mod native;
 pub mod partition;
 pub mod pulp;

@@ -21,6 +21,7 @@
 //! assert_eq!(social.graph.num_vertices(), 100);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;

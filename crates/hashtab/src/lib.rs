@@ -26,6 +26,7 @@
 //! assert_eq!(t.max_key(), Some((42, 3.0)));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coalesced;

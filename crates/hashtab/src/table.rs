@@ -33,6 +33,8 @@
 use crate::layout::{EMPTY_KEY, MAX_RETRIES};
 use crate::probe::{ProbeSeq, ProbeStrategy};
 use crate::value::HashValue;
+#[cfg(feature = "sancheck")]
+use nulpa_sancheck::hooks;
 use nulpa_simt::{CostModel, LaneMeter, Width};
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -135,8 +137,18 @@ impl<'a, V: HashValue> TableMut<'a, V> {
         self.keys.len()
     }
 
+    /// Shadow-memory identity of this table: the address of its key
+    /// region (tables are carved from disjoint buffer ranges).
+    #[cfg(feature = "sancheck")]
+    #[inline]
+    fn tid(&self) -> usize {
+        self.keys.as_ptr() as usize
+    }
+
     /// Reset every slot to empty (paper's `hashtableClear`).
     pub fn clear(&mut self) {
+        #[cfg(feature = "sancheck")]
+        hooks::table_clear(self.tid());
         self.keys.fill(EMPTY_KEY);
         self.values.fill(V::zero());
     }
@@ -150,15 +162,24 @@ impl<'a, V: HashValue> TableMut<'a, V> {
         }
         let mut seq = ProbeSeq::new(strategy, key, p1, self.p2);
         let retries = max_retries_for(p1);
+        #[cfg(feature = "sancheck")]
+        hooks::probe_start(self.tid(), p1, (retries + p1 as u32) as u64);
         let mut probes = 0u32;
         let mut last = 0usize;
         while probes < retries {
             let s = seq.slot();
             last = s;
             probes += 1;
+            #[cfg(feature = "sancheck")]
+            hooks::probe_slot(self.tid(), s);
             let k = self.keys[s];
             if k == key {
                 self.values[s] = self.values[s].add(weight);
+                #[cfg(feature = "sancheck")]
+                {
+                    hooks::claim(self.tid(), key, s);
+                    hooks::probe_end(self.tid());
+                }
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -168,6 +189,11 @@ impl<'a, V: HashValue> TableMut<'a, V> {
             if k == EMPTY_KEY {
                 self.keys[s] = key;
                 self.values[s] = weight;
+                #[cfg(feature = "sancheck")]
+                {
+                    hooks::claim(self.tid(), key, s);
+                    hooks::probe_end(self.tid());
+                }
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -180,9 +206,16 @@ impl<'a, V: HashValue> TableMut<'a, V> {
         // capacity ≥ #distinct keys.
         for off in 1..=p1 {
             let s = (last + off) % p1;
+            #[cfg(feature = "sancheck")]
+            hooks::probe_slot(self.tid(), s);
             let k = self.keys[s];
             if k == key {
                 self.values[s] = self.values[s].add(weight);
+                #[cfg(feature = "sancheck")]
+                {
+                    hooks::claim(self.tid(), key, s);
+                    hooks::probe_end(self.tid());
+                }
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -192,6 +225,11 @@ impl<'a, V: HashValue> TableMut<'a, V> {
             if k == EMPTY_KEY {
                 self.keys[s] = key;
                 self.values[s] = weight;
+                #[cfg(feature = "sancheck")]
+                {
+                    hooks::claim(self.tid(), key, s);
+                    hooks::probe_end(self.tid());
+                }
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -199,6 +237,8 @@ impl<'a, V: HashValue> TableMut<'a, V> {
                 };
             }
         }
+        #[cfg(feature = "sancheck")]
+        hooks::probe_end(self.tid());
         Accumulate::Failed
     }
 
@@ -220,12 +260,16 @@ impl<'a, V: HashValue> TableMut<'a, V> {
         }
         let mut seq = ProbeSeq::new(strategy, key, p1, self.p2);
         let retries = max_retries_for(p1);
+        #[cfg(feature = "sancheck")]
+        hooks::probe_start(self.tid(), p1, (retries + p1 as u32) as u64);
         let mut probes = 0u32;
         let mut last = 0usize;
         while probes < retries {
             let s = seq.slot();
             last = s;
             probes += 1;
+            #[cfg(feature = "sancheck")]
+            hooks::probe_slot(self.tid(), s);
             meter.probe();
             meter.alu(cost, 2); // slot computation + compare
             charge_table_access(meter, cost, &addr, addr.keys + s, Width::W32, false);
@@ -241,6 +285,11 @@ impl<'a, V: HashValue> TableMut<'a, V> {
                 }
                 charge_table_access(meter, cost, &addr, addr.values + s, V::WIDTH, true);
                 meter.probe_done(probes as u64);
+                #[cfg(feature = "sancheck")]
+                {
+                    hooks::claim(self.tid(), key, s);
+                    hooks::probe_end(self.tid());
+                }
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -251,6 +300,8 @@ impl<'a, V: HashValue> TableMut<'a, V> {
         }
         for off in 1..=p1 {
             let s = (last + off) % p1;
+            #[cfg(feature = "sancheck")]
+            hooks::probe_slot(self.tid(), s);
             meter.probe();
             charge_table_access(meter, cost, &addr, addr.keys + s, Width::W32, false);
             let k = self.keys[s];
@@ -265,6 +316,11 @@ impl<'a, V: HashValue> TableMut<'a, V> {
                 }
                 charge_table_access(meter, cost, &addr, addr.values + s, V::WIDTH, true);
                 meter.probe_done(probes as u64 + off as u64);
+                #[cfg(feature = "sancheck")]
+                {
+                    hooks::claim(self.tid(), key, s);
+                    hooks::probe_end(self.tid());
+                }
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -272,6 +328,8 @@ impl<'a, V: HashValue> TableMut<'a, V> {
                 };
             }
         }
+        #[cfg(feature = "sancheck")]
+        hooks::probe_end(self.tid());
         Accumulate::Failed
     }
 
@@ -297,12 +355,16 @@ impl<'a, V: HashValue> TableMut<'a, V> {
         }
         let mut seq = ProbeSeq::new(strategy, key, p1, self.p2);
         let retries = max_retries_for(p1);
+        #[cfg(feature = "sancheck")]
+        hooks::probe_start(self.tid(), p1, (retries + p1 as u32) as u64);
         let mut probes = 0u32;
         let mut last = 0usize;
         while probes < retries {
             let s = seq.slot();
             last = s;
             probes += 1;
+            #[cfg(feature = "sancheck")]
+            hooks::probe_slot(self.tid(), s);
             meter.probe();
             meter.alu(cost, 2);
             meter.global_read(cost, addr.keys + s, Width::W32);
@@ -317,6 +379,11 @@ impl<'a, V: HashValue> TableMut<'a, V> {
                 meter.atomic(cost, addr.keys + s, Width::W32); // atomicCAS
                 meter.atomic(cost, addr.values + s, V::WIDTH); // atomicAdd
                 meter.probe_done(probes as u64);
+                #[cfg(feature = "sancheck")]
+                {
+                    hooks::claim(self.tid(), key, s);
+                    hooks::probe_end(self.tid());
+                }
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -327,6 +394,8 @@ impl<'a, V: HashValue> TableMut<'a, V> {
         }
         for off in 1..=p1 {
             let s = (last + off) % p1;
+            #[cfg(feature = "sancheck")]
+            hooks::probe_slot(self.tid(), s);
             meter.probe();
             meter.global_read(cost, addr.keys + s, Width::W32);
             let k = self.keys[s];
@@ -340,6 +409,11 @@ impl<'a, V: HashValue> TableMut<'a, V> {
                 meter.atomic(cost, addr.keys + s, Width::W32);
                 meter.atomic(cost, addr.values + s, V::WIDTH);
                 meter.probe_done(probes as u64 + off as u64);
+                #[cfg(feature = "sancheck")]
+                {
+                    hooks::claim(self.tid(), key, s);
+                    hooks::probe_end(self.tid());
+                }
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -347,6 +421,8 @@ impl<'a, V: HashValue> TableMut<'a, V> {
                 };
             }
         }
+        #[cfg(feature = "sancheck")]
+        hooks::probe_end(self.tid());
         Accumulate::Failed
     }
 
@@ -387,8 +463,17 @@ impl<'a, V: HashValue> TableShared<'a, V> {
         self.keys.len()
     }
 
+    /// Shadow-memory identity of this table (see [`TableMut`]).
+    #[cfg(feature = "sancheck")]
+    #[inline]
+    fn tid(&self) -> usize {
+        self.keys.as_ptr() as usize
+    }
+
     /// Clear one slot (used by the block kernel's strided parallel clear).
     pub fn clear_slot(&self, s: usize) {
+        #[cfg(feature = "sancheck")]
+        hooks::table_clear_slot(self.tid(), s);
         self.keys[s].store(EMPTY_KEY, Ordering::Relaxed);
         V::atomic_store(&self.values[s], V::zero());
     }
@@ -410,13 +495,22 @@ impl<'a, V: HashValue> TableShared<'a, V> {
         }
         let mut seq = ProbeSeq::new(strategy, key, p1, self.p2);
         let retries = max_retries_for(p1);
+        #[cfg(feature = "sancheck")]
+        hooks::probe_start(self.tid(), p1, (retries + p1 as u32) as u64);
         let mut probes = 0u32;
         let mut last = 0usize;
         while probes < retries {
             let s = seq.slot();
             last = s;
             probes += 1;
+            #[cfg(feature = "sancheck")]
+            hooks::probe_slot(self.tid(), s);
             if self.try_slot(s, key, weight) {
+                #[cfg(feature = "sancheck")]
+                {
+                    hooks::claim(self.tid(), key, s);
+                    hooks::probe_end(self.tid());
+                }
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -427,7 +521,14 @@ impl<'a, V: HashValue> TableShared<'a, V> {
         }
         for off in 1..=p1 {
             let s = (last + off) % p1;
+            #[cfg(feature = "sancheck")]
+            hooks::probe_slot(self.tid(), s);
             if self.try_slot(s, key, weight) {
+                #[cfg(feature = "sancheck")]
+                {
+                    hooks::claim(self.tid(), key, s);
+                    hooks::probe_end(self.tid());
+                }
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -435,6 +536,8 @@ impl<'a, V: HashValue> TableShared<'a, V> {
                 };
             }
         }
+        #[cfg(feature = "sancheck")]
+        hooks::probe_end(self.tid());
         Accumulate::Failed
     }
 
@@ -455,12 +558,16 @@ impl<'a, V: HashValue> TableShared<'a, V> {
         }
         let mut seq = ProbeSeq::new(strategy, key, p1, self.p2);
         let retries = max_retries_for(p1);
+        #[cfg(feature = "sancheck")]
+        hooks::probe_start(self.tid(), p1, (retries + p1 as u32) as u64);
         let mut probes = 0u32;
         let mut last = 0usize;
         while probes < retries {
             let s = seq.slot();
             last = s;
             probes += 1;
+            #[cfg(feature = "sancheck")]
+            hooks::probe_slot(self.tid(), s);
             meter.probe();
             meter.alu(cost, 2);
             meter.global_read(cost, addr.keys + s, Width::W32);
@@ -470,6 +577,11 @@ impl<'a, V: HashValue> TableShared<'a, V> {
                 if self.try_slot(s, key, weight) {
                     meter.atomic(cost, addr.values + s, V::WIDTH); // atomicAdd
                     meter.probe_done(probes as u64);
+                    #[cfg(feature = "sancheck")]
+                    {
+                        hooks::claim(self.tid(), key, s);
+                        hooks::probe_end(self.tid());
+                    }
                     return Accumulate::Done {
                         slot: s,
                         probes,
@@ -481,6 +593,8 @@ impl<'a, V: HashValue> TableShared<'a, V> {
         }
         for off in 1..=p1 {
             let s = (last + off) % p1;
+            #[cfg(feature = "sancheck")]
+            hooks::probe_slot(self.tid(), s);
             meter.probe();
             meter.global_read(cost, addr.keys + s, Width::W32);
             let k = self.keys[s].load(Ordering::Relaxed);
@@ -488,6 +602,11 @@ impl<'a, V: HashValue> TableShared<'a, V> {
                 meter.atomic(cost, addr.keys + s, Width::W32);
                 meter.atomic(cost, addr.values + s, V::WIDTH);
                 meter.probe_done(probes as u64 + off as u64);
+                #[cfg(feature = "sancheck")]
+                {
+                    hooks::claim(self.tid(), key, s);
+                    hooks::probe_end(self.tid());
+                }
                 return Accumulate::Done {
                     slot: s,
                     probes,
@@ -495,6 +614,8 @@ impl<'a, V: HashValue> TableShared<'a, V> {
                 };
             }
         }
+        #[cfg(feature = "sancheck")]
+        hooks::probe_end(self.tid());
         Accumulate::Failed
     }
 

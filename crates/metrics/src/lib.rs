@@ -15,6 +15,7 @@
 //! assert!(q > 0.4);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod community;

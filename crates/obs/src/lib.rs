@@ -14,6 +14,7 @@
 //! recursive-descent parser; [`summary`] reads trace files back for the
 //! `nulpa trace` subcommand).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod export;

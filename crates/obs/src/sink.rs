@@ -24,6 +24,8 @@ pub mod track {
     pub const KERNEL: u32 = 1;
     /// Individual waves inside a kernel launch.
     pub const WAVE: u32 = 2;
+    /// Sanitizer hazards (instant spans emitted by `nulpa-sancheck`).
+    pub const HAZARD: u32 = 3;
 }
 
 /// A dynamically typed argument value attached to an event.

@@ -1,0 +1,330 @@
+//! Hazard records and the structured report.
+
+use crate::checker::ExecCtx;
+use nulpa_obs::{json, track, TraceSink, Value};
+
+/// The classes of hazard the checker detects. The discriminant indexes
+/// [`SancheckReport::counts`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum HazardKind {
+    /// Two distinct lanes staged a write to the same cell within one wave
+    /// — ν-LPA's one-writer-per-wave rule broken (paper §4.1).
+    WaveWriteRace = 0,
+    /// An immediate (`write_through`) write and a staged write hit the
+    /// same cell within one wave: the immediate write is either lost at
+    /// the flush or observed early by half the wave. (Cross-Check is safe
+    /// because it runs as a *separate* kernel launch.)
+    WriteThroughRace = 1,
+    /// Read of a cell that was never initialised (device-malloc semantics
+    /// without a memset).
+    UninitRead = 2,
+    /// Store cell index or hashtable slot outside the allocation.
+    OutOfBounds = 3,
+    /// A warp reached a barrier with some lanes active and some exited —
+    /// undefined behaviour for `__syncthreads()` on hardware.
+    BarrierDivergence = 4,
+    /// Atomic and plain (staged or write-through) writes to the same
+    /// address within one wave: atomics take effect immediately, plain
+    /// writes at the flush, so the final value depends on scheduling.
+    MixedAtomicPlain = 5,
+    /// A hashtable probe sequence exceeded its termination bound
+    /// (`max_retries + capacity` steps) — the Algorithm 2 termination
+    /// argument failed.
+    ProbeOverrun = 6,
+    /// One key claimed at two distinct slots of the same table in one
+    /// accumulation session — duplicate-key invariant broken, weights
+    /// would be split across slots.
+    DuplicateKey = 7,
+}
+
+/// Number of hazard kinds (length of [`SancheckReport::counts`]).
+pub const KIND_COUNT: usize = 8;
+
+impl HazardKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [HazardKind; KIND_COUNT] = [
+        HazardKind::WaveWriteRace,
+        HazardKind::WriteThroughRace,
+        HazardKind::UninitRead,
+        HazardKind::OutOfBounds,
+        HazardKind::BarrierDivergence,
+        HazardKind::MixedAtomicPlain,
+        HazardKind::ProbeOverrun,
+        HazardKind::DuplicateKey,
+    ];
+
+    /// Stable kebab-case name (used in reports, JSON, and trace spans).
+    pub fn name(self) -> &'static str {
+        match self {
+            HazardKind::WaveWriteRace => "wave-write-race",
+            HazardKind::WriteThroughRace => "write-through-race",
+            HazardKind::UninitRead => "uninit-read",
+            HazardKind::OutOfBounds => "out-of-bounds",
+            HazardKind::BarrierDivergence => "barrier-divergence",
+            HazardKind::MixedAtomicPlain => "mixed-atomic-plain",
+            HazardKind::ProbeOverrun => "probe-overrun",
+            HazardKind::DuplicateKey => "duplicate-key",
+        }
+    }
+}
+
+/// The earlier access a hazard conflicts with (the "other side" of a race).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PriorAccess {
+    /// Who made the earlier access.
+    pub ctx: ExecCtx,
+    /// What the earlier access was ("staged write", "write-through",
+    /// "atomic").
+    pub kind: &'static str,
+}
+
+/// One detected invariant violation, with full lane attribution.
+#[derive(Clone, Debug)]
+pub struct Hazard {
+    /// Hazard class.
+    pub kind: HazardKind,
+    /// Kernel the faulting access ran in (`"host"` outside any kernel).
+    pub kernel: String,
+    /// Faulting address: a shadow-memory cell address, a table slot, a
+    /// warp index (barrier divergence) — see `detail`.
+    pub addr: usize,
+    /// (wave, block, warp, lane) of the faulting access.
+    pub ctx: ExecCtx,
+    /// The conflicting earlier access, when the hazard is a race.
+    pub prior: Option<PriorAccess>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl Hazard {
+    /// One-line rendering with attribution.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "[{}] {} wave={} block={} warp={} lane={}: {}",
+            self.kind.name(),
+            self.kernel,
+            self.ctx.wave,
+            self.ctx.block,
+            self.ctx.warp,
+            self.ctx.lane,
+            self.detail
+        );
+        if let Some(p) = &self.prior {
+            s.push_str(&format!(
+                " (prior {} by wave={} block={} warp={} lane={})",
+                p.kind, p.ctx.wave, p.ctx.block, p.ctx.warp, p.ctx.lane
+            ));
+        }
+        s
+    }
+
+    /// JSON object rendering.
+    pub fn to_json(&self) -> String {
+        let prior = match &self.prior {
+            None => "null".to_string(),
+            Some(p) => format!(
+                "{{\"kind\":{},\"wave\":{},\"block\":{},\"warp\":{},\"lane\":{}}}",
+                json::escape(p.kind),
+                p.ctx.wave,
+                p.ctx.block,
+                p.ctx.warp,
+                p.ctx.lane
+            ),
+        };
+        format!(
+            "{{\"kind\":{},\"kernel\":{},\"addr\":{},\"wave\":{},\"block\":{},\"warp\":{},\"lane\":{},\"prior\":{},\"detail\":{}}}",
+            json::escape(self.kind.name()),
+            json::escape(&self.kernel),
+            self.addr,
+            self.ctx.wave,
+            self.ctx.block,
+            self.ctx.warp,
+            self.ctx.lane,
+            prior,
+            json::escape(&self.detail)
+        )
+    }
+}
+
+/// Structured result of one checked run ([`crate::uninstall`] returns it).
+#[derive(Clone, Debug, Default)]
+pub struct SancheckReport {
+    /// Detailed hazard records (deduplicated per (kind, address) and
+    /// capped by [`crate::CheckerConfig::max_hazards`]).
+    pub hazards: Vec<Hazard>,
+    /// Total occurrences per kind, indexed by [`HazardKind`] discriminant
+    /// — keeps counting past the dedup/cap.
+    pub counts: [u64; KIND_COUNT],
+    /// Accesses checked (reads, stages, write-throughs, atomics, probes).
+    pub accesses: u64,
+    /// Distinct cells with shadow state at teardown.
+    pub cells_shadowed: usize,
+    /// Hazard occurrences not recorded in detail (dedup or cap).
+    pub suppressed: u64,
+}
+
+impl SancheckReport {
+    /// Total hazard occurrences across all kinds.
+    pub fn total_hazards(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `true` when no hazard of any kind was observed.
+    pub fn is_clean(&self) -> bool {
+        self.total_hazards() == 0
+    }
+
+    /// Occurrences of one kind.
+    pub fn count_of(&self, kind: HazardKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        if self.is_clean() {
+            s.push_str(&format!(
+                "sancheck: clean ({} accesses checked, {} cells shadowed)\n",
+                self.accesses, self.cells_shadowed
+            ));
+            return s;
+        }
+        let by_kind: Vec<String> = HazardKind::ALL
+            .iter()
+            .filter(|&&k| self.count_of(k) > 0)
+            .map(|&k| format!("{}: {}", k.name(), self.count_of(k)))
+            .collect();
+        s.push_str(&format!(
+            "sancheck: {} hazards ({}), {} accesses checked\n",
+            self.total_hazards(),
+            by_kind.join(", "),
+            self.accesses
+        ));
+        for h in &self.hazards {
+            s.push_str("  ");
+            s.push_str(&h.render());
+            s.push('\n');
+        }
+        if self.suppressed > 0 {
+            s.push_str(&format!(
+                "  ... {} further occurrences suppressed (dedup/cap)\n",
+                self.suppressed
+            ));
+        }
+        s
+    }
+
+    /// JSON object rendering (for `nulpa sancheck --json`).
+    pub fn to_json(&self) -> String {
+        let counts: Vec<String> = HazardKind::ALL
+            .iter()
+            .filter(|&&k| self.count_of(k) > 0)
+            .map(|&k| format!("{}:{}", json::escape(k.name()), self.count_of(k)))
+            .collect();
+        let hazards: Vec<String> = self.hazards.iter().map(Hazard::to_json).collect();
+        format!(
+            "{{\"total_hazards\":{},\"counts\":{{{}}},\"hazards\":[{}],\"accesses\":{},\"cells_shadowed\":{},\"suppressed\":{}}}",
+            self.total_hazards(),
+            counts.join(","),
+            hazards.join(","),
+            self.accesses,
+            self.cells_shadowed,
+            self.suppressed
+        )
+    }
+
+    /// Emit each recorded hazard as an instant span on the
+    /// [`track::HAZARD`] track of `sink`, with attribution in the args —
+    /// the report's path into the existing `nulpa-obs` exporters.
+    pub fn emit(&self, sink: &mut dyn TraceSink) {
+        if !sink.is_enabled() {
+            return;
+        }
+        for (i, h) in self.hazards.iter().enumerate() {
+            let name = format!("hazard:{}", h.kind.name());
+            sink.span_begin(
+                track::HAZARD,
+                &name,
+                i as u64,
+                &[
+                    ("kernel", Value::from(h.kernel.as_str())),
+                    ("addr", Value::from(h.addr)),
+                    ("wave", Value::from(h.ctx.wave)),
+                    ("block", Value::from(h.ctx.block)),
+                    ("warp", Value::from(h.ctx.warp)),
+                    ("lane", Value::from(h.ctx.lane)),
+                    ("detail", Value::from(h.detail.as_str())),
+                ],
+            );
+            sink.span_end(track::HAZARD, &name, i as u64, &[]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nulpa_obs::json::Json;
+
+    fn hazard() -> Hazard {
+        Hazard {
+            kind: HazardKind::WaveWriteRace,
+            kernel: "kernel:thread".to_string(),
+            addr: 64,
+            ctx: ExecCtx {
+                wave: 1,
+                block: 0,
+                warp: 2,
+                lane: 3,
+            },
+            prior: Some(PriorAccess {
+                ctx: ExecCtx::default(),
+                kind: "staged write",
+            }),
+            detail: "second staged write to cell".to_string(),
+        }
+    }
+
+    #[test]
+    fn render_includes_attribution() {
+        let r = hazard().render();
+        assert!(r.contains("wave-write-race"));
+        assert!(r.contains("wave=1"));
+        assert!(r.contains("lane=3"));
+        assert!(r.contains("prior staged write"));
+    }
+
+    #[test]
+    fn json_is_parseable() {
+        let mut rep = SancheckReport::default();
+        rep.hazards.push(hazard());
+        rep.counts[HazardKind::WaveWriteRace as usize] = 3;
+        rep.accesses = 10;
+        let parsed = json::parse(&rep.to_json()).expect("valid json");
+        assert_eq!(parsed.get("total_hazards").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            parsed.get("hazards").and_then(Json::as_arr).map(<[_]>::len),
+            Some(1)
+        );
+        assert!(!rep.is_clean());
+        assert_eq!(rep.total_hazards(), 3);
+    }
+
+    #[test]
+    fn clean_report_renders_clean() {
+        let rep = SancheckReport::default();
+        assert!(rep.is_clean());
+        assert!(rep.render().contains("clean"));
+    }
+
+    #[test]
+    fn emit_writes_hazard_spans() {
+        let mut rep = SancheckReport::default();
+        rep.hazards.push(hazard());
+        let mut sink = nulpa_obs::RecordingSink::new();
+        rep.emit(&mut sink);
+        assert_eq!(sink.span_counts(), (1, 1, 0));
+        assert_eq!(sink.begin_names(), vec!["hazard:wave-write-race"]);
+    }
+}

@@ -12,6 +12,8 @@
 //! ch. 2–3, for why relaxed RMWs still form a single modification order
 //! per cell, which is all weight accumulation requires).
 
+#[cfg(feature = "sancheck")]
+use nulpa_sancheck::hooks;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Atomic `f32` cell.
@@ -33,12 +35,16 @@ impl AtomicF32 {
     /// Atomic store.
     #[inline]
     pub fn store(&self, v: f32) {
+        #[cfg(feature = "sancheck")]
+        hooks::atomic_access(std::ptr::from_ref(self) as usize);
         self.0.store(v.to_bits(), Ordering::Relaxed)
     }
 
     /// Atomic `fetch_add` via CAS loop; returns the previous value.
     #[inline]
     pub fn fetch_add(&self, v: f32) -> f32 {
+        #[cfg(feature = "sancheck")]
+        hooks::atomic_access(std::ptr::from_ref(self) as usize);
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let new = (f32::from_bits(cur) + v).to_bits();
@@ -72,12 +78,16 @@ impl AtomicF64 {
     /// Atomic store.
     #[inline]
     pub fn store(&self, v: f64) {
+        #[cfg(feature = "sancheck")]
+        hooks::atomic_access(std::ptr::from_ref(self) as usize);
         self.0.store(v.to_bits(), Ordering::Relaxed)
     }
 
     /// Atomic `fetch_add` via CAS loop; returns the previous value.
     #[inline]
     pub fn fetch_add(&self, v: f64) -> f64 {
+        #[cfg(feature = "sancheck")]
+        hooks::atomic_access(std::ptr::from_ref(self) as usize);
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let new = (f64::from_bits(cur) + v).to_bits();

@@ -11,15 +11,22 @@
 //! A cell may be staged at most once per wave in ν-LPA (each vertex is
 //! written by exactly one thread per iteration); the store nevertheless
 //! defines last-stage-wins semantics and exposes the collision count for
-//! assertion in tests.
+//! assertion in tests. With the `sancheck` feature, every access is also
+//! reported to the [`nulpa_sancheck`] hazard checker, which turns the
+//! one-writer-per-wave rule (and init-before-read) into a checked
+//! invariant.
 
-use std::collections::HashMap;
+#[cfg(feature = "sancheck")]
+use nulpa_sancheck::hooks;
 
 /// A `Vec<T>`-backed memory with deferred (wave-buffered) writes.
 #[derive(Clone, Debug)]
 pub struct DeferredStore<T: Copy> {
     data: Vec<T>,
     pending: Vec<(usize, T)>,
+    /// Reused index scratch for collision counting in [`Self::flush`]
+    /// (avoids a per-flush allocation).
+    scratch: Vec<usize>,
     staged_collisions: u64,
 }
 
@@ -29,8 +36,31 @@ impl<T: Copy + PartialEq> DeferredStore<T> {
         DeferredStore {
             data: init,
             pending: Vec::new(),
+            scratch: Vec::new(),
             staged_collisions: 0,
         }
+    }
+
+    /// Wrap backing memory whose contents are *not* considered
+    /// initialised — `cudaMalloc` without a memset. Functionally
+    /// identical to [`Self::new`]; under the `sancheck` feature the
+    /// checker flags any read of a cell before a write to it commits.
+    pub fn new_uninit(backing: Vec<T>) -> Self {
+        let s = Self::new(backing);
+        #[cfg(feature = "sancheck")]
+        hooks::mark_uninit(
+            s.data.as_ptr() as usize,
+            std::mem::size_of::<T>(),
+            s.data.len(),
+        );
+        s
+    }
+
+    /// Host byte address of cell `i` — the shadow-memory key.
+    #[cfg(feature = "sancheck")]
+    #[inline]
+    fn addr_of(&self, i: usize) -> usize {
+        self.data.as_ptr() as usize + i * std::mem::size_of::<T>()
     }
 
     /// Number of cells.
@@ -46,13 +76,27 @@ impl<T: Copy + PartialEq> DeferredStore<T> {
     /// Committed (wave-start) value of cell `i`.
     #[inline]
     pub fn get(&self, i: usize) -> T {
+        #[cfg(feature = "sancheck")]
+        hooks::ds_read(self.addr_of(i));
         self.data[i]
     }
 
     /// Stage a write to cell `i`; becomes visible after [`Self::flush`].
+    ///
+    /// The index is validated eagerly — a bad index would otherwise only
+    /// blow up later, inside `flush`, far from the faulting kernel.
     #[inline]
     pub fn stage(&mut self, i: usize, v: T) {
-        debug_assert!(i < self.data.len());
+        if i >= self.data.len() {
+            #[cfg(feature = "sancheck")]
+            hooks::ds_oob(i, self.data.len());
+            panic!(
+                "DeferredStore::stage: cell index {i} out of bounds for store of {} cells",
+                self.data.len()
+            );
+        }
+        #[cfg(feature = "sancheck")]
+        hooks::ds_stage(self.addr_of(i));
         self.pending.push((i, v));
     }
 
@@ -63,15 +107,22 @@ impl<T: Copy + PartialEq> DeferredStore<T> {
 
     /// Apply all staged writes (call from the scheduler's `wave_end`).
     /// Last stage to a cell wins; earlier stages to the same cell are
-    /// counted in [`Self::staged_collisions`].
+    /// counted in [`Self::staged_collisions`]. `pending` and the sort
+    /// scratch keep their capacity across waves.
     pub fn flush(&mut self) {
         if self.pending.is_empty() {
             return;
         }
-        let mut first_writer: HashMap<usize, ()> = HashMap::with_capacity(self.pending.len());
-        for &(i, _) in &self.pending {
-            if first_writer.insert(i, ()).is_some() {
-                self.staged_collisions += 1;
+        // Collisions = staged writes minus distinct cells, counted by
+        // sorting the indices and counting adjacent duplicates.
+        self.scratch.clear();
+        self.scratch.extend(self.pending.iter().map(|&(i, _)| i));
+        self.scratch.sort_unstable();
+        self.staged_collisions += self.scratch.windows(2).filter(|w| w[0] == w[1]).count() as u64;
+        #[cfg(feature = "sancheck")]
+        if hooks::is_active() {
+            for &(i, _) in &self.pending {
+                hooks::ds_flush_commit(self.addr_of(i));
             }
         }
         for (i, v) in self.pending.drain(..) {
@@ -84,7 +135,22 @@ impl<T: Copy + PartialEq> DeferredStore<T> {
     /// revert pass, whose atomic reverts take effect at once).
     #[inline]
     pub fn write_through(&mut self, i: usize, v: T) {
+        #[cfg(feature = "sancheck")]
+        hooks::ds_write_through(self.addr_of(i));
         self.data[i] = v;
+    }
+
+    /// Atomic exchange: immediately-visible write that returns the
+    /// previous value — `atomicExch` semantics. Like atomics on hardware
+    /// (and unlike [`Self::stage`]) the effect is not deferred to the
+    /// wave boundary; the checker tracks it as an atomic access.
+    #[inline]
+    pub fn atomic_exchange(&mut self, i: usize, v: T) -> T {
+        #[cfg(feature = "sancheck")]
+        hooks::atomic_access(self.addr_of(i));
+        let old = self.data[i];
+        self.data[i] = v;
+        old
     }
 
     /// Cells written more than once within a single wave, cumulative.
@@ -152,6 +218,51 @@ mod tests {
     }
 
     #[test]
+    fn collision_counts_match_distinct_cell_accounting() {
+        // Micro-assert for the sort-based dedup: collisions per flush must
+        // equal staged writes minus distinct cells, exactly as the old
+        // hash-set accounting defined them — including across several
+        // flushes reusing the same scratch buffer.
+        let mut s = DeferredStore::new(vec![0u32; 8]);
+        for &(writes, expected) in &[
+            (&[0usize, 1, 0, 2, 0, 1][..], 3u64), // 6 writes, 3 distinct
+            (&[5, 5, 5, 5][..], 3),               // 4 writes, 1 distinct
+            (&[3, 4, 6][..], 0),                  // all distinct
+        ] {
+            let before = s.staged_collisions();
+            for &i in writes {
+                s.stage(i, 9);
+            }
+            s.flush();
+            assert_eq!(s.staged_collisions() - before, expected);
+        }
+        assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    fn pending_capacity_kept_across_waves() {
+        let mut s = DeferredStore::new(vec![0u32; 64]);
+        for i in 0..64 {
+            s.stage(i, 1);
+        }
+        s.flush();
+        let cap = s.pending.capacity();
+        assert!(cap >= 64);
+        for i in 0..64 {
+            s.stage(i, 2);
+        }
+        s.flush();
+        assert_eq!(s.pending.capacity(), cap); // no realloc, no shrink
+    }
+
+    #[test]
+    #[should_panic(expected = "cell index 9 out of bounds for store of 3 cells")]
+    fn stage_out_of_bounds_panics_eagerly_with_context() {
+        let mut s = DeferredStore::new(vec![0u32; 3]);
+        s.stage(9, 1);
+    }
+
+    #[test]
     fn flush_empty_is_noop() {
         let mut s = DeferredStore::new(vec![7]);
         s.flush();
@@ -175,5 +286,21 @@ mod tests {
         s.stage(0, 9);
         s.flush();
         assert_eq!(s.into_inner(), vec![9]);
+    }
+
+    #[test]
+    fn atomic_exchange_is_immediate_and_returns_old() {
+        let mut s = DeferredStore::new(vec![1u32, 2]);
+        assert_eq!(s.atomic_exchange(0, 7), 1);
+        assert_eq!(s.get(0), 7); // visible at once, no flush needed
+    }
+
+    #[test]
+    fn new_uninit_behaves_like_new_functionally() {
+        let mut s = DeferredStore::new_uninit(vec![0u32; 4]);
+        s.stage(2, 5);
+        s.flush();
+        assert_eq!(s.get(2), 5);
+        assert_eq!(s.len(), 4);
     }
 }

@@ -18,6 +18,7 @@
 //! * **Immediate atomics** ([`AtomicF32`], [`AtomicF64`]) — as on GPUs,
 //!   atomic RMWs take effect immediately, unlike plain stores.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atomics;

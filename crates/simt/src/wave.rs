@@ -18,6 +18,8 @@ use crate::cost::{CostModel, LaneMeter};
 use crate::device::DeviceConfig;
 use crate::stats::KernelStats;
 use nulpa_obs::{track, NullSink, TraceSink, Value};
+#[cfg(feature = "sancheck")]
+use nulpa_sancheck::hooks;
 
 /// Lockstep kernel launcher for a fixed device.
 #[derive(Clone, Copy, Debug)]
@@ -93,10 +95,16 @@ impl WaveScheduler {
                 ],
             );
         }
+        #[cfg(feature = "sancheck")]
+        hooks::kernel_begin(name);
         for (w, wave_items) in items.chunks(wave_cap).enumerate() {
             let before = WaveSnapshot::of(&stats);
+            #[cfg(feature = "sancheck")]
+            hooks::wave_begin(w as u64);
             let mut meters: Vec<LaneMeter> = Vec::with_capacity(wave_items.len());
-            for &it in wave_items {
+            for (_i, &it) in wave_items.iter().enumerate() {
+                #[cfg(feature = "sancheck")]
+                hooks::lane_ctx((_i / warp) as u32, (_i % warp) as u32);
                 let mut m = LaneMeter::new();
                 kernel(it, &mut m);
                 meters.push(m);
@@ -122,7 +130,13 @@ impl WaveScheduler {
                 &stats,
             );
             wave_end(w as u64);
+            // The epoch advances after the user's wave_end callback so that
+            // DeferredStore::flush commits land in the wave they belong to.
+            #[cfg(feature = "sancheck")]
+            hooks::wave_end();
         }
+        #[cfg(feature = "sancheck")]
+        hooks::kernel_end();
         self.finish_kernel_span(sink, name, t0, &stats);
         stats
     }
@@ -168,13 +182,24 @@ impl WaveScheduler {
                 ],
             );
         }
+        #[cfg(feature = "sancheck")]
+        hooks::kernel_begin(name);
         for (w, wave_items) in items.chunks(wave_cap).enumerate() {
             let before = WaveSnapshot::of(&stats);
+            #[cfg(feature = "sancheck")]
+            hooks::wave_begin(w as u64);
             let mut critical = 0u64;
             let mut warp_total = 0u64;
-            for &it in wave_items {
+            for (_b, &it) in wave_items.iter().enumerate() {
+                #[cfg(feature = "sancheck")]
+                hooks::block_ctx(_b as u32);
                 let mut ctx = BlockCtx::new(self.device.block_size, warp, &self.cost);
                 kernel(it, &mut ctx);
+                // Lanes that never executed a metered op did no work in
+                // this block: drop any barrier-alignment cycles they were
+                // assigned so partially-filled trailing blocks are not
+                // charged for phantom lanes.
+                ctx.zero_untouched();
                 let mut block_cost = 0u64;
                 for warp_lanes in ctx.lanes.chunks(warp) {
                     let c = stats.fold_warp(warp_lanes);
@@ -197,7 +222,11 @@ impl WaveScheduler {
                 &stats,
             );
             wave_end(w as u64);
+            #[cfg(feature = "sancheck")]
+            hooks::wave_end();
         }
+        #[cfg(feature = "sancheck")]
+        hooks::kernel_end();
         self.finish_kernel_span(sink, name, t0, &stats);
         stats
     }
@@ -321,6 +350,13 @@ pub struct BlockCtx<'a> {
     /// Cost model in effect.
     pub cost: &'a CostModel,
     warp_size: usize,
+    /// Lanes that executed at least one metered op. Lanes never touched
+    /// are treated as not launched: their cycles (including any
+    /// barrier-alignment charge) are zeroed when the block retires.
+    touched: Vec<bool>,
+    /// Lanes still participating in barriers. All lanes start active;
+    /// [`Self::set_lane_active`] models an early `return`.
+    active: Vec<bool>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -329,6 +365,8 @@ impl<'a> BlockCtx<'a> {
             lanes: vec![LaneMeter::new(); block_size],
             cost,
             warp_size,
+            touched: vec![false; block_size],
+            active: vec![true; block_size],
         }
     }
 
@@ -344,7 +382,24 @@ impl<'a> BlockCtx<'a> {
 
     /// Mutable access to lane `l`'s meter.
     pub fn lane(&mut self, l: usize) -> &mut LaneMeter {
+        self.touched[l] = true;
+        #[cfg(feature = "sancheck")]
+        hooks::lane_ctx((l / self.warp_size) as u32, (l % self.warp_size) as u32);
         &mut self.lanes[l]
+    }
+
+    /// Mark lane `l` as having exited the kernel (`true` re-admits it).
+    /// An inactive lane no longer participates in barriers — on hardware,
+    /// a `__syncthreads()` reached by only part of a warp is undefined
+    /// behaviour, which the `sancheck` checker reports as
+    /// barrier-divergence.
+    pub fn set_lane_active(&mut self, l: usize, on: bool) {
+        self.active[l] = on;
+    }
+
+    /// Whether lane `l` still participates in barriers.
+    pub fn lane_active(&self, l: usize) -> bool {
+        self.active[l]
     }
 
     /// Grid-stride distribution: work unit `k` is handled by lane
@@ -356,7 +411,11 @@ impl<'a> BlockCtx<'a> {
     {
         let b = self.lanes.len();
         for k in 0..count {
-            f(k, &mut self.lanes[k % b]);
+            let l = k % b;
+            self.touched[l] = true;
+            #[cfg(feature = "sancheck")]
+            hooks::lane_ctx((l / self.warp_size) as u32, (l % self.warp_size) as u32);
+            f(k, &mut self.lanes[l]);
         }
     }
 
@@ -371,6 +430,7 @@ impl<'a> BlockCtx<'a> {
         let steps = usize::BITS - (count - 1).leading_zeros();
         let active = count.min(self.lanes.len());
         for l in 0..active {
+            self.touched[l] = true;
             for _ in 0..steps {
                 let c = self.cost;
                 self.lanes[l].shared(c, crate::cost::Width::W32);
@@ -379,12 +439,35 @@ impl<'a> BlockCtx<'a> {
         }
     }
 
-    /// `__syncthreads()`: every lane waits for the slowest. Waiting time is
-    /// charged as busy cycles on the waiting lanes (it occupies the SM).
+    /// `__syncthreads()`: every *active* lane waits for the slowest active
+    /// lane. Waiting time is charged as busy cycles on the waiting lanes
+    /// (it occupies the SM). Lanes marked inactive via
+    /// [`Self::set_lane_active`] have exited and are not aligned — if only
+    /// part of a warp reaches the barrier the `sancheck` checker flags it.
     pub fn barrier(&mut self) {
-        let max = self.lanes.iter().map(|l| l.cycles).max().unwrap_or(0);
-        for l in &mut self.lanes {
-            l.cycles = max;
+        #[cfg(feature = "sancheck")]
+        hooks::barrier(&self.active, self.warp_size);
+        let max = self
+            .lanes
+            .iter()
+            .zip(&self.active)
+            .filter(|&(_, &a)| a)
+            .map(|(l, _)| l.cycles)
+            .max()
+            .unwrap_or(0);
+        for (l, &a) in self.lanes.iter_mut().zip(&self.active) {
+            if a {
+                l.cycles = max;
+            }
+        }
+    }
+
+    /// Reset lanes that never executed a metered op (see `touched`).
+    fn zero_untouched(&mut self) {
+        for (m, &t) in self.lanes.iter_mut().zip(&self.touched) {
+            if !t {
+                *m = LaneMeter::new();
+            }
         }
     }
 }
@@ -528,6 +611,48 @@ mod tests {
             |_| {},
         );
         assert_eq!(stats.sim_cycles, 10);
+    }
+
+    #[test]
+    fn untouched_trailing_lanes_are_idle_not_busy() {
+        // A block that only uses lane 0 and then hits a barrier must not
+        // charge the 7 phantom lanes with lane 0's cycles: the barrier
+        // aligns them while the block runs, but lanes that never executed
+        // a metered op are dropped when the block retires.
+        let s = sched(); // block 8, warp 4
+        let stats = s.launch_block_per_item(
+            &[()],
+            |_, ctx| {
+                ctx.lane(0).alu(&CostModel::default_gpu(), 9);
+                ctx.barrier();
+            },
+            |_| {},
+        );
+        assert_eq!(stats.lane_cycles, 9); // lane 0 only
+        assert_eq!(stats.idle_cycles, 27); // 3 idle lanes in warp 0; warp 1 empty
+        assert_eq!(stats.sim_cycles, 9);
+    }
+
+    #[test]
+    fn barrier_skips_explicitly_inactive_lanes() {
+        // Lane 1 does some work and then exits (early return); the
+        // barrier must not drag it up to the slowest active lane.
+        let s = sched();
+        let stats = s.launch_block_per_item(
+            &[()],
+            |_, ctx| {
+                let c = CostModel::default_gpu();
+                ctx.lane(1).alu(&c, 5);
+                ctx.set_lane_active(1, false);
+                assert!(!ctx.lane_active(1));
+                ctx.lane(0).alu(&c, 9);
+                ctx.barrier();
+            },
+            |_| {},
+        );
+        // lane 0 at 9, lane 1 keeps its 5; untouched lanes dropped
+        assert_eq!(stats.lane_cycles, 14);
+        assert_eq!(stats.sim_cycles, 9);
     }
 
     #[test]

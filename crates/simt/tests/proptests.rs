@@ -77,6 +77,56 @@ proptest! {
     }
 
     #[test]
+    fn flush_matches_sequential_replay_and_collision_accounting(
+        init in proptest::collection::vec(0u32..100, 1..40),
+        waves in proptest::collection::vec(
+            proptest::collection::vec((0usize..40, 0u32..100), 0..60),
+            1..6,
+        ),
+    ) {
+        // Across several waves, flush must (a) equal a sequential
+        // last-write-wins replay of each wave's stream and (b) count
+        // collisions exactly as the reference `writes - distinct cells`
+        // accounting per wave, cumulatively.
+        let n = init.len();
+        let mut store = DeferredStore::new(init.clone());
+        let mut replay = init;
+        let mut expected_collisions = 0u64;
+        for wave in &waves {
+            let mut distinct = std::collections::HashSet::new();
+            let mut writes = 0u64;
+            for &(i, v) in wave.iter().filter(|(i, _)| *i < n) {
+                store.stage(i, v);
+                replay[i] = v;
+                distinct.insert(i);
+                writes += 1;
+            }
+            store.flush();
+            expected_collisions += writes - distinct.len() as u64;
+            prop_assert_eq!(store.as_slice(), replay.as_slice());
+            prop_assert_eq!(store.staged_collisions(), expected_collisions);
+        }
+    }
+
+    #[test]
+    fn reduction_cost_is_exactly_log2_steps(
+        count in 2usize..5000,
+    ) {
+        // charge_reduction models a tree reduction: ceil(log2(count))
+        // steps, each costing one shared access + one ALU op = 2 cycles
+        // on every participating lane, in lockstep.
+        let sched = WaveScheduler::new(DeviceConfig::tiny(), CostModel::default_gpu());
+        let stats = sched.launch_block_per_item(
+            &[()],
+            |_, ctx| ctx.charge_reduction(count),
+            |_| {},
+        );
+        let steps = (usize::BITS - (count - 1).leading_zeros()) as u64;
+        prop_assert_eq!(steps, (count as f64).log2().ceil() as u64);
+        prop_assert_eq!(stats.sim_cycles, 2 * steps);
+    }
+
+    #[test]
     fn lane_meter_counters_add_up(
         ops in proptest::collection::vec((0u8..4, 0usize..10_000), 0..200),
     ) {

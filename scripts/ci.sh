@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # CI gate. Tier 1 (must stay green): release build + root test suite.
-# Then workspace tests, formatting, and clippy with warnings denied.
+# Then workspace tests, formatting, clippy with warnings denied (in both
+# feature configurations), an unsafe-code audit, and the dynamic hazard
+# checker over every shipped backend.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,10 +15,40 @@ cargo test -q
 echo "==> workspace tests"
 cargo test -q --workspace
 
+echo "==> workspace tests (all features)"
+cargo test -q --workspace --all-features
+
 echo "==> rustfmt"
 cargo fmt --all --check
 
 echo "==> clippy"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> clippy (all features)"
+cargo clippy --workspace --all-targets --all-features -- -D warnings
+
+echo "==> unsafe audit"
+# Every crate root must carry #![forbid(unsafe_code)] except nulpa-core,
+# which carries #![deny(unsafe_code)] with exactly two allowlisted
+# modules (disjoint: non-overlapping buffer split; native: vertex-disjoint
+# shared label writes). Any unsafe outside the allowlist fails the gate.
+stray=$(grep -rlE 'unsafe (fn|\{|impl)' --include="*.rs" crates/*/src src \
+  | grep -v -e "crates/core/src/disjoint.rs" -e "crates/core/src/native.rs" \
+  || true)
+if [ -n "$stray" ]; then
+  echo "unsafe audit: unsafe code outside the allowlist:"
+  echo "$stray"
+  exit 1
+fi
+for root in crates/graph crates/simt crates/hashtab crates/metrics \
+            crates/baselines crates/obs crates/bench crates/sancheck; do
+  grep -q '^#!\[forbid(unsafe_code)\]' "$root/src/lib.rs" \
+    || { echo "unsafe audit: $root/src/lib.rs lacks #![forbid(unsafe_code)]"; exit 1; }
+done
+grep -q '^#!\[deny(unsafe_code)\]' crates/core/src/lib.rs \
+  || { echo "unsafe audit: crates/core/src/lib.rs lacks #![deny(unsafe_code)]"; exit 1; }
+
+echo "==> sancheck (dynamic hazard checker)"
+cargo run --release --bin nulpa -- sancheck
 
 echo "CI OK"

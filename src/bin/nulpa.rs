@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         Some("predict") => cmd_predict(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("sancheck") => cmd_sancheck(&args[1..]),
         Some("--help") | Some("-h") | None => {
             usage();
             Ok(())
@@ -70,7 +71,8 @@ fn usage() {
          nulpa inspect <graph> [--top N]\n  \
          nulpa predict <graph> [-k N]\n  \
          nulpa generate <dataset> [--scale F] [--output FILE]\n  \
-         nulpa trace <tracefile>\n\n\
+         nulpa trace <tracefile>\n  \
+         nulpa sancheck [graph] [--json]   run backends under the hazard checker\n\n\
          METHODS: nu-lpa (default), nu-lpa-sim (simulated A100), flpa,\n  \
          networkit, gunrock, louvain, leiden, gve-lpa\n\n\
          TRACING: --trace x.jsonl writes a JSONL event stream; any other\n  \
@@ -469,4 +471,124 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let s = summary::summarize(&text).map_err(|e| format!("{path}: {e}"))?;
     print!("{}", summary::render(&s));
     Ok(())
+}
+
+/// `nulpa sancheck`: run the shipped backends under the dynamic hazard
+/// checker (shadow-memory wave-race/invariant detection) and fail with a
+/// non-zero exit if any hazard is reported. Without a graph argument a
+/// built-in suite of small generated graphs is used; `--json` prints one
+/// machine-readable report object per run.
+#[cfg(feature = "sancheck")]
+fn cmd_sancheck(args: &[String]) -> Result<(), String> {
+    use nu_lpa::core::{lpa_gpu, SwapMode};
+    use nu_lpa::graph::gen::{caveman_weighted, erdos_renyi, two_cliques_light_bridge};
+    use nu_lpa::metrics::check_labels;
+    use nu_lpa::obs::json::escape;
+    use nu_lpa::sancheck::{install, uninstall, CheckerConfig};
+    use nu_lpa::simt::DeviceConfig;
+
+    let json = args.iter().any(|a| a == "--json");
+    let graph_path = args.iter().find(|a| !a.starts_with("--"));
+    let graphs: Vec<(String, Csr)> = match graph_path {
+        Some(p) => vec![(p.clone(), load_graph(p)?)],
+        None => vec![
+            ("two-cliques-s6".into(), two_cliques_light_bridge(6)),
+            ("caveman-4x8".into(), caveman_weighted(4, 8, 0.5)),
+            ("erdos-renyi-256".into(), erdos_renyi(256, 768, 42)),
+        ],
+    };
+
+    // Backend × device matrix. The CC1 run forces a Cross-Check pass after
+    // every iteration, driving the atomic-exchange revert kernel; the tiny
+    // device maximises wave count (and thus flush/epoch transitions) on
+    // small graphs.
+    let tiny = LpaConfig::default().with_device(DeviceConfig::tiny());
+    let a100 = LpaConfig::default();
+    let cc1 = tiny.with_swap_mode(SwapMode::CrossCheck { every: 1 });
+    type RunFn = Box<dyn Fn(&Csr) -> Vec<u32>>;
+    let runs: Vec<(&str, RunFn)> = vec![
+        (
+            "nu-lpa-sim/tiny",
+            Box::new(move |g| lpa_gpu(g, &tiny).labels),
+        ),
+        (
+            "nu-lpa-sim/a100",
+            Box::new(move |g| lpa_gpu(g, &a100).labels),
+        ),
+        (
+            "nu-lpa-sim/tiny+cc1",
+            Box::new(move |g| lpa_gpu(g, &cc1).labels),
+        ),
+        (
+            "nu-lpa",
+            Box::new(|g| lpa_native(g, &LpaConfig::default()).labels),
+        ),
+        (
+            "gunrock",
+            Box::new(|g| gunrock_lp(g, &GunrockConfig::default()).labels),
+        ),
+    ];
+
+    let mut total_hazards = 0u64;
+    let mut failed_runs = 0usize;
+    let mut json_rows = Vec::new();
+    for (gname, g) in &graphs {
+        for (bname, run) in &runs {
+            install(CheckerConfig::default());
+            let labels = run(g);
+            let report = uninstall().expect("checker installed above");
+            check_labels(g, &labels)
+                .map_err(|e| format!("sancheck: {gname}/{bname}: invalid labels: {e}"))?;
+            if json {
+                json_rows.push(format!(
+                    "{{\"graph\":{},\"backend\":{},\"report\":{}}}",
+                    escape(gname),
+                    escape(bname),
+                    report.to_json()
+                ));
+            } else if report.is_clean() {
+                println!(
+                    "ok   {gname:<18} {bname:<20} {} accesses, 0 hazards",
+                    report.accesses
+                );
+            } else {
+                println!(
+                    "FAIL {gname:<18} {bname:<20} {} hazards:",
+                    report.total_hazards()
+                );
+                print!("{}", report.render());
+            }
+            total_hazards += report.total_hazards();
+            if !report.is_clean() {
+                failed_runs += 1;
+            }
+        }
+    }
+    if json {
+        println!("[{}]", json_rows.join(","));
+    }
+    if total_hazards > 0 {
+        return Err(format!(
+            "sancheck: {total_hazards} hazards across {failed_runs} runs"
+        ));
+    }
+    if !json {
+        println!(
+            "sancheck: {} runs clean ({} graphs x {} backends)",
+            graphs.len() * runs.len(),
+            graphs.len(),
+            runs.len()
+        );
+    }
+    Ok(())
+}
+
+/// Stub when the checker is compiled out.
+#[cfg(not(feature = "sancheck"))]
+fn cmd_sancheck(_args: &[String]) -> Result<(), String> {
+    Err(
+        "sancheck: this binary was built without the `sancheck` feature \
+         (rebuild with default features)"
+            .into(),
+    )
 }

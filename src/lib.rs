@@ -11,6 +11,11 @@
 //! * [`metrics`] — modularity, NMI, partition stats ([`nulpa_metrics`]).
 //! * [`obs`] — structured tracing: sinks, histograms, JSONL/Perfetto
 //!   exporters ([`nulpa_obs`]).
+//! * [`sancheck`] — dynamic hazard checker for the SIMT execution model
+//!   ([`nulpa_sancheck`]; present when the default `sancheck` feature is
+//!   on).
+
+#![forbid(unsafe_code)]
 
 pub use nulpa_baselines as baselines;
 pub use nulpa_core as core;
@@ -18,4 +23,6 @@ pub use nulpa_graph as graph;
 pub use nulpa_hashtab as hashtab;
 pub use nulpa_metrics as metrics;
 pub use nulpa_obs as obs;
+#[cfg(feature = "sancheck")]
+pub use nulpa_sancheck as sancheck;
 pub use nulpa_simt as simt;
