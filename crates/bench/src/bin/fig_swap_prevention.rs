@@ -11,7 +11,7 @@
 //! Paper result to compare against: PL4 attains the highest modularity
 //! while being only ~8 % slower than the fastest method (CC2).
 
-use nulpa_bench::{geomean, print_header, BenchArgs};
+use nulpa_bench::{geomean, print_header, BenchArgs, Report, Table};
 use nulpa_core::{lpa_gpu, LpaConfig, SwapMode};
 use nulpa_graph::datasets::figure_specs;
 use nulpa_metrics::modularity_par;
@@ -71,10 +71,15 @@ fn main() {
         "method", "rel. runtime", "rel. modularity"
     );
     let mut best = (String::new(), 0.0f64);
+    let mut table = Table::new(
+        "Fig. 1: mean relative runtime & modularity by swap-prevention method",
+        &["rel_runtime", "rel_modularity"],
+    );
     for (i, mode) in modes.iter().enumerate() {
         let rc = geomean(&cycles[i]).unwrap_or(f64::NAN);
         let rq = geomean(&quality[i]).unwrap_or(f64::NAN);
         println!("{:<8} {:>16.3} {:>20.4}", mode.label(), rc, rq);
+        table.row(&mode.label(), &[rc, rq]);
         if rq > best.1 {
             best = (mode.label(), rq);
         }
@@ -83,4 +88,11 @@ fn main() {
         "\nhighest mean relative modularity: {} (paper: PL4)",
         best.0
     );
+
+    let mut report = Report::new("fig_swap_prevention", &args);
+    report.push(table);
+    match report.write(&args.json) {
+        Ok(path) => eprintln!("json report written to {path}"),
+        Err(e) => eprintln!("warning: could not write json report: {e}"),
+    }
 }

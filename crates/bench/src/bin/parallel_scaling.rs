@@ -1,0 +1,99 @@
+//! Host-parallel scaling of the SIMT simulator.
+//!
+//! Runs `nulpa`-style community detection (the GPU-simulator backend)
+//! on the largest benchmark graph at 1, 2 and 4 host threads, records
+//! median wall-clock per thread count, and cross-checks that every run
+//! produces bit-identical labels, simulator statistics and staged-write
+//! collision counts — the determinism contract of the sharded wave
+//! scheduler. Emits `results/parallel_scaling.json`.
+//!
+//! Speedup is only expected when the machine actually has that many
+//! hardware threads; the report records `hw_threads` alongside the
+//! measurements so single-core CI numbers are not misread as a
+//! scaling regression.
+
+use nulpa_bench::{median_time, print_header, BenchArgs, Report, Table};
+use nulpa_core::{lpa_gpu, LpaConfig};
+use nulpa_graph::datasets::figure_specs;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let args = BenchArgs::parse();
+
+    let spec = figure_specs()
+        .into_iter()
+        .max_by_key(|s| s.scaled_vertices(args.scale))
+        .expect("figure_specs is non-empty");
+    let d = spec.generate(args.scale);
+    let g = &d.graph;
+    let hw_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    eprintln!(
+        "largest bench graph: {} (|V|={}, |E|={}), host has {} hardware thread(s)",
+        spec.name,
+        g.num_vertices(),
+        g.num_edges(),
+        hw_threads
+    );
+
+    let mut rows: Vec<(usize, f64)> = Vec::new();
+    let mut reference = None;
+    for &threads in &THREAD_COUNTS {
+        // explicit thread count, overriding any NULPA_THREADS in the env
+        let cfg = LpaConfig::default().with_threads(threads);
+        let (wall, r) = median_time(args.repeats, || lpa_gpu(g, &cfg));
+        match &reference {
+            None => reference = Some(r),
+            Some(base) => {
+                assert_eq!(
+                    r.labels, base.labels,
+                    "labels diverged at {threads} threads"
+                );
+                assert_eq!(
+                    r.stats, base.stats,
+                    "simulator stats diverged at {threads} threads"
+                );
+                assert_eq!(
+                    r.staged_collisions, base.staged_collisions,
+                    "staged collisions diverged at {threads} threads"
+                );
+            }
+        }
+        rows.push((threads, wall.as_secs_f64() * 1e3));
+    }
+
+    print_header(&format!(
+        "Host-parallel scaling of the simulator on {} ({} hw thread(s))",
+        spec.name, hw_threads
+    ));
+    println!("{:<8} {:>12} {:>10}", "threads", "wall (ms)", "speedup");
+    let base_ms = rows[0].1;
+    for &(threads, ms) in &rows {
+        println!("{threads:<8} {ms:>12.2} {:>9.2}x", base_ms / ms.max(1e-9));
+    }
+    println!("\nall thread counts produced bit-identical labels and stats");
+
+    let mut report = Report::new("parallel_scaling", &args);
+    let mut t = Table::new(
+        &format!("nulpa detect wall-clock on {}", spec.name),
+        &["threads", "wall_ms", "speedup", "hw_threads"],
+    );
+    for &(threads, ms) in &rows {
+        t.row(
+            &format!("threads={threads}"),
+            &[
+                threads as f64,
+                ms,
+                base_ms / ms.max(1e-9),
+                hw_threads as f64,
+            ],
+        );
+    }
+    report.push(t);
+    match report.write(&args.json) {
+        Ok(path) => eprintln!("json report written to {path}"),
+        Err(e) => eprintln!("warning: could not write json report: {e}"),
+    }
+}

@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 /// Flag summary printed by `--help` and appended to parse errors.
 pub const USAGE: &str = "options: --scale <f> (fraction of the paper's graph sizes), \
 --quick (tiny test scale), --repeats <n> (runs per measurement), \
+--threads <n> (host threads for the simulator; also NULPA_THREADS), \
 --json <path> (machine-readable results), --help";
 
 /// Command-line arguments shared by every harness binary.
@@ -16,6 +17,10 @@ pub struct BenchArgs {
     pub scale: f64,
     /// Wall-clock repetitions per measurement (paper: 5).
     pub repeats: usize,
+    /// Host threads for the simulator's sharded wave execution (`None` =
+    /// auto). [`Self::parse`] exports this as `NULPA_THREADS` so every
+    /// `LpaConfig::default()` in a harness picks it up.
+    pub threads: Option<usize>,
     /// Override path for the machine-readable JSON report (binaries that
     /// emit one default to `results/<binary>.json`).
     pub json: Option<String>,
@@ -27,7 +32,15 @@ impl BenchArgs {
     /// error prints usage and exits 2.
     pub fn parse() -> Self {
         match Self::parse_from(std::env::args().skip(1)) {
-            Ok(Some(a)) => a,
+            Ok(Some(a)) => {
+                if let Some(t) = a.threads {
+                    // Export before any backend call so every
+                    // `LpaConfig::default()` (threads = 0 → resolve via
+                    // env) in this process honours the flag.
+                    std::env::set_var("NULPA_THREADS", t.to_string());
+                }
+                a
+            }
             Ok(None) => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -47,6 +60,7 @@ impl BenchArgs {
     {
         let mut scale = DEFAULT_SCALE;
         let mut repeats = 5;
+        let mut threads = None;
         let mut json = None;
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
@@ -68,6 +82,16 @@ impl BenchArgs {
                         .and_then(|s| s.parse().ok())
                         .ok_or("--repeats needs an integer")?;
                 }
+                "--threads" => {
+                    let t: usize = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--threads needs a positive integer")?;
+                    if t == 0 {
+                        return Err("--threads needs a positive integer".into());
+                    }
+                    threads = Some(t);
+                }
                 "--json" => {
                     json = Some(args.next().ok_or("--json needs a path")?);
                 }
@@ -77,13 +101,17 @@ impl BenchArgs {
         Ok(Some(BenchArgs {
             scale,
             repeats,
+            threads,
             json,
         }))
     }
 }
 
 /// Median wall time of `repeats` runs of `f` (the paper averages five
-/// runs; the median is more robust on a shared machine).
+/// runs; the median is more robust on a shared machine). For an even
+/// number of runs the median is the midpoint of the two middle samples —
+/// taking the upper element would bias every even-`repeats` measurement
+/// upward by up to half the inter-sample gap.
 pub fn median_time<T>(repeats: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
     assert!(repeats >= 1);
     let mut times = Vec::with_capacity(repeats);
@@ -94,8 +122,19 @@ pub fn median_time<T>(repeats: usize, mut f: impl FnMut() -> T) -> (Duration, T)
         times.push(t0.elapsed());
         last = Some(out);
     }
+    (median_duration(&mut times), last.unwrap())
+}
+
+/// Median of a non-empty set of durations; even counts take the midpoint
+/// of the two middle elements. Sorts `times` in place.
+fn median_duration(times: &mut [Duration]) -> Duration {
     times.sort();
-    (times[times.len() / 2], last.unwrap())
+    let mid = times.len() / 2;
+    if times.len().is_multiple_of(2) {
+        (times[mid - 1] + times[mid]) / 2
+    } else {
+        times[mid]
+    }
 }
 
 /// Geometric mean of a series of positive ratios (the paper's "mean
@@ -266,6 +305,26 @@ mod tests {
         assert!(d.as_nanos() < 1_000_000_000);
     }
 
+    #[test]
+    fn median_even_count_is_midpoint_of_middle_pair() {
+        // The old implementation returned the upper of the two middle
+        // elements (40ms here), inflating every even-`repeats` run.
+        let ms = Duration::from_millis;
+        let mut times = vec![ms(100), ms(10), ms(40), ms(20)];
+        assert_eq!(median_duration(&mut times), ms(30));
+        let mut two = vec![ms(10), ms(20)];
+        assert_eq!(median_duration(&mut two), ms(15));
+    }
+
+    #[test]
+    fn median_odd_count_is_middle_element() {
+        let ms = Duration::from_millis;
+        let mut times = vec![ms(500), ms(10), ms(30)];
+        assert_eq!(median_duration(&mut times), ms(30));
+        let mut one = vec![ms(7)];
+        assert_eq!(median_duration(&mut one), ms(7));
+    }
+
     fn strs(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
     }
@@ -295,6 +354,19 @@ mod tests {
         assert_eq!(BenchArgs::parse_from(strs(&["--help"])), Ok(None));
         assert_eq!(BenchArgs::parse_from(strs(&["-h"])), Ok(None));
         assert_eq!(BenchArgs::parse_from(strs(&["--quick", "-h"])), Ok(None));
+    }
+
+    #[test]
+    fn args_threads_flag() {
+        let a = BenchArgs::parse_from(strs(&["--threads", "4"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.threads, Some(4));
+        let a = BenchArgs::parse_from(strs(&[])).unwrap().unwrap();
+        assert_eq!(a.threads, None);
+        assert!(BenchArgs::parse_from(strs(&["--threads"])).is_err());
+        assert!(BenchArgs::parse_from(strs(&["--threads", "0"])).is_err());
+        assert!(BenchArgs::parse_from(strs(&["--threads", "x"])).is_err());
     }
 
     #[test]

@@ -108,6 +108,11 @@ pub struct LpaConfig {
     pub device: DeviceConfig,
     /// Cost model for the GPU backend.
     pub cost: CostModel,
+    /// Host threads for the simulator's sharded wave execution. `0` (the
+    /// default) resolves to `NULPA_THREADS` when set, else the machine's
+    /// available parallelism. Results are bit-for-bit identical at every
+    /// setting; see [`resolve_threads`].
+    pub threads: usize,
 }
 
 impl Default for LpaConfig {
@@ -123,8 +128,30 @@ impl Default for LpaConfig {
             shared_tables: false,
             device: DeviceConfig::a100(),
             cost: CostModel::default_gpu(),
+            threads: 0,
         }
     }
+}
+
+/// Resolve a requested host-thread count to an effective one: an explicit
+/// `requested > 0` wins; otherwise the `NULPA_THREADS` environment
+/// variable (when set to a positive integer); otherwise the machine's
+/// available parallelism. Thread count never affects results — only host
+/// wall-clock.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(env) = std::env::var("NULPA_THREADS") {
+        if let Ok(t) = env.trim().parse::<usize>() {
+            if t > 0 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
 }
 
 impl LpaConfig {
@@ -201,6 +228,13 @@ impl LpaConfig {
         self.device = d;
         self
     }
+
+    /// Builder-style setter for the host-thread count (`0` = auto; see
+    /// [`resolve_threads`]).
+    pub fn with_threads(mut self, t: usize) -> Self {
+        self.threads = t;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +252,20 @@ mod tests {
         assert_eq!(c.value_type, ValueType::F32);
         assert!(c.pruning);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn resolve_threads_explicit_wins() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn with_threads_builder() {
+        let c = LpaConfig::default();
+        assert_eq!(c.threads, 0);
+        assert_eq!(c.with_threads(4).threads, 4);
+        assert!(c.with_threads(4).validate().is_ok());
     }
 
     #[test]

@@ -10,10 +10,10 @@
 //!   CSR offsets (paper §4.2, Fig. 2); the thread kernel uses the unshared
 //!   (atomic-free) table path, the block kernel the shared path with
 //!   `atomicCAS`/`atomicAdd` charging.
-//! * Label writes go through a [`DeferredStore`]: within a wave everyone
-//!   sees wave-start labels (lockstep visibility — the very mechanism that
-//!   causes community swaps); across waves updates are visible
-//!   (asynchronous LPA).
+//! * Label writes go through a [`SyncDeferredStore`]: within a wave
+//!   everyone sees wave-start labels (lockstep visibility — the very
+//!   mechanism that causes community swaps); across waves updates are
+//!   visible (asynchronous LPA).
 //! * Swap mitigation (paper §4.1): the Pick-Less gate restricts moves to
 //!   strictly smaller labels every ρ iterations; Cross-Check validates and
 //!   reverts "bad" moves (`C[c*] ≠ c*`) in a follow-up pass.
@@ -21,16 +21,33 @@
 //! Everything a lane does is metered (global reads/writes, atomics, probe
 //! steps), so the returned [`KernelStats`] carries the simulated cycles,
 //! divergence, and probe counts that the Fig. 1/3/4/5/7 harnesses report.
+//!
+//! # Host parallelism
+//!
+//! Lanes of a wave are independent by construction (reads see wave-start
+//! state, writes are staged), so the kernels run through the scheduler's
+//! *sharded* launches: each lane stages its writes into a per-host-thread
+//! [`LaneShard`], and the shards are merged in deterministic lane order at
+//! the wave boundary. Labels, `KernelStats`, collision counts, and trace
+//! output are bit-for-bit identical at every thread count; see
+//! [`crate::config::resolve_threads`] for how `LpaConfig::threads` and
+//! `NULPA_THREADS` pick the host-thread count. The shared state is
+//! therefore lock-free by structure: committed labels/flags are atomics
+//! read from `&self`, per-vertex hashtable regions are disjoint
+//! [`DisjointBuffer`] slices tiled by the CSR layout, and the ΔN counter
+//! is a commutative `fetch_add`.
 
-use crate::config::{LpaConfig, ValueType};
+use crate::config::{resolve_threads, LpaConfig, ValueType};
+use crate::disjoint::DisjointBuffer;
 use crate::partition::partition_candidates;
 use crate::result::LpaResult;
 use nulpa_graph::{Csr, VertexId};
 use nulpa_hashtab::{HashValue, ProbeStrategy, TableAddr, TableMut, TableSlot, EMPTY_KEY};
 use nulpa_simt::{
-    track, DeferredStore, KernelStats, LaneMeter, NullSink, TraceSink, WaveScheduler, Width,
+    track, KernelStats, LaneMeter, NullSink, StagedWrites, SyncDeferredStore, TraceSink,
+    WaveScheduler, Width,
 };
-use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Run ν-LPA on the simulated device configured in `config`.
 pub fn lpa_gpu(g: &Csr, config: &LpaConfig) -> LpaResult {
@@ -53,7 +70,7 @@ pub fn lpa_gpu_traced(g: &Csr, config: &LpaConfig, sink: &mut dyn TraceSink) -> 
 
 /// Word-address layout of the simulated global memory, for the locality
 /// model. Regions in order: labels, processed flags, CSR targets, CSR
-/// weights, hash keys, hash values.
+/// weights, hash keys, hash values, and the one-word ΔN counter.
 #[derive(Clone, Copy)]
 struct AddrMap {
     labels: usize,
@@ -62,6 +79,12 @@ struct AddrMap {
     weights: usize,
     keys: usize,
     values: usize,
+    /// Dedicated cell for the global ΔN counter. It must not alias any
+    /// per-vertex region: charging the ΔN atomic at `processed` (as an
+    /// earlier revision did) made it share a cache line with vertex 0's
+    /// processed flag, mixing a plain write and an atomic on the same
+    /// simulated cell and skewing the locality model.
+    dn: usize,
 }
 
 impl AddrMap {
@@ -72,6 +95,7 @@ impl AddrMap {
         let weights = targets + m;
         let keys = weights + m;
         let values = keys + 2 * m;
+        let dn = values + 2 * m;
         AddrMap {
             labels,
             processed,
@@ -79,6 +103,7 @@ impl AddrMap {
             weights,
             keys,
             values,
+            dn,
         }
     }
 
@@ -98,77 +123,94 @@ impl AddrMap {
 /// lockstep, all self-marks of a wave happen before the wave's
 /// neighbour-unmarks in program order, so when two swap partners both
 /// move, both end up unprocessed — which is exactly why the swap cycle
-/// persists on hardware. Staging the writes and applying self-marks
-/// before unmarks at the wave boundary reproduces that outcome
-/// deterministically (a serial interleave of immediate writes would
-/// accidentally break the symmetry and hide the paper's pathology).
+/// persists on hardware. Staging the writes (in [`LaneShard`]s) and
+/// applying self-marks before unmarks at the wave boundary reproduces
+/// that outcome deterministically (a serial interleave of immediate
+/// writes would accidentally break the symmetry and hide the paper's
+/// pathology).
 struct FlagStore {
-    committed: Vec<bool>,
-    pending_set: Vec<usize>,
-    pending_clear: Vec<usize>,
+    committed: Vec<AtomicBool>,
 }
 
 impl FlagStore {
     fn new(n: usize) -> Self {
         FlagStore {
-            committed: vec![false; n],
-            pending_set: Vec::new(),
-            pending_clear: Vec::new(),
+            committed: (0..n).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
     #[inline]
     fn get(&self, i: usize) -> bool {
-        self.committed[i]
-    }
-
-    #[inline]
-    fn stage_set(&mut self, i: usize) {
-        self.pending_set.push(i);
-    }
-
-    #[inline]
-    fn stage_clear(&mut self, i: usize) {
-        self.pending_clear.push(i);
+        self.committed[i].load(Ordering::Relaxed)
     }
 
     /// Immediate write (separate-kernel semantics, e.g. Cross-Check).
     #[inline]
-    fn write_through(&mut self, i: usize, v: bool) {
-        self.committed[i] = v;
+    fn write_through(&self, i: usize, v: bool) {
+        self.committed[i].store(v, Ordering::Relaxed);
     }
 
-    fn flush(&mut self) {
-        for i in self.pending_set.drain(..) {
-            self.committed[i] = true;
+    /// Apply every shard's staged flags: ALL sets (in shard order) before
+    /// ALL clears, across the whole wave — the lockstep ordering described
+    /// on the type.
+    fn flush_shards(&self, shards: &mut [LaneShard]) {
+        for s in shards.iter_mut() {
+            for i in s.flag_set.drain(..) {
+                self.committed[i].store(true, Ordering::Relaxed);
+            }
         }
-        for i in self.pending_clear.drain(..) {
-            self.committed[i] = false;
+        for s in shards.iter_mut() {
+            for i in s.flag_clear.drain(..) {
+                self.committed[i].store(false, Ordering::Relaxed);
+            }
         }
     }
 }
 
-/// Mutable simulation state shared by the kernel closures. The simulator
-/// executes lanes serially, so `RefCell` is sufficient (and panics loudly
-/// if that invariant is ever broken).
+/// Per-host-thread staging area for one chunk of lanes. The scheduler
+/// hands every chunk its own shard and merges them in lane order at the
+/// wave boundary, so staged-write order — and therefore last-stage-wins
+/// and collision accounting — matches the serial execution exactly.
+#[derive(Default)]
+struct LaneShard {
+    /// Staged label writes (flushed via
+    /// [`SyncDeferredStore::flush_shards`]).
+    labels: StagedWrites,
+    /// Staged processed-flag sets (self-marks).
+    flag_set: Vec<usize>,
+    /// Staged processed-flag clears (neighbour unmarks).
+    flag_clear: Vec<usize>,
+}
+
+/// Simulation state shared by the kernel closures across host threads.
+/// Committed label/flag cells are atomics read through `&self`; the
+/// hashtable buffers hand out disjoint per-vertex regions; ΔN is a
+/// commutative counter — so no lane ever takes a lock or a `RefCell`
+/// borrow.
 struct GpuState<V: HashValue> {
-    labels: RefCell<DeferredStore<VertexId>>,
-    processed: RefCell<FlagStore>,
-    buf_k: RefCell<Vec<u32>>,
-    buf_v: RefCell<Vec<V>>,
-    changed: Cell<usize>,
+    labels: SyncDeferredStore,
+    processed: FlagStore,
+    buf_k: DisjointBuffer<u32>,
+    buf_v: DisjointBuffer<V>,
+    changed: AtomicUsize,
 }
 
 fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig, sink: &mut dyn TraceSink) -> LpaResult {
     let n = g.num_vertices();
     let m = g.num_edges();
-    let sched = WaveScheduler::new(config.device, config.cost);
+    let threads = resolve_threads(config.threads);
+    let sched = WaveScheduler::new(config.device, config.cost).with_threads(threads);
     // Shared-memory tables (ablation): the thread kernel runs on an
     // occupancy-limited device — each thread reserves its worst-case table
     // (2 * switch_degree slots of key + value) in the SM's shared memory.
     let low_sched = if config.shared_tables {
-        let bytes = 2 * config.switch_degree as usize * (4 + std::mem::size_of::<V>());
-        WaveScheduler::new(config.device.with_shared_mem_per_thread(bytes), config.cost)
+        WaveScheduler::new(
+            config.device.with_shared_mem_per_thread(
+                2 * config.switch_degree as usize * (4 + std::mem::size_of::<V>()),
+            ),
+            config.cost,
+        )
+        .with_threads(threads)
     } else {
         sched
     };
@@ -176,17 +218,20 @@ fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig, sink: &mut dyn Trace
     let buf_len = TableSlot::buffer_len(m);
 
     let state = GpuState::<V> {
-        labels: RefCell::new(DeferredStore::new((0..n as VertexId).collect())),
-        processed: RefCell::new(FlagStore::new(n)),
-        buf_k: RefCell::new(vec![EMPTY_KEY; buf_len]),
-        buf_v: RefCell::new(vec![V::zero(); buf_len]),
-        changed: Cell::new(0),
+        labels: SyncDeferredStore::new((0..n as VertexId).collect()),
+        processed: FlagStore::new(n),
+        buf_k: DisjointBuffer::new(vec![EMPTY_KEY; buf_len]),
+        buf_v: DisjointBuffer::new(vec![V::zero(); buf_len]),
+        changed: AtomicUsize::new(0),
     };
 
     let mut stats = KernelStats::new();
     let mut changed_per_iter = Vec::new();
     let mut converged = false;
     let mut iterations = 0;
+    // Sort scratch for collision counting, reused across waves and
+    // iterations (the wave_end closures borrow it one launch at a time).
+    let mut scratch: Vec<usize> = Vec::new();
 
     if sink.is_enabled() {
         sink.span_begin(
@@ -201,7 +246,7 @@ fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig, sink: &mut dyn Trace
         iterations = iter + 1;
         let pick_less = config.swap_mode.pick_less_on(iter);
         let do_cc = config.swap_mode.cross_check_on(iter);
-        let prev_labels = do_cc.then(|| state.labels.borrow().as_slice().to_vec());
+        let prev_labels = do_cc.then(|| state.labels.snapshot());
         let t_iter = stats.sim_cycles;
         if sink.is_enabled() {
             sink.span_begin(track::HOST, "iteration", t_iter, &[("iter", iter.into())]);
@@ -209,53 +254,63 @@ fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig, sink: &mut dyn Trace
 
         // Candidate set: unprocessed, non-isolated vertices (vertex
         // pruning); with pruning disabled, all non-isolated vertices.
-        let candidates: Vec<VertexId> = {
-            let processed = state.processed.borrow();
-            (0..n as VertexId)
-                .filter(|&v| (!config.pruning || !processed.get(v as usize)) && g.degree(v) > 0)
-                .collect()
-        };
+        let candidates: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| (!config.pruning || !state.processed.get(v as usize)) && g.degree(v) > 0)
+            .collect();
         let part = partition_candidates(g, candidates.into_iter(), config.switch_degree);
         let (low_n, high_n) = (part.low.len(), part.high.len());
-        state.changed.set(0);
+        state.changed.store(0, Ordering::Relaxed);
 
         // --- thread-per-vertex kernel (low-degree) --------------------
-        let st_low = low_sched.launch_thread_per_item_traced(
+        let st_low = low_sched.launch_thread_per_item_sharded_traced(
             "kernel:thread",
             stats.sim_cycles,
             sink,
             &part.low,
-            |v, lane| process_vertex_thread(g, &state, v, pick_less, config, lane, addr),
-            |_| {
-                state.labels.borrow_mut().flush();
-                state.processed.borrow_mut().flush();
+            LaneShard::default,
+            |v, lane, shard: &mut LaneShard| {
+                process_vertex_thread(g, &state, v, pick_less, config, lane, shard, addr)
+            },
+            |_, shards| {
+                state
+                    .labels
+                    .flush_shards(shards, |s| &mut s.labels, &mut scratch);
+                state.processed.flush_shards(shards);
             },
         );
         stats.add(&st_low);
 
         // --- block-per-vertex kernel (high-degree) --------------------
-        let st_high = sched.launch_block_per_item_traced(
+        let st_high = sched.launch_block_per_item_sharded_traced(
             "kernel:block",
             stats.sim_cycles,
             sink,
             &part.high,
-            |v, ctx| process_vertex_block(g, &state, v, pick_less, config.probe, ctx, addr),
-            |_| {
-                state.labels.borrow_mut().flush();
-                state.processed.borrow_mut().flush();
+            LaneShard::default,
+            |v, ctx, shard: &mut LaneShard| {
+                process_vertex_block(g, &state, v, pick_less, config.probe, ctx, shard, addr)
+            },
+            |_, shards| {
+                state
+                    .labels
+                    .flush_shards(shards, |s| &mut s.labels, &mut scratch);
+                state.processed.flush_shards(shards);
             },
         );
         stats.add(&st_high);
 
         // --- Cross-Check pass (separate kernel; immediate writes) -----
+        // Stays on the serial launch path deliberately: its atomic
+        // reverts are immediately visible and later lanes read labels a
+        // previous lane may have reverted, so lane order is
+        // semantics-bearing here (unlike the staged main kernels). The
+        // pass touches only the few changed vertices — not worth
+        // parallelising at the cost of the determinism argument.
         let cross_check = prev_labels.is_some();
         if let Some(prev) = prev_labels {
-            let changed_vertices: Vec<VertexId> = {
-                let labels = state.labels.borrow();
-                (0..n as VertexId)
-                    .filter(|&v| labels.get(v as usize) != prev[v as usize])
-                    .collect()
-            };
+            let changed_vertices: Vec<VertexId> = (0..n as VertexId)
+                .filter(|&v| state.labels.get(v as usize) != prev[v as usize])
+                .collect();
             let t_cc = stats.sim_cycles;
             if sink.is_enabled() {
                 sink.span_begin(
@@ -272,25 +327,26 @@ fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig, sink: &mut dyn Trace
                 &changed_vertices,
                 |v, lane| {
                     let cost = &config.cost;
-                    let mut labels = state.labels.borrow_mut();
-                    let c = labels.get(v as usize);
+                    let c = state.labels.get(v as usize);
                     lane.global_read(cost, addr.labels + v as usize, Width::W32);
                     lane.global_read(cost, addr.labels + c as usize, Width::W32);
                     // A change is good iff the leader vertex c is in its own
                     // community (paper §4.1); otherwise revert atomically.
-                    if labels.get(c as usize) != c {
+                    if state.labels.get(c as usize) != c {
                         // atomicExch, as in the reference implementation:
                         // the revert takes effect immediately, not at the
                         // wave flush.
-                        labels.atomic_exchange(v as usize, prev[v as usize]);
+                        state.labels.atomic_exchange(v as usize, prev[v as usize]);
                         lane.atomic(cost, addr.labels + v as usize, Width::W32);
-                        state
-                            .processed
-                            .borrow_mut()
-                            .write_through(v as usize, false);
+                        state.processed.write_through(v as usize, false);
                         lane.global_write(cost, addr.processed + v as usize, Width::W32);
                         // a reverted move no longer counts as a change
-                        state.changed.set(state.changed.get().saturating_sub(1));
+                        let _ =
+                            state
+                                .changed
+                                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                                    Some(c.saturating_sub(1))
+                                });
                     }
                 },
                 |_| {},
@@ -301,7 +357,7 @@ fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig, sink: &mut dyn Trace
             }
         }
 
-        let changed = state.changed.get();
+        let changed = state.changed.load(Ordering::Relaxed);
         changed_per_iter.push(changed);
         if sink.is_enabled() {
             let active = low_n + high_n;
@@ -322,7 +378,13 @@ fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig, sink: &mut dyn Trace
                 ],
             );
         }
-        if !pick_less && (changed as f64 / n.max(1) as f64) < config.tolerance {
+        // ΔN = 0 is declared converged even on Pick-Less-gated iterations:
+        // with pruning (the adopted configuration) every candidate is now
+        // marked processed and nothing re-activates it, so the labeling is
+        // a fixed point. Gating the test on `!pick_less` alone made
+        // `PickLess { every: 1 }` — where *every* iteration is gated —
+        // run to the iteration cap on fully stable labelings.
+        if changed == 0 || (!pick_less && (changed as f64 / n.max(1) as f64) < config.tolerance) {
             converged = true;
             break;
         }
@@ -340,13 +402,14 @@ fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig, sink: &mut dyn Trace
         );
     }
 
-    let labels = state.labels.into_inner().into_inner();
+    let staged_collisions = state.labels.staged_collisions();
     LpaResult {
-        labels,
+        labels: state.labels.into_inner(),
         iterations,
         converged,
         changed_per_iter,
         stats,
+        staged_collisions,
     }
 }
 
@@ -360,12 +423,13 @@ fn process_vertex_thread<V: HashValue>(
     pick_less: bool,
     config: &LpaConfig,
     lane: &mut LaneMeter,
+    shard: &mut LaneShard,
     addr: AddrMap,
 ) {
     let probe = config.probe;
     let cost = &config.cost;
     // Mark vertex as processed (visible at the wave boundary).
-    state.processed.borrow_mut().stage_set(v as usize);
+    shard.flag_set.push(v as usize);
     lane.global_write(cost, addr.processed + v as usize, Width::W32);
 
     let degree = g.degree(v);
@@ -379,10 +443,17 @@ fn process_vertex_thread<V: HashValue>(
         addr.table(&slot)
     };
 
-    let mut buf_k = state.buf_k.borrow_mut();
-    let mut buf_v = state.buf_v.borrow_mut();
-    let range = slot.start..slot.start + slot.capacity;
-    let mut table = TableMut::<V>::new(&mut buf_k[range.clone()], &mut buf_v[range], slot.p2);
+    // SAFETY: per-vertex table regions are carved from the CSR edge
+    // layout, so distinct vertices' ranges never overlap, and each vertex
+    // appears at most once per launch — all slices live within one wave
+    // are disjoint.
+    let (keys, vals) = unsafe {
+        (
+            state.buf_k.slice_mut(slot.start, slot.capacity),
+            state.buf_v.slice_mut(slot.start, slot.capacity),
+        )
+    };
+    let mut table = TableMut::<V>::new(keys, vals, slot.p2);
 
     // hashtableClear (one lane clears every slot).
     for s in 0..slot.capacity {
@@ -397,7 +468,6 @@ fn process_vertex_thread<V: HashValue>(
     table.clear();
 
     // Scan neighbours, accumulating weighted labels.
-    let labels = state.labels.borrow();
     let off = g.offset(v);
     for (k, (j, w)) in g.neighbors(v).enumerate() {
         lane.global_read(cost, addr.targets + off + k, Width::W32);
@@ -405,7 +475,7 @@ fn process_vertex_thread<V: HashValue>(
         if j == v {
             continue;
         }
-        let c_j = labels.get(j as usize);
+        let c_j = state.labels.get(j as usize);
         lane.global_read(cost, addr.labels + j as usize, Width::W32);
         let outcome = table.accumulate_metered(probe, c_j, V::from_weight(w), taddr, lane, cost);
         debug_assert!(outcome.is_done(), "table sized by layout cannot fill");
@@ -422,19 +492,17 @@ fn process_vertex_thread<V: HashValue>(
         }
     }
     let best = table.max_key();
-    drop(labels);
 
     lane.alu(cost, 2);
     if let Some((c_star, _)) = best {
-        let cur = state.labels.borrow().get(v as usize);
+        let cur = state.labels.get(v as usize);
         if c_star != cur && (!pick_less || c_star < cur) {
-            state.labels.borrow_mut().stage(v as usize, c_star);
+            state.labels.stage(&mut shard.labels, v as usize, c_star);
             lane.global_write(cost, addr.labels + v as usize, Width::W32);
-            state.changed.set(state.changed.get() + 1);
-            lane.atomic(cost, addr.processed, Width::W32); // ΔN_T → ΔN
-            let mut processed = state.processed.borrow_mut();
+            state.changed.fetch_add(1, Ordering::Relaxed);
+            lane.atomic(cost, addr.dn, Width::W32); // ΔN_T → ΔN
             for &j in g.neighbor_ids(v) {
-                processed.stage_clear(j as usize);
+                shard.flag_clear.push(j as usize);
                 lane.global_write(cost, addr.processed + j as usize, Width::W32);
             }
         }
@@ -444,6 +512,7 @@ fn process_vertex_thread<V: HashValue>(
 /// Algorithm 1's per-vertex body, block-per-vertex flavour: a whole block
 /// cooperates — strided clears and neighbour scans, shared-path hashtable
 /// costs, a tree reduction for `hashtableMaxKey`.
+#[allow(clippy::too_many_arguments)]
 fn process_vertex_block<V: HashValue>(
     g: &Csr,
     state: &GpuState<V>,
@@ -451,10 +520,11 @@ fn process_vertex_block<V: HashValue>(
     pick_less: bool,
     probe: ProbeStrategy,
     ctx: &mut nulpa_simt::BlockCtx<'_>,
+    shard: &mut LaneShard,
     addr: AddrMap,
 ) {
     let cost = *ctx.cost;
-    state.processed.borrow_mut().stage_set(v as usize);
+    shard.flag_set.push(v as usize);
     ctx.lane(0)
         .global_write(&cost, addr.processed + v as usize, Width::W32);
 
@@ -465,10 +535,16 @@ fn process_vertex_block<V: HashValue>(
     }
     let taddr = addr.table(&slot);
 
-    let mut buf_k = state.buf_k.borrow_mut();
-    let mut buf_v = state.buf_v.borrow_mut();
-    let range = slot.start..slot.start + slot.capacity;
-    let mut table = TableMut::<V>::new(&mut buf_k[range.clone()], &mut buf_v[range], slot.p2);
+    // SAFETY: same disjointness argument as `process_vertex_thread` —
+    // regions tile the buffer by CSR offsets and each vertex (block item)
+    // appears once per launch.
+    let (keys, vals) = unsafe {
+        (
+            state.buf_k.slice_mut(slot.start, slot.capacity),
+            state.buf_v.slice_mut(slot.start, slot.capacity),
+        )
+    };
+    let mut table = TableMut::<V>::new(keys, vals, slot.p2);
 
     // Parallel clear, strided across lanes.
     ctx.for_each_strided(slot.capacity, |s, lane| {
@@ -480,7 +556,6 @@ fn process_vertex_block<V: HashValue>(
 
     // Parallel neighbour scan: lane k % B handles neighbour k. The
     // shared-path table charges atomicCAS + atomicAdd per accumulation.
-    let labels = state.labels.borrow();
     let off = g.offset(v);
     let targets = g.neighbor_ids(v);
     let weights = g.neighbor_weights(v);
@@ -491,7 +566,7 @@ fn process_vertex_block<V: HashValue>(
         if j == v {
             return;
         }
-        let c_j = labels.get(j as usize);
+        let c_j = state.labels.get(j as usize);
         lane.global_read(&cost, addr.labels + j as usize, Width::W32);
         let outcome = table.accumulate_metered_shared(
             probe,
@@ -503,7 +578,6 @@ fn process_vertex_block<V: HashValue>(
         );
         debug_assert!(outcome.is_done(), "table sized by layout cannot fill");
     });
-    drop(labels);
     ctx.barrier();
 
     // Parallel max: strided scan of the table, then a tree reduction.
@@ -516,18 +590,18 @@ fn process_vertex_block<V: HashValue>(
     let best = table.max_key();
 
     if let Some((c_star, _)) = best {
-        let cur = state.labels.borrow().get(v as usize);
+        let cur = state.labels.get(v as usize);
         ctx.lane(0).alu(&cost, 2);
         if c_star != cur && (!pick_less || c_star < cur) {
-            state.labels.borrow_mut().stage(v as usize, c_star);
+            state.labels.stage(&mut shard.labels, v as usize, c_star);
             ctx.lane(0)
                 .global_write(&cost, addr.labels + v as usize, Width::W32);
-            state.changed.set(state.changed.get() + 1);
-            ctx.lane(0).atomic(&cost, addr.processed, Width::W32); // ΔN_T → ΔN
-            let mut processed = state.processed.borrow_mut();
+            state.changed.fetch_add(1, Ordering::Relaxed);
+            ctx.lane(0).atomic(&cost, addr.dn, Width::W32); // ΔN_T → ΔN
+            let clears = &mut shard.flag_clear;
             ctx.for_each_strided(degree, |k, lane| {
                 let j = targets[k];
-                processed.stage_clear(j as usize);
+                clears.push(j as usize);
                 lane.global_write(&cost, addr.processed + j as usize, Width::W32);
             });
         }
@@ -548,8 +622,12 @@ mod tests {
     use nulpa_simt::DeviceConfig;
 
     fn cfg() -> LpaConfig {
-        // tiny device => multiple waves even on small test graphs
-        LpaConfig::default().with_device(DeviceConfig::tiny())
+        // tiny device => multiple waves even on small test graphs;
+        // threads pinned to 1 so unit tests are env-independent (the
+        // parallel ≡ serial matrix lives in tests/parallel.rs)
+        LpaConfig::default()
+            .with_device(DeviceConfig::tiny())
+            .with_threads(1)
     }
 
     #[test]
@@ -599,6 +677,7 @@ mod tests {
         let b = lpa_gpu(&g, &cfg());
         assert_eq!(a.labels, b.labels);
         assert_eq!(a.stats, b.stats);
+        assert_eq!(a.staged_collisions, b.staged_collisions);
     }
 
     #[test]
@@ -625,6 +704,63 @@ mod tests {
         let r_cc = lpa_gpu(&g, &cfg().with_swap_mode(SwapMode::CrossCheck { every: 1 }));
         assert!(r_cc.converged, "CC1 should converge");
         assert_eq!(community_count(&r_cc.labels), 32);
+    }
+
+    #[test]
+    fn pl1_converges_on_stable_labeling() {
+        // Regression for the `!pick_less`-gated tolerance test: under
+        // PickLess { every: 1 } every iteration is gated, so a fully
+        // stable labeling (ΔN = 0) used to run to max_iterations. It must
+        // stop as soon as an iteration changes nothing.
+        let g = two_cliques_light_bridge(6);
+        let pl1 = cfg().with_swap_mode(SwapMode::PickLess { every: 1 });
+        let r = lpa_gpu(&g, &pl1);
+        assert!(r.converged, "PL1 must converge on a stable labeling");
+        assert!(
+            r.iterations < pl1.max_iterations,
+            "PL1 ran to the cap: {} iterations",
+            r.iterations
+        );
+        assert_eq!(*r.changed_per_iter.last().unwrap(), 0);
+
+        // Hybrid with pl_every = 1 is gated on every iteration too.
+        let h = cfg().with_swap_mode(SwapMode::Hybrid {
+            cc_every: 2,
+            pl_every: 1,
+        });
+        let rh = lpa_gpu(&g, &h);
+        assert!(rh.converged, "Hybrid(pl_every=1) must converge");
+        assert!(rh.iterations < h.max_iterations);
+    }
+
+    #[test]
+    fn dn_counter_has_dedicated_address() {
+        // Regression for the ΔN cost-attribution bug: the counter used to
+        // be charged at `addr.processed`, aliasing vertex 0's processed
+        // flag in the locality model. Its cell must lie outside every
+        // per-vertex/per-edge region.
+        let n = 100;
+        let m = 400;
+        let a = AddrMap::new(n, m);
+        assert_eq!(a.dn, a.values + 2 * m, "ΔN follows the last region");
+        for (name, start, len) in [
+            ("labels", a.labels, n),
+            ("processed", a.processed, n),
+            ("targets", a.targets, m),
+            ("weights", a.weights, m),
+            ("keys", a.keys, 2 * m),
+            ("values", a.values, 2 * m),
+        ] {
+            assert!(
+                a.dn < start || a.dn >= start + len,
+                "ΔN cell {} aliases region {name} [{start}, {})",
+                a.dn,
+                start + len
+            );
+        }
+        // In particular it no longer shares a cache line with processed[0].
+        use nulpa_simt::LINE_WORDS;
+        assert_ne!(a.dn / LINE_WORDS, a.processed / LINE_WORDS);
     }
 
     #[test]
@@ -693,7 +829,7 @@ mod tests {
         let g = caveman_weighted(3, 6, 0.5);
         let truth = caveman_ground_truth(3, 6);
         for d in [DeviceConfig::a100(), DeviceConfig::tiny()] {
-            let r = lpa_gpu(&g, &LpaConfig::default().with_device(d));
+            let r = lpa_gpu(&g, &LpaConfig::default().with_device(d).with_threads(1));
             assert!(same_partition(&r.labels, &truth));
         }
     }

@@ -29,13 +29,15 @@
 
 pub mod coarsen;
 pub mod config;
-// The only unsafe code in the workspace lives in these two modules
+// The only unsafe code in the workspace lives in these three modules
 // (audited, allowlisted in scripts/ci.sh): `disjoint` hands out
-// non-overlapping mutable table regions from one buffer, and `native`
-// shares label slices across rayon workers with vertex-disjoint writes.
+// non-overlapping mutable table regions from one buffer, and `native` and
+// `gpu` take such disjoint per-vertex regions from it (vertex-disjoint by
+// CSR construction) for their parallel table writes.
 #[allow(unsafe_code)]
 pub mod disjoint;
 pub mod dynamic;
+#[allow(unsafe_code)]
 pub mod gpu;
 pub mod linkpred;
 #[allow(unsafe_code)]
@@ -46,7 +48,7 @@ pub mod result;
 pub mod seq;
 
 pub use coarsen::{coarsen_lpa, CoarseLevel, CoarsenConfig, CoarsenResult};
-pub use config::{LpaConfig, SwapMode, ValueType};
+pub use config::{resolve_threads, LpaConfig, SwapMode, ValueType};
 pub use dynamic::{apply_batch, frontier, lpa_dynamic, EdgeBatch};
 pub use gpu::{lpa_gpu, lpa_gpu_traced};
 pub use linkpred::{adamic_adar, community_adamic_adar, top_k_predictions};

@@ -170,7 +170,10 @@ fn lpa_native_typed<V: HashValue>(
                 ],
             );
         }
-        if !pick_less && (changed as f64 / n.max(1) as f64) < config.tolerance {
+        // ΔN = 0 converges even on Pick-Less-gated iterations (PL1 would
+        // otherwise never pass the gated test); see the same check in
+        // `gpu.rs`.
+        if changed == 0 || (!pick_less && (changed as f64 / n.max(1) as f64) < config.tolerance) {
             converged = true;
             break;
         }
@@ -182,6 +185,7 @@ fn lpa_native_typed<V: HashValue>(
         converged,
         changed_per_iter,
         stats: KernelStats::new(),
+        staged_collisions: 0,
     }
 }
 
@@ -259,6 +263,18 @@ mod tests {
         assert!(check_labels(&g, &r.labels).is_ok());
         assert!(same_partition(&r.labels, &caveman_ground_truth(2, 6)));
         assert!(r.converged);
+    }
+
+    #[test]
+    fn pl1_converges_on_stable_labeling() {
+        // The `!pick_less` gate alone would keep PL1 running to the cap;
+        // ΔN = 0 must end the run (same fix as gpu.rs/seq.rs).
+        let g = two_cliques_light_bridge(6);
+        let pl1 = cfg().with_swap_mode(SwapMode::PickLess { every: 1 });
+        let r = lpa_native(&g, &pl1);
+        assert!(r.converged);
+        assert!(r.iterations < pl1.max_iterations);
+        assert_eq!(*r.changed_per_iter.last().unwrap(), 0);
     }
 
     #[test]

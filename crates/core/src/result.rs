@@ -16,6 +16,12 @@ pub struct LpaResult {
     pub changed_per_iter: Vec<usize>,
     /// Simulator statistics (zeroed for the native/sequential backends).
     pub stats: KernelStats,
+    /// Label cells staged more than once within a single simulated wave,
+    /// cumulative over the run (zero for the native/sequential backends;
+    /// ν-LPA writes each vertex from exactly one thread, so a non-zero
+    /// count indicates a scheduling bug — the parallel ≡ serial matrix
+    /// test also asserts it is identical across host-thread counts).
+    pub staged_collisions: u64,
 }
 
 impl LpaResult {
@@ -42,6 +48,7 @@ mod tests {
             converged: true,
             changed_per_iter: vec![4, 2, 0],
             stats: KernelStats::new(),
+            staged_collisions: 0,
         };
         assert_eq!(r.num_communities(), 2);
         assert_eq!(r.total_changes(), 6);

@@ -170,6 +170,158 @@ impl<T: Copy + PartialEq> DeferredStore<T> {
     }
 }
 
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Thread-shareable variant of [`DeferredStore`] for `u32` cells: reads
+/// go through `&self` (so concurrent lanes can share the store), while
+/// staged writes live in caller-owned per-shard pending lists that the
+/// wave scheduler merges in deterministic lane order via
+/// [`Self::flush_shards`].
+///
+/// All atomics use `Relaxed` ordering: committed cells are only written
+/// at wave boundaries (between `thread::scope` joins, which already
+/// provide the happens-before edges) or by explicitly-immediate
+/// `write_through`/`atomic_exchange` calls whose cross-lane ordering the
+/// simulated algorithm does not rely on.
+#[derive(Debug)]
+pub struct SyncDeferredStore {
+    data: Vec<AtomicU32>,
+    staged_collisions: AtomicU64,
+}
+
+/// One shard's staged writes, to be passed back to
+/// [`SyncDeferredStore::flush_shards`].
+pub type StagedWrites = Vec<(usize, u32)>;
+
+impl SyncDeferredStore {
+    /// Wrap an initial state.
+    pub fn new(init: Vec<u32>) -> Self {
+        SyncDeferredStore {
+            data: init.into_iter().map(AtomicU32::new).collect(),
+            staged_collisions: AtomicU64::new(0),
+        }
+    }
+
+    /// Host byte address of cell `i` — the shadow-memory key.
+    #[cfg(feature = "sancheck")]
+    #[inline]
+    fn addr_of(&self, i: usize) -> usize {
+        self.data.as_ptr() as usize + i * std::mem::size_of::<AtomicU32>()
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the store has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Committed (wave-start) value of cell `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        #[cfg(feature = "sancheck")]
+        hooks::ds_read(self.addr_of(i));
+        self.data[i].load(Ordering::Relaxed)
+    }
+
+    /// Stage a write to cell `i` into `pending`; becomes visible after the
+    /// shard is passed to [`Self::flush_shards`]. The index is validated
+    /// eagerly, exactly like [`DeferredStore::stage`].
+    #[inline]
+    pub fn stage(&self, pending: &mut StagedWrites, i: usize, v: u32) {
+        if i >= self.data.len() {
+            #[cfg(feature = "sancheck")]
+            hooks::ds_oob(i, self.data.len());
+            panic!(
+                "DeferredStore::stage: cell index {i} out of bounds for store of {} cells",
+                self.data.len()
+            );
+        }
+        #[cfg(feature = "sancheck")]
+        hooks::ds_stage(self.addr_of(i));
+        pending.push((i, v));
+    }
+
+    /// Apply the staged writes of every shard, in shard order (call from
+    /// the scheduler's `wave_end` with shards in lane order — the
+    /// concatenation then equals the serial staging order, so
+    /// last-stage-wins and [`Self::staged_collisions`] match
+    /// [`DeferredStore::flush`] exactly). `scratch` is the caller-owned
+    /// sort buffer for collision counting (kept across waves to avoid a
+    /// per-flush allocation).
+    pub fn flush_shards<S>(
+        &self,
+        shards: &mut [S],
+        pending_of: impl Fn(&mut S) -> &mut StagedWrites,
+        scratch: &mut Vec<usize>,
+    ) {
+        scratch.clear();
+        for s in shards.iter_mut() {
+            scratch.extend(pending_of(s).iter().map(|&(i, _)| i));
+        }
+        if scratch.is_empty() {
+            return;
+        }
+        scratch.sort_unstable();
+        let dups = scratch.windows(2).filter(|w| w[0] == w[1]).count() as u64;
+        self.staged_collisions.fetch_add(dups, Ordering::Relaxed);
+        #[cfg(feature = "sancheck")]
+        if hooks::is_active() {
+            for s in shards.iter_mut() {
+                for &(i, _) in pending_of(s).iter() {
+                    hooks::ds_flush_commit(self.addr_of(i));
+                }
+            }
+        }
+        for s in shards.iter_mut() {
+            for (i, v) in pending_of(s).drain(..) {
+                self.data[i].store(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Immediately-visible write, bypassing wave buffering (see
+    /// [`DeferredStore::write_through`]).
+    #[inline]
+    pub fn write_through(&self, i: usize, v: u32) {
+        #[cfg(feature = "sancheck")]
+        hooks::ds_write_through(self.addr_of(i));
+        self.data[i].store(v, Ordering::Relaxed);
+    }
+
+    /// Atomic exchange: immediately-visible write returning the previous
+    /// value — `atomicExch` semantics (see
+    /// [`DeferredStore::atomic_exchange`]).
+    #[inline]
+    pub fn atomic_exchange(&self, i: usize, v: u32) -> u32 {
+        #[cfg(feature = "sancheck")]
+        hooks::atomic_access(self.addr_of(i));
+        self.data[i].swap(v, Ordering::Relaxed)
+    }
+
+    /// Cells written more than once within a single wave, cumulative.
+    pub fn staged_collisions(&self) -> u64 {
+        self.staged_collisions.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the committed state (no instrumentation hooks, like
+    /// [`DeferredStore::as_slice`]).
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.data
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Consume into the committed state.
+    pub fn into_inner(self) -> Vec<u32> {
+        self.data.into_iter().map(AtomicU32::into_inner).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +454,72 @@ mod tests {
         s.flush();
         assert_eq!(s.get(2), 5);
         assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn sync_store_matches_deferred_store_semantics() {
+        // Differential check: the same staged-write sequence through one
+        // shard must commit the same state and collision count as the
+        // single-threaded DeferredStore.
+        let writes: &[(usize, u32)] = &[(0, 1), (1, 2), (0, 3), (2, 4), (0, 5), (1, 6)];
+        let mut reference = DeferredStore::new(vec![0u32; 4]);
+        for &(i, v) in writes {
+            reference.stage(i, v);
+        }
+        reference.flush();
+
+        let sync = SyncDeferredStore::new(vec![0u32; 4]);
+        let mut shard: StagedWrites = Vec::new();
+        for &(i, v) in writes {
+            sync.stage(&mut shard, i, v);
+        }
+        let mut scratch = Vec::new();
+        sync.flush_shards(&mut [shard], |s| s, &mut scratch);
+        assert_eq!(sync.snapshot(), reference.as_slice());
+        assert_eq!(sync.staged_collisions(), reference.staged_collisions());
+    }
+
+    #[test]
+    fn sync_store_shard_order_is_stage_order() {
+        // Writes split across shards commit in shard order: the last
+        // shard's write wins, and collisions count across the whole wave.
+        let s = SyncDeferredStore::new(vec![0u32; 2]);
+        let mut a: StagedWrites = Vec::new();
+        let mut b: StagedWrites = Vec::new();
+        s.stage(&mut a, 0, 1);
+        s.stage(&mut b, 0, 2);
+        let mut scratch = Vec::new();
+        s.flush_shards(&mut [a, b], |sh| sh, &mut scratch);
+        assert_eq!(s.get(0), 2);
+        assert_eq!(s.staged_collisions(), 1);
+    }
+
+    #[test]
+    fn sync_store_write_through_and_exchange_are_immediate() {
+        let s = SyncDeferredStore::new(vec![1u32, 2]);
+        s.write_through(1, 9);
+        assert_eq!(s.get(1), 9);
+        assert_eq!(s.atomic_exchange(0, 7), 1);
+        assert_eq!(s.get(0), 7);
+        assert_eq!(s.into_inner(), vec![7, 9]);
+    }
+
+    #[test]
+    fn sync_store_flush_empty_shards_is_noop() {
+        let s = SyncDeferredStore::new(vec![4u32]);
+        let mut scratch = Vec::new();
+        s.flush_shards(&mut [StagedWrites::new()], |sh| sh, &mut scratch);
+        assert_eq!(s.get(0), 4);
+        assert_eq!(s.staged_collisions(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell index 9 out of bounds for store of 3 cells")]
+    fn sync_store_stage_out_of_bounds_panics_eagerly() {
+        let s = SyncDeferredStore::new(vec![0u32; 3]);
+        let mut shard = StagedWrites::new();
+        s.stage(&mut shard, 9, 1);
     }
 }

@@ -30,7 +30,7 @@ pub mod wave;
 
 pub use atomics::{AtomicF32, AtomicF64};
 pub use cost::{CostModel, LaneMeter, Width, LINE_WORDS};
-pub use deferred::DeferredStore;
+pub use deferred::{DeferredStore, StagedWrites, SyncDeferredStore};
 pub use device::DeviceConfig;
 pub use stats::KernelStats;
 pub use wave::{BlockCtx, WaveScheduler};

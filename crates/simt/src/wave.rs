@@ -21,6 +21,67 @@ use nulpa_obs::{track, NullSink, TraceSink, Value};
 #[cfg(feature = "sancheck")]
 use nulpa_sancheck::hooks;
 
+/// `true` while a sancheck checker is installed (sharded launches fall
+/// back to serial execution so hook order stays deterministic).
+#[inline]
+fn checker_active() -> bool {
+    #[cfg(feature = "sancheck")]
+    {
+        hooks::is_active()
+    }
+    #[cfg(not(feature = "sancheck"))]
+    {
+        false
+    }
+}
+
+/// Report a lane's (warp, lane) context to the hazard checker; no-op
+/// without the `sancheck` feature.
+#[inline]
+fn hook_lane_ctx(lane_idx: usize, warp: usize) {
+    #[cfg(feature = "sancheck")]
+    hooks::lane_ctx((lane_idx / warp) as u32, (lane_idx % warp) as u32);
+    #[cfg(not(feature = "sancheck"))]
+    let _ = (lane_idx, warp);
+}
+
+/// Report a block's index to the hazard checker; no-op without the
+/// `sancheck` feature.
+#[inline]
+fn hook_block_ctx(block_idx: usize) {
+    #[cfg(feature = "sancheck")]
+    hooks::block_ctx(block_idx as u32);
+    #[cfg(not(feature = "sancheck"))]
+    let _ = block_idx;
+}
+
+/// Run `work` over contiguous `chunk_len`-sized chunks of `items`, one
+/// scoped host thread per chunk, and return the results in chunk order.
+/// A worker panic is re-raised on the calling thread.
+fn run_chunks<T, R, W>(items: &[T], chunk_len: usize, work: W) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    W: Fn(&[T]) -> R + Sync,
+{
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || work(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+/// Minimum lanes per host-thread chunk in a sharded thread-per-item wave;
+/// waves smaller than `2 × this` stay on one host thread (spawn cost would
+/// dominate the lane work).
+const MIN_LANES_PER_CHUNK: usize = 16;
+
 /// Lockstep kernel launcher for a fixed device.
 #[derive(Clone, Copy, Debug)]
 pub struct WaveScheduler {
@@ -28,13 +89,28 @@ pub struct WaveScheduler {
     pub device: DeviceConfig,
     /// Cost model charged to lanes.
     pub cost: CostModel,
+    /// Host threads the sharded launches may use (1 = serial). The
+    /// classic `launch_*_per_item` entry points ignore this and always
+    /// run serially; only the `*_sharded` variants parallelise.
+    pub threads: usize,
 }
 
 impl WaveScheduler {
     /// Create a scheduler; panics on an invalid device.
     pub fn new(device: DeviceConfig, cost: CostModel) -> Self {
         device.validate().expect("invalid device config");
-        WaveScheduler { device, cost }
+        WaveScheduler {
+            device,
+            cost,
+            threads: 1,
+        }
+    }
+
+    /// Builder-style setter for the host-thread count used by the sharded
+    /// launches (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Thread-per-item launch: one lane per item (the paper's
@@ -102,9 +178,8 @@ impl WaveScheduler {
             #[cfg(feature = "sancheck")]
             hooks::wave_begin(w as u64);
             let mut meters: Vec<LaneMeter> = Vec::with_capacity(wave_items.len());
-            for (_i, &it) in wave_items.iter().enumerate() {
-                #[cfg(feature = "sancheck")]
-                hooks::lane_ctx((_i / warp) as u32, (_i % warp) as u32);
+            for (i, &it) in wave_items.iter().enumerate() {
+                hook_lane_ctx(i, warp);
                 let mut m = LaneMeter::new();
                 kernel(it, &mut m);
                 meters.push(m);
@@ -190,9 +265,8 @@ impl WaveScheduler {
             hooks::wave_begin(w as u64);
             let mut critical = 0u64;
             let mut warp_total = 0u64;
-            for (_b, &it) in wave_items.iter().enumerate() {
-                #[cfg(feature = "sancheck")]
-                hooks::block_ctx(_b as u32);
+            for (b, &it) in wave_items.iter().enumerate() {
+                hook_block_ctx(b);
                 let mut ctx = BlockCtx::new(self.device.block_size, warp, &self.cost);
                 kernel(it, &mut ctx);
                 // Lanes that never executed a metered op did no work in
@@ -229,6 +303,314 @@ impl WaveScheduler {
         hooks::kernel_end();
         self.finish_kernel_span(sink, name, t0, &stats);
         stats
+    }
+
+    /// Thread-per-item launch that may execute lanes on multiple host
+    /// threads, with results bit-for-bit identical to the serial path.
+    ///
+    /// Lanes within a wave are independent by construction — reads see
+    /// wave-start state, writes are staged — so the only ordering that can
+    /// leak into results is the order in which staged writes are merged.
+    /// The sharded launch pins that order: each wave is split into
+    /// **contiguous** chunks of lanes, each chunk runs serially on one
+    /// host thread against its own shard `S` (created by `make_shard`),
+    /// and `wave_end` receives the shards **in chunk order**, which equals
+    /// lane order. Concatenating the shards' staged writes therefore
+    /// reproduces the serial staging order exactly, for any thread count.
+    /// Per-lane meters are likewise collected in lane order and folded
+    /// into warps serially, so `KernelStats` and trace spans are
+    /// unchanged.
+    ///
+    /// Falls back to serial execution (one shard, identical results) when
+    /// `threads <= 1` or a `sancheck` checker is installed — the checker's
+    /// shadow state tracks one lane at a time and hooks would interleave
+    /// nondeterministically across host threads.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_thread_per_item_sharded_traced<T, S, M, F, G>(
+        &self,
+        name: &str,
+        t0: u64,
+        sink: &mut dyn TraceSink,
+        items: &[T],
+        make_shard: M,
+        kernel: F,
+        mut wave_end: G,
+    ) -> KernelStats
+    where
+        T: Copy + Sync,
+        S: Send,
+        M: Fn() -> S + Sync,
+        F: Fn(T, &mut LaneMeter, &mut S) + Sync,
+        G: FnMut(u64, &mut [S]),
+    {
+        let mut stats = KernelStats::new();
+        let wave_cap = self.device.resident_threads();
+        let warp = self.device.warp_size;
+        if sink.is_enabled() {
+            sink.span_begin(
+                track::KERNEL,
+                name,
+                t0,
+                &[
+                    ("items", items.len().into()),
+                    ("wave_capacity", wave_cap.into()),
+                ],
+            );
+        }
+        #[cfg(feature = "sancheck")]
+        hooks::kernel_begin(name);
+        let serial = self.threads <= 1 || checker_active();
+        for (w, wave_items) in items.chunks(wave_cap).enumerate() {
+            let before = WaveSnapshot::of(&stats);
+            #[cfg(feature = "sancheck")]
+            hooks::wave_begin(w as u64);
+            let (meters, mut shards) = if serial {
+                self.run_lanes_serial(wave_items, &make_shard, &kernel)
+            } else {
+                self.run_lanes_parallel(wave_items, &make_shard, &kernel)
+            };
+            let mut critical = 0u64;
+            let mut warp_total = 0u64;
+            for warp_lanes in meters.chunks(warp) {
+                let c = stats.fold_warp(warp_lanes);
+                critical = critical.max(c);
+                warp_total += c;
+            }
+            let dur = self.wave_duration(critical, warp_total);
+            let wave_t0 = t0 + stats.sim_cycles;
+            stats.sim_cycles += dur;
+            stats.waves += 1;
+            before.emit_wave(
+                sink,
+                wave_t0,
+                dur,
+                wave_items.len(),
+                critical,
+                warp_total,
+                &stats,
+            );
+            wave_end(w as u64, &mut shards);
+            #[cfg(feature = "sancheck")]
+            hooks::wave_end();
+        }
+        #[cfg(feature = "sancheck")]
+        hooks::kernel_end();
+        self.finish_kernel_span(sink, name, t0, &stats);
+        stats
+    }
+
+    /// Block-per-item counterpart of
+    /// [`Self::launch_thread_per_item_sharded_traced`]: whole blocks are
+    /// distributed over host threads (a block's lanes share a `BlockCtx`
+    /// and must stay together), shards merge in block order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_block_per_item_sharded_traced<T, S, M, F, G>(
+        &self,
+        name: &str,
+        t0: u64,
+        sink: &mut dyn TraceSink,
+        items: &[T],
+        make_shard: M,
+        kernel: F,
+        mut wave_end: G,
+    ) -> KernelStats
+    where
+        T: Copy + Sync,
+        S: Send,
+        M: Fn() -> S + Sync,
+        F: Fn(T, &mut BlockCtx<'_>, &mut S) + Sync,
+        G: FnMut(u64, &mut [S]),
+    {
+        let mut stats = KernelStats::new();
+        let wave_cap = self.device.resident_blocks();
+        let warp = self.device.warp_size;
+        if sink.is_enabled() {
+            sink.span_begin(
+                track::KERNEL,
+                name,
+                t0,
+                &[
+                    ("items", items.len().into()),
+                    ("wave_capacity", wave_cap.into()),
+                ],
+            );
+        }
+        #[cfg(feature = "sancheck")]
+        hooks::kernel_begin(name);
+        let serial = self.threads <= 1 || checker_active();
+        for (w, wave_items) in items.chunks(wave_cap).enumerate() {
+            let before = WaveSnapshot::of(&stats);
+            #[cfg(feature = "sancheck")]
+            hooks::wave_begin(w as u64);
+            let (blocks, mut shards) = if serial {
+                self.run_blocks_serial(wave_items, &make_shard, &kernel)
+            } else {
+                self.run_blocks_parallel(wave_items, &make_shard, &kernel)
+            };
+            let mut critical = 0u64;
+            let mut warp_total = 0u64;
+            for lanes in &blocks {
+                let mut block_cost = 0u64;
+                for warp_lanes in lanes.chunks(warp) {
+                    let c = stats.fold_warp(warp_lanes);
+                    block_cost = block_cost.max(c);
+                    warp_total += c;
+                }
+                critical = critical.max(block_cost);
+            }
+            let dur = self.wave_duration(critical, warp_total);
+            let wave_t0 = t0 + stats.sim_cycles;
+            stats.sim_cycles += dur;
+            stats.waves += 1;
+            before.emit_wave(
+                sink,
+                wave_t0,
+                dur,
+                wave_items.len(),
+                critical,
+                warp_total,
+                &stats,
+            );
+            wave_end(w as u64, &mut shards);
+            #[cfg(feature = "sancheck")]
+            hooks::wave_end();
+        }
+        #[cfg(feature = "sancheck")]
+        hooks::kernel_end();
+        self.finish_kernel_span(sink, name, t0, &stats);
+        stats
+    }
+
+    /// One wave of thread-per-item lanes on the calling thread (the
+    /// sancheck-compatible path: lane coordinates are reported per lane).
+    fn run_lanes_serial<T, S, M, F>(
+        &self,
+        wave_items: &[T],
+        make_shard: &M,
+        kernel: &F,
+    ) -> (Vec<LaneMeter>, Vec<S>)
+    where
+        T: Copy,
+        M: Fn() -> S,
+        F: Fn(T, &mut LaneMeter, &mut S),
+    {
+        let mut shard = make_shard();
+        let mut meters = Vec::with_capacity(wave_items.len());
+        for (i, &it) in wave_items.iter().enumerate() {
+            hook_lane_ctx(i, self.device.warp_size);
+            let mut m = LaneMeter::new();
+            kernel(it, &mut m, &mut shard);
+            meters.push(m);
+        }
+        (meters, vec![shard])
+    }
+
+    /// One wave of thread-per-item lanes split into contiguous chunks on
+    /// scoped host threads; meters and shards return in chunk (= lane)
+    /// order.
+    fn run_lanes_parallel<T, S, M, F>(
+        &self,
+        wave_items: &[T],
+        make_shard: &M,
+        kernel: &F,
+    ) -> (Vec<LaneMeter>, Vec<S>)
+    where
+        T: Copy + Sync,
+        S: Send,
+        M: Fn() -> S + Sync,
+        F: Fn(T, &mut LaneMeter, &mut S) + Sync,
+    {
+        let n = wave_items.len();
+        let nchunks = self.threads.min(n.div_ceil(MIN_LANES_PER_CHUNK)).max(1);
+        if nchunks <= 1 {
+            return self.run_lanes_serial(wave_items, make_shard, kernel);
+        }
+        let chunk_len = n.div_ceil(nchunks);
+        let results = run_chunks(wave_items, chunk_len, |chunk| {
+            let mut shard = make_shard();
+            let mut ms = Vec::with_capacity(chunk.len());
+            for &it in chunk {
+                let mut m = LaneMeter::new();
+                kernel(it, &mut m, &mut shard);
+                ms.push(m);
+            }
+            (ms, shard)
+        });
+        let mut meters = Vec::with_capacity(n);
+        let mut shards = Vec::with_capacity(results.len());
+        for (ms, s) in results {
+            meters.extend(ms);
+            shards.push(s);
+        }
+        (meters, shards)
+    }
+
+    /// One wave of block-per-item blocks on the calling thread; returns
+    /// each block's retired lane meters in block order.
+    #[allow(clippy::type_complexity)]
+    fn run_blocks_serial<T, S, M, F>(
+        &self,
+        wave_items: &[T],
+        make_shard: &M,
+        kernel: &F,
+    ) -> (Vec<Vec<LaneMeter>>, Vec<S>)
+    where
+        T: Copy,
+        M: Fn() -> S,
+        F: Fn(T, &mut BlockCtx<'_>, &mut S),
+    {
+        let mut shard = make_shard();
+        let mut blocks = Vec::with_capacity(wave_items.len());
+        for (b, &it) in wave_items.iter().enumerate() {
+            hook_block_ctx(b);
+            let mut ctx = BlockCtx::new(self.device.block_size, self.device.warp_size, &self.cost);
+            kernel(it, &mut ctx, &mut shard);
+            ctx.zero_untouched();
+            blocks.push(ctx.lanes);
+        }
+        (blocks, vec![shard])
+    }
+
+    /// One wave of block-per-item blocks split into contiguous chunks on
+    /// scoped host threads; blocks and shards return in block order.
+    #[allow(clippy::type_complexity)]
+    fn run_blocks_parallel<T, S, M, F>(
+        &self,
+        wave_items: &[T],
+        make_shard: &M,
+        kernel: &F,
+    ) -> (Vec<Vec<LaneMeter>>, Vec<S>)
+    where
+        T: Copy + Sync,
+        S: Send,
+        M: Fn() -> S + Sync,
+        F: Fn(T, &mut BlockCtx<'_>, &mut S) + Sync,
+    {
+        let n = wave_items.len();
+        let nchunks = self.threads.min(n).max(1);
+        if nchunks <= 1 {
+            return self.run_blocks_serial(wave_items, make_shard, kernel);
+        }
+        let chunk_len = n.div_ceil(nchunks);
+        let results = run_chunks(wave_items, chunk_len, |chunk| {
+            let mut shard = make_shard();
+            let mut blocks = Vec::with_capacity(chunk.len());
+            for &it in chunk {
+                let mut ctx =
+                    BlockCtx::new(self.device.block_size, self.device.warp_size, &self.cost);
+                kernel(it, &mut ctx, &mut shard);
+                ctx.zero_untouched();
+                blocks.push(ctx.lanes);
+            }
+            (blocks, shard)
+        });
+        let mut blocks = Vec::with_capacity(n);
+        let mut shards = Vec::with_capacity(results.len());
+        for (bs, s) in results {
+            blocks.extend(bs);
+            shards.push(s);
+        }
+        (blocks, shards)
     }
 
     /// Close the kernel span and flush the launch's histograms.
@@ -770,6 +1152,146 @@ mod tests {
         assert_eq!(stats.probe_hist.count, 3);
         assert_eq!(stats.probe_hist.max, 3);
         assert_eq!(stats.probes, 3);
+    }
+
+    fn thread_kernel_for_shards(it: usize, m: &mut LaneMeter, shard: &mut Vec<usize>) {
+        let c = CostModel::default_gpu();
+        m.alu(&c, (it % 5) as u64);
+        m.global_read(&c, it * 7, Width::W32);
+        if it.is_multiple_of(3) {
+            shard.push(it);
+        }
+    }
+
+    fn run_sharded_thread(threads: usize, items: &[usize]) -> (Vec<usize>, Vec<u64>, KernelStats) {
+        let s = sched().with_threads(threads);
+        let mut order = Vec::new();
+        let mut waves = Vec::new();
+        let stats = s.launch_thread_per_item_sharded_traced(
+            "k",
+            0,
+            &mut NullSink,
+            items,
+            Vec::new,
+            thread_kernel_for_shards,
+            |w, shards: &mut [Vec<usize>]| {
+                waves.push(w);
+                for sh in shards.iter_mut() {
+                    order.append(sh);
+                }
+            },
+        );
+        (order, waves, stats)
+    }
+
+    #[test]
+    fn sharded_thread_launch_is_bitwise_identical_across_thread_counts() {
+        let items: Vec<usize> = (0..500).collect();
+        let (o1, w1, s1) = run_sharded_thread(1, &items);
+        for threads in [2, 4, 7] {
+            let (o, w, s) = run_sharded_thread(threads, &items);
+            assert_eq!(o, o1, "staged order diverged at {threads} threads");
+            assert_eq!(w, w1);
+            assert_eq!(s, s1, "stats diverged at {threads} threads");
+        }
+        // shards merged in lane order == serial staging order
+        let expect: Vec<usize> = items.iter().copied().filter(|i| i % 3 == 0).collect();
+        assert_eq!(o1, expect);
+    }
+
+    #[test]
+    fn sharded_thread_launch_matches_classic_launch_stats() {
+        let items: Vec<usize> = (0..300).collect();
+        let classic = sched().launch_thread_per_item(
+            &items,
+            |it, m| {
+                let mut unused = Vec::new();
+                thread_kernel_for_shards(it, m, &mut unused);
+            },
+            |_| {},
+        );
+        let (_, _, sharded) = run_sharded_thread(4, &items);
+        assert_eq!(classic, sharded);
+    }
+
+    #[test]
+    fn sharded_block_launch_is_bitwise_identical_across_thread_counts() {
+        let items: Vec<usize> = (0..40).collect();
+        let run = |threads: usize| {
+            let s = sched().with_threads(threads);
+            let mut order = Vec::new();
+            let stats = s.launch_block_per_item_sharded_traced(
+                "k",
+                0,
+                &mut NullSink,
+                &items,
+                Vec::new,
+                |it: usize, ctx: &mut BlockCtx<'_>, shard: &mut Vec<usize>| {
+                    ctx.for_each_strided(it % 9 + 1, |_, m| m.alu(&CostModel::default_gpu(), 2));
+                    ctx.barrier();
+                    shard.push(it);
+                },
+                |_, shards: &mut [Vec<usize>]| {
+                    for sh in shards.iter_mut() {
+                        order.append(sh);
+                    }
+                },
+            );
+            (order, stats)
+        };
+        let (o1, s1) = run(1);
+        let (o4, s4) = run(4);
+        assert_eq!(o1, items, "blocks must merge shards in block order");
+        assert_eq!(o1, o4);
+        assert_eq!(s1, s4);
+    }
+
+    #[test]
+    fn sharded_traced_spans_match_serial_launch() {
+        let items: Vec<usize> = (0..130).collect();
+        let trace = |threads: usize| {
+            let s = sched().with_threads(threads);
+            let mut sink = nulpa_obs::RecordingSink::new();
+            s.launch_thread_per_item_sharded_traced(
+                "kernel:test",
+                50,
+                &mut sink,
+                &items,
+                || (),
+                |it, m, _| m.alu(&CostModel::default_gpu(), (it % 7) as u64),
+                |_, _| {},
+            );
+            sink.events
+        };
+        assert_eq!(trace(1), trace(4));
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(sched().with_threads(0).threads, 1);
+        assert_eq!(sched().with_threads(3).threads, 3);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let s = sched().with_threads(4);
+        let items: Vec<usize> = (0..200).collect();
+        let r = std::panic::catch_unwind(|| {
+            s.launch_thread_per_item_sharded_traced(
+                "k",
+                0,
+                &mut NullSink,
+                &items,
+                || (),
+                |it, _m, _| {
+                    if it == 137 {
+                        panic!("lane fault");
+                    }
+                },
+                |_, _| {},
+            )
+        });
+        assert!(r.is_err());
     }
 
     #[test]

@@ -18,6 +18,14 @@ cargo test -q --workspace
 echo "==> workspace tests (all features)"
 cargo test -q --workspace --all-features
 
+# The sharded wave scheduler promises bit-identical results at any host
+# thread count; run the suite at both extremes to catch order leaks.
+echo "==> workspace tests (NULPA_THREADS=1)"
+NULPA_THREADS=1 cargo test -q --workspace
+
+echo "==> workspace tests (NULPA_THREADS=4)"
+NULPA_THREADS=4 cargo test -q --workspace
+
 echo "==> rustfmt"
 cargo fmt --all --check
 
@@ -29,11 +37,13 @@ cargo clippy --workspace --all-targets --all-features -- -D warnings
 
 echo "==> unsafe audit"
 # Every crate root must carry #![forbid(unsafe_code)] except nulpa-core,
-# which carries #![deny(unsafe_code)] with exactly two allowlisted
-# modules (disjoint: non-overlapping buffer split; native: vertex-disjoint
-# shared label writes). Any unsafe outside the allowlist fails the gate.
+# which carries #![deny(unsafe_code)] with exactly three allowlisted
+# modules (disjoint: non-overlapping buffer split; native and gpu:
+# vertex-disjoint table regions taken from it for parallel writes). Any
+# unsafe outside the allowlist fails the gate.
 stray=$(grep -rlE 'unsafe (fn|\{|impl)' --include="*.rs" crates/*/src src \
   | grep -v -e "crates/core/src/disjoint.rs" -e "crates/core/src/native.rs" \
+    -e "crates/core/src/gpu.rs" \
   || true)
 if [ -n "$stray" ]; then
   echo "unsafe audit: unsafe code outside the allowlist:"

@@ -65,7 +65,7 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "nulpa — nu-LPA community detection (paper reproduction)\n\n\
-         USAGE:\n  nulpa stats <graph>\n  nulpa detect <graph> [--method M] [--output FILE] [--quality] [--trace FILE]\n  \
+         USAGE:\n  nulpa stats <graph>\n  nulpa detect <graph> [--method M] [--threads N] [--output FILE] [--quality] [--trace FILE]\n  \
          nulpa partition <graph> -k N [--balance F] [--output FILE]\n  \
          nulpa coarsen <graph> --target N [--output FILE]\n  \
          nulpa inspect <graph> [--top N]\n  \
@@ -75,6 +75,8 @@ fn usage() {
          nulpa sancheck [graph] [--json]   run backends under the hazard checker\n\n\
          METHODS: nu-lpa (default), nu-lpa-sim (simulated A100), flpa,\n  \
          networkit, gunrock, louvain, leiden, gve-lpa\n\n\
+         THREADS: --threads N (or NULPA_THREADS=N) sets the host threads\n  \
+         driving nu-lpa / nu-lpa-sim; results are identical at any count.\n\n\
          TRACING: --trace x.jsonl writes a JSONL event stream; any other\n  \
          extension writes a Chrome trace-event file (open in Perfetto).\n  \
          Only nu-lpa and nu-lpa-sim are instrumented.\n\n\
@@ -221,6 +223,17 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
     let output = opt_value(args, "--output");
     let quality = args.iter().any(|a| a == "--quality");
     let trace_path = opt_value(args, "--trace");
+    // 0 = resolve from NULPA_THREADS / available parallelism
+    let threads: usize = opt_value(args, "--threads")
+        .map(|s| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&t| t > 0)
+                .ok_or("detect: --threads needs a positive integer")
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let cfg = LpaConfig::default().with_threads(threads);
     if trace_path.is_some() && !matches!(method, "nu-lpa" | "nu-lpa-sim") {
         return Err(format!(
             "--trace: method `{method}` is not instrumented (use nu-lpa or nu-lpa-sim)"
@@ -236,9 +249,9 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
             None => &mut null,
         };
         match method {
-            "nu-lpa" => lpa_native_traced(&g, &LpaConfig::default(), sink).labels,
+            "nu-lpa" => lpa_native_traced(&g, &cfg, sink).labels,
             "nu-lpa-sim" => {
-                let r = lpa_gpu_traced(&g, &LpaConfig::default(), sink);
+                let r = lpa_gpu_traced(&g, &cfg, sink);
                 eprintln!(
                     "simulated: {} cycles, {} waves, {:.1}% divergence, {} probes",
                     r.stats.sim_cycles,

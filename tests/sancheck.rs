@@ -261,6 +261,52 @@ fn mixed_atomic_and_staged_access_is_flagged() {
 }
 
 #[test]
+fn atomic_on_dedicated_cell_is_clean_unlike_dn_flag_aliasing() {
+    // Regression shape for the ΔN cost-attribution bug: the gpu backend
+    // used to charge its ΔN atomic at `addr.processed`, the same simulated
+    // word as vertex 0's processed flag — an atomic and a plain staged
+    // write aliasing one cell, exactly the MixedAtomicPlain pattern below.
+    // With the counter on its own `addr.dn` cell the same kernel is clean.
+    let _g = locked();
+    let s = sched();
+    let items: Vec<u32> = (0..2).collect();
+
+    // aliased: lane 0 stages cell 0, lane 1 atomics the same cell
+    let store = RefCell::new(DeferredStore::new(vec![0u32; 8]));
+    let report = checked(|| {
+        s.launch_thread_per_item(
+            &items,
+            |it, _m| {
+                if it == 0 {
+                    store.borrow_mut().stage(0, 1);
+                } else {
+                    store.borrow_mut().atomic_exchange(0, 1);
+                }
+            },
+            |_| store.borrow_mut().flush(),
+        );
+    });
+    assert_eq!(report.count_of(HazardKind::MixedAtomicPlain), 1);
+
+    // dedicated: the atomic lands on its own cell — no hazard
+    let store = RefCell::new(DeferredStore::new(vec![0u32; 8]));
+    let report = checked(|| {
+        s.launch_thread_per_item(
+            &items,
+            |it, _m| {
+                if it == 0 {
+                    store.borrow_mut().stage(0, 1);
+                } else {
+                    store.borrow_mut().atomic_exchange(1, 1);
+                }
+            },
+            |_| store.borrow_mut().flush(),
+        );
+    });
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
 fn probe_overrun_is_flagged_with_attribution() {
     let _g = locked();
     // The real table code cannot overrun its budget (the linear fallback
