@@ -194,19 +194,46 @@ pub struct Report {
     pub scale: f64,
     /// Repetitions per measurement.
     pub repeats: usize,
+    /// Run provenance (`git_rev`, `threads`, `device`, `probe`), stamped
+    /// into the JSON as a `meta` object. [`Self::new`] records the
+    /// defaults of the run; binaries that sweep a dimension can override
+    /// with [`Self::set_meta`].
+    pub meta: Vec<(String, String)>,
     /// The tables, in print order.
     pub tables: Vec<Table>,
 }
 
 impl Report {
-    /// New empty report carrying the run's arguments.
+    /// New empty report carrying the run's arguments and default
+    /// provenance: git revision, resolved host thread count, and the
+    /// device preset / probe scheme of `LpaConfig::default()` (the
+    /// baseline configuration every harness starts from).
     pub fn new(name: &str, args: &BenchArgs) -> Self {
+        let cfg = nulpa_core::LpaConfig::default();
+        let meta = nulpa_obs::meta::run_meta(&[
+            (
+                "threads",
+                nulpa_core::resolve_threads(args.threads.unwrap_or(0)).to_string(),
+            ),
+            ("device", cfg.device.preset_name()),
+            ("probe", cfg.probe.label().to_string()),
+        ]);
         Report {
             name: name.to_string(),
             scale: args.scale,
             repeats: args.repeats,
+            meta,
             tables: Vec::new(),
         }
+    }
+
+    /// Override or append one provenance key.
+    pub fn set_meta(&mut self, key: &str, value: &str) -> &mut Self {
+        match self.meta.iter_mut().find(|(k, _)| k == key) {
+            Some(kv) => kv.1 = value.to_string(),
+            None => self.meta.push((key.to_string(), value.to_string())),
+        }
+        self
     }
 
     /// Append a table.
@@ -224,6 +251,8 @@ impl Report {
         out.push_str(&fmt_f64(self.scale));
         out.push_str(",\n  \"repeats\": ");
         out.push_str(&fmt_f64(self.repeats as f64));
+        out.push_str(",\n  \"meta\": ");
+        out.push_str(&nulpa_obs::meta::meta_json(&self.meta));
         out.push_str(",\n  \"tables\": [");
         for (i, t) in self.tables.iter().enumerate() {
             if i > 0 {
@@ -386,6 +415,17 @@ mod tests {
     }
 
     #[test]
+    fn set_meta_overrides_and_appends() {
+        let args = BenchArgs::parse_from(strs(&["--quick"])).unwrap().unwrap();
+        let mut rep = Report::new("unit_test", &args);
+        rep.set_meta("device", "tiny").set_meta("extra", "1");
+        let v = nulpa_obs::json::parse(&rep.to_json()).unwrap();
+        let meta = v.get("meta").unwrap();
+        assert_eq!(meta.get("device").and_then(|m| m.as_str()), Some("tiny"));
+        assert_eq!(meta.get("extra").and_then(|m| m.as_str()), Some("1"));
+    }
+
+    #[test]
     fn report_serialises_to_parseable_json() {
         let args = BenchArgs::parse_from(strs(&["--quick"])).unwrap().unwrap();
         let mut rep = Report::new("unit_test", &args);
@@ -396,6 +436,10 @@ mod tests {
         let text = rep.to_json();
         let v = nulpa_obs::json::parse(&text).expect("report JSON must parse");
         assert_eq!(v.get("name").unwrap().as_str(), Some("unit_test"));
+        let meta = v.get("meta").expect("meta object");
+        assert!(meta.get("git_rev").and_then(|m| m.as_str()).is_some());
+        assert!(meta.get("threads").is_some());
+        assert_eq!(meta.get("device").and_then(|m| m.as_str()), Some("a100"));
         let tables = v.get("tables").unwrap().as_arr().unwrap();
         assert_eq!(tables.len(), 2);
         let rows = tables[0].get("rows").unwrap().as_arr().unwrap();

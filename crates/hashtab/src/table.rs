@@ -253,6 +253,23 @@ impl<'a, V: HashValue> TableMut<'a, V> {
         meter: &mut LaneMeter,
         cost: &CostModel,
     ) -> Accumulate {
+        // Probe-scope bracket: memory traffic inside the probe loop is
+        // attributed to the probe components in profiling builds.
+        meter.probe_scope(true);
+        let r = self.accumulate_metered_inner(strategy, key, weight, addr, meter, cost);
+        meter.probe_scope(false);
+        r
+    }
+
+    fn accumulate_metered_inner(
+        &mut self,
+        strategy: ProbeStrategy,
+        key: u32,
+        weight: V,
+        addr: TableAddr,
+        meter: &mut LaneMeter,
+        cost: &CostModel,
+    ) -> Accumulate {
         debug_assert_ne!(key, EMPTY_KEY);
         let p1 = self.keys.len();
         if p1 == 0 {
@@ -340,6 +357,21 @@ impl<'a, V: HashValue> TableMut<'a, V> {
     /// same result as atomics while the meter records what hardware would
     /// pay.
     pub fn accumulate_metered_shared(
+        &mut self,
+        strategy: ProbeStrategy,
+        key: u32,
+        weight: V,
+        addr: TableAddr,
+        meter: &mut LaneMeter,
+        cost: &CostModel,
+    ) -> Accumulate {
+        meter.probe_scope(true);
+        let r = self.accumulate_metered_shared_inner(strategy, key, weight, addr, meter, cost);
+        meter.probe_scope(false);
+        r
+    }
+
+    fn accumulate_metered_shared_inner(
         &mut self,
         strategy: ProbeStrategy,
         key: u32,
@@ -543,6 +575,21 @@ impl<'a, V: HashValue> TableShared<'a, V> {
 
     /// Metered variant of [`Self::accumulate`].
     pub fn accumulate_metered(
+        &self,
+        strategy: ProbeStrategy,
+        key: u32,
+        weight: V,
+        addr: TableAddr,
+        meter: &mut LaneMeter,
+        cost: &CostModel,
+    ) -> Accumulate {
+        meter.probe_scope(true);
+        let r = self.accumulate_metered_inner(strategy, key, weight, addr, meter, cost);
+        meter.probe_scope(false);
+        r
+    }
+
+    fn accumulate_metered_inner(
         &self,
         strategy: ProbeStrategy,
         key: u32,

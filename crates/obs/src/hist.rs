@@ -175,6 +175,69 @@ mod tests {
     }
 
     #[test]
+    fn empty_hist_is_all_zeroes() {
+        let h = Hist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max, 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.nonzero_buckets().count(), 0);
+        // merging an empty histogram is the identity
+        let mut a = Hist::new();
+        a.record(5);
+        let before = a;
+        a.merge(&h);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn single_sample_every_quantile_is_that_sample_bucket() {
+        for v in [0u64, 1, 7, 1024] {
+            let mut h = Hist::new();
+            h.record(v);
+            assert!(!h.is_empty());
+            assert_eq!(h.mean(), v as f64);
+            for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+                let got = h.quantile(q);
+                let (lo, _) = bucket_bounds(bucket_index(v));
+                // capped at max and floored at the bucket's lower bound
+                assert!(got >= lo && got <= h.max.max(lo), "v={v} q={q} got={got}");
+            }
+            assert_eq!(h.quantile(1.0), h.quantile(0.0));
+        }
+    }
+
+    #[test]
+    fn saturating_top_bucket_percentiles_stay_finite() {
+        let mut h = Hist::new();
+        // all mass in the overflow bucket: values >= 2^30
+        for v in [1u64 << 30, (1 << 40) + 3, 1 << 50] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets[HIST_BUCKETS - 1], 3);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.max, 1 << 50);
+        // percentile estimates must cap at the recorded max, not the
+        // overflow bucket's u64::MAX upper bound
+        assert_eq!(h.quantile(0.5), 1 << 50);
+        assert_eq!(h.quantile(0.99), 1 << 50);
+        let mut capped = Hist::new();
+        capped.record(1 << 35);
+        assert_eq!(capped.quantile(0.99), 1 << 35);
+    }
+
+    #[test]
+    fn quantile_out_of_range_is_clamped() {
+        let mut h = Hist::new();
+        h.record(4);
+        h.record(8);
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
     fn copy_and_eq() {
         let mut a = Hist::new();
         a.record(3);

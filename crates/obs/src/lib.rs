@@ -20,10 +20,11 @@
 pub mod export;
 pub mod hist;
 pub mod json;
+pub mod meta;
 pub mod sink;
 pub mod summary;
 
 pub use export::{ChromeTraceSink, JsonlSink};
 pub use hist::{bucket_bounds, bucket_index, Hist, HIST_BUCKETS};
-pub use sink::{track, NullSink, RecordingSink, TraceEvent, TraceSink, Value};
+pub use sink::{track, MetricsEvent, NullSink, RecordingSink, TraceEvent, TraceSink, Value};
 pub use summary::{summarize, TraceSummary};

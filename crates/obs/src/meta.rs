@@ -1,0 +1,89 @@
+//! Run provenance stamped into machine-readable outputs.
+//!
+//! Every `results/*.json` report carries a `meta` object recording where
+//! the numbers came from: the git revision of the build tree, the host
+//! thread count driving the simulator, and run-specific configuration
+//! (device preset, probe scheme) supplied by the caller. The simulator is
+//! deterministic, so this is enough to reproduce any committed result.
+
+use std::process::Command;
+
+/// Short git revision of the working tree, with a `-dirty` suffix when
+/// there are uncommitted changes. `"unknown"` when git is unavailable or
+/// the directory is not a repository — reports must still be writable
+/// from an exported tarball.
+pub fn git_rev() -> String {
+    let rev = Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    let Some(rev) = rev else {
+        return "unknown".into();
+    };
+    let dirty = Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| !o.stdout.is_empty())
+        .unwrap_or(false);
+    if dirty {
+        format!("{rev}-dirty")
+    } else {
+        rev
+    }
+}
+
+/// Assemble a metadata key/value list: `git_rev` first, then the
+/// caller-supplied pairs (thread count, device preset, probe scheme, ...)
+/// in order.
+pub fn run_meta(extra: &[(&str, String)]) -> Vec<(String, String)> {
+    let mut m = vec![("git_rev".to_string(), git_rev())];
+    m.extend(extra.iter().map(|(k, v)| (k.to_string(), v.clone())));
+    m
+}
+
+/// Render a metadata list as a JSON object string.
+pub fn meta_json(meta: &[(String, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in meta.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&crate::json::escape(k));
+        out.push_str(": ");
+        out.push_str(&crate::json::escape(v));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn git_rev_is_nonempty() {
+        assert!(!git_rev().is_empty());
+    }
+
+    #[test]
+    fn run_meta_leads_with_git_rev() {
+        let m = run_meta(&[("threads", "4".to_string())]);
+        assert_eq!(m[0].0, "git_rev");
+        assert_eq!(m[1], ("threads".to_string(), "4".to_string()));
+    }
+
+    #[test]
+    fn meta_json_parses_back() {
+        let m = run_meta(&[("device", "a100".to_string())]);
+        let text = meta_json(&m);
+        let doc = crate::json::parse(&text).unwrap();
+        assert_eq!(doc.get("device").and_then(|v| v.as_str()), Some("a100"));
+        assert!(doc.get("git_rev").is_some());
+    }
+}

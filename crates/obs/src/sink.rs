@@ -123,6 +123,16 @@ pub trait TraceSink {
     /// Merge a pre-aggregated histogram into the aggregate `name`.
     fn histogram(&mut self, name: &str, hist: &Hist);
 
+    /// Record a structured metrics bundle: a named record of integer
+    /// metrics observed at simulated time `ts` (e.g. the profiler's
+    /// per-wave and per-kernel attribution records). Default is a no-op
+    /// so existing sinks, exporters and their golden files are
+    /// unaffected; collecting sinks (the profiler, [`RecordingSink`])
+    /// override it.
+    fn metrics(&mut self, name: &str, ts: u64, values: &[(&str, u64)]) {
+        let _ = (name, ts, values);
+    }
+
     /// Flush and finalise (write footers). Must be idempotent.
     fn finish(&mut self) {}
 }
@@ -146,6 +156,24 @@ impl TraceSink for NullSink {
     fn hist_sample(&mut self, _name: &str, _value: u64) {}
     #[inline]
     fn histogram(&mut self, _name: &str, _hist: &Hist) {}
+}
+
+/// One recorded metrics bundle (owned form of [`TraceSink::metrics`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsEvent {
+    /// Record name (e.g. `"wave"`, `"kernel"`).
+    pub name: String,
+    /// Simulated cycles.
+    pub ts: u64,
+    /// Named integer metrics, in emission order.
+    pub values: Vec<(String, u64)>,
+}
+
+impl MetricsEvent {
+    /// Value of metric `key`, if present.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.values.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
 }
 
 /// One recorded event (owned form of the sink callbacks).
@@ -198,6 +226,9 @@ pub struct RecordingSink {
     pub events: Vec<TraceEvent>,
     /// Aggregated histograms by name.
     pub hists: BTreeMap<String, Hist>,
+    /// Metrics bundles, in emission order (kept separate from `events`
+    /// so span-stream assertions are unaffected by profiling records).
+    pub metric_events: Vec<MetricsEvent>,
 }
 
 impl RecordingSink {
@@ -269,6 +300,14 @@ impl TraceSink for RecordingSink {
 
     fn histogram(&mut self, name: &str, hist: &Hist) {
         self.hists.entry(name.to_string()).or_default().merge(hist);
+    }
+
+    fn metrics(&mut self, name: &str, ts: u64, values: &[(&str, u64)]) {
+        self.metric_events.push(MetricsEvent {
+            name: name.to_string(),
+            ts,
+            values: values.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        });
     }
 }
 

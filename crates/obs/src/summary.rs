@@ -189,6 +189,74 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
     Ok(summarize_events(&events))
 }
 
+/// The `k` hottest spans by total duration (ties broken by name).
+/// Kernel spans (names starting with `"kernel"`) are preferred: when any
+/// exist, only they are ranked — `nulpa trace --top` asks for the hottest
+/// *kernels*, and host-side umbrella spans like `lpa_gpu` would otherwise
+/// always outrank them. Traces without kernel spans rank everything.
+pub fn top_spans(summary: &TraceSummary, k: usize) -> Vec<(String, SpanAgg)> {
+    let kernels: Vec<(String, SpanAgg)> = summary
+        .spans
+        .iter()
+        .filter(|(name, _)| name.starts_with("kernel"))
+        .map(|(name, agg)| (name.clone(), agg.clone()))
+        .collect();
+    let mut rows = if kernels.is_empty() {
+        summary
+            .spans
+            .iter()
+            .map(|(name, agg)| (name.clone(), agg.clone()))
+            .collect()
+    } else {
+        kernels
+    };
+    rows.sort_by(|a, b| b.1.total_dur.cmp(&a.1.total_dur).then(a.0.cmp(&b.0)));
+    rows.truncate(k);
+    rows
+}
+
+/// Render the `--top K` hottest-kernels listing.
+pub fn render_top(summary: &TraceSummary, k: usize) -> String {
+    let rows = top_spans(summary, k);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "top {} kernels by total charged cycles (trace end: {} ticks)",
+        rows.len(),
+        summary.end_ts
+    );
+    let _ = writeln!(
+        out,
+        "  {:<4} {:<28} {:>8} {:>14} {:>14} {:>14} {:>7}",
+        "#", "name", "count", "total", "mean", "max", "share"
+    );
+    let whole: u64 = rows.iter().map(|(_, s)| s.total_dur).sum();
+    for (i, (name, s)) in rows.iter().enumerate() {
+        let mean = if s.count == 0 {
+            0.0
+        } else {
+            s.total_dur as f64 / s.count as f64
+        };
+        let share = if whole == 0 {
+            0.0
+        } else {
+            100.0 * s.total_dur as f64 / whole as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {:<4} {:<28} {:>8} {:>14} {:>14.1} {:>14} {:>6.1}%",
+            i + 1,
+            name,
+            s.count,
+            s.total_dur,
+            mean,
+            s.max_dur,
+            share
+        );
+    }
+    out
+}
+
 /// Render the summary as the table the CLI prints.
 pub fn render(summary: &TraceSummary) -> String {
     let mut out = String::new();
@@ -303,6 +371,46 @@ mod tests {
         let rendered = render(&a);
         assert!(rendered.contains("iteration"));
         assert!(rendered.contains("probe_len"));
+    }
+
+    #[test]
+    fn top_spans_prefers_kernels_and_ranks_by_total() {
+        let mut s = TraceSummary::default();
+        for (name, total) in [
+            ("lpa_gpu", 1000),
+            ("kernel:thread", 300),
+            ("kernel:block", 500),
+            ("kernel:cross_check", 50),
+        ] {
+            s.spans.insert(
+                name.to_string(),
+                SpanAgg {
+                    count: 2,
+                    total_dur: total,
+                    max_dur: total,
+                },
+            );
+        }
+        let top = top_spans(&s, 2);
+        // host umbrella span excluded; hottest kernel first
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, "kernel:block");
+        assert_eq!(top[1].0, "kernel:thread");
+        let rendered = render_top(&s, 2);
+        assert!(rendered.contains("kernel:block"));
+        assert!(!rendered.contains("cross_check"));
+
+        // traces without kernel spans fall back to ranking everything
+        let mut host_only = TraceSummary::default();
+        host_only.spans.insert(
+            "iteration".into(),
+            SpanAgg {
+                count: 1,
+                total_dur: 7,
+                max_dur: 7,
+            },
+        );
+        assert_eq!(top_spans(&host_only, 3)[0].0, "iteration");
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! The collecting trace sink: turns the wave scheduler's span stream and
+//! metrics records into per-launch records for aggregation.
+
+use nulpa_obs::{track, Hist, TraceSink, Value};
+use std::collections::BTreeMap;
+
+/// One wave of one kernel launch, as emitted by the scheduler's `"wave"`
+/// metrics record.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WaveRec {
+    /// Wave start (simulated cycles, kernel-absolute).
+    pub t0: u64,
+    /// Wave duration.
+    pub dur: u64,
+    /// Items (threads or blocks) resident in the wave.
+    pub items: u64,
+    /// Lane slots folded (threads; blocks × block size for block waves).
+    pub slots: u64,
+    /// Critical path: slowest warp/block of the wave.
+    pub critical: u64,
+    /// Duration beyond the critical path (throughput/occupancy stall).
+    pub stall: u64,
+    /// Lane-busy cycles folded this wave.
+    pub busy: u64,
+    /// Lockstep-idle cycles folded this wave.
+    pub idle: u64,
+}
+
+/// One kernel launch: identity, span interval, wave list and the
+/// kernel-level attribution metrics.
+#[derive(Clone, Debug, Default)]
+pub struct LaunchRec {
+    /// Kernel name (`kernel:thread`, `kernel:block`, ...).
+    pub name: String,
+    /// Iteration the launch ran in (0-based).
+    pub iter: u64,
+    /// Launch start (simulated cycles).
+    pub t0: u64,
+    /// Launch end.
+    pub t1: u64,
+    /// Total items launched.
+    pub items: u64,
+    /// Wave capacity of the launch (resident threads or blocks).
+    pub wave_capacity: u64,
+    /// Per-wave records, in wave order.
+    pub waves: Vec<WaveRec>,
+    /// Kernel-level metrics (cycle totals, components) keyed by metric
+    /// name; see the scheduler's `"kernel"` metrics record.
+    pub metrics: BTreeMap<String, u64>,
+    /// Probe-length histogram flushed by the launch (empty if none).
+    pub probe_hist: Hist,
+    /// Per-warp lockstep-cost histogram flushed by the launch.
+    pub warp_cost_hist: Hist,
+}
+
+impl LaunchRec {
+    /// Kernel metric by name, 0 when absent.
+    pub fn metric(&self, key: &str) -> u64 {
+        self.metrics.get(key).copied().unwrap_or(0)
+    }
+}
+
+/// Trace sink that collects kernel launches and their profiling metrics.
+///
+/// Tracks the host `iteration` spans to attribute each launch to an
+/// iteration; ignores everything else it does not recognise (sinks must
+/// never fail on odd input).
+#[derive(Debug, Default)]
+pub struct ProfileSink {
+    /// Completed launches, in launch order.
+    pub launches: Vec<LaunchRec>,
+    pub(crate) open: Option<LaunchRec>,
+    pub(crate) cur_iter: u64,
+}
+
+impl ProfileSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn arg_u64(args: &[(&str, Value)], key: &str) -> u64 {
+    args.iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+impl TraceSink for ProfileSink {
+    fn span_begin(&mut self, track_id: u32, name: &str, ts: u64, args: &[(&str, Value)]) {
+        match track_id {
+            track::HOST if name == "iteration" => {
+                self.cur_iter = arg_u64(args, "iter");
+            }
+            track::KERNEL => {
+                self.open = Some(LaunchRec {
+                    name: name.to_string(),
+                    iter: self.cur_iter,
+                    t0: ts,
+                    t1: ts,
+                    items: arg_u64(args, "items"),
+                    wave_capacity: arg_u64(args, "wave_capacity"),
+                    ..Default::default()
+                });
+            }
+            _ => {}
+        }
+    }
+
+    fn span_end(&mut self, track_id: u32, name: &str, ts: u64, _args: &[(&str, Value)]) {
+        if track_id == track::KERNEL {
+            if let Some(mut l) = self.open.take() {
+                if l.name == name {
+                    l.t1 = ts;
+                    self.launches.push(l);
+                } else {
+                    // unbalanced spans: keep the open record, drop nothing
+                    self.open = Some(l);
+                }
+            }
+        }
+    }
+
+    fn counter(&mut self, _name: &str, _ts: u64, _value: f64) {}
+
+    fn hist_sample(&mut self, _name: &str, _value: u64) {}
+
+    fn histogram(&mut self, name: &str, hist: &Hist) {
+        // Histograms are flushed right after the kernel span closes.
+        if let Some(l) = self.launches.last_mut() {
+            match name {
+                "probe_len" => l.probe_hist.merge(hist),
+                "warp_cost" => l.warp_cost_hist.merge(hist),
+                _ => {}
+            }
+        }
+    }
+
+    fn metrics(&mut self, name: &str, ts: u64, values: &[(&str, u64)]) {
+        let get = |key: &str| {
+            values
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        match name {
+            "wave" => {
+                if let Some(l) = self.open.as_mut() {
+                    l.waves.push(WaveRec {
+                        t0: ts,
+                        dur: get("dur"),
+                        items: get("items"),
+                        slots: get("slots"),
+                        critical: get("critical"),
+                        stall: get("stall"),
+                        busy: get("busy"),
+                        idle: get("idle"),
+                    });
+                }
+            }
+            "kernel" => {
+                // Emitted after the kernel span closes: attach to the
+                // launch that just retired.
+                if let Some(l) = self.launches.last_mut() {
+                    if l.metrics.is_empty() {
+                        l.metrics = values.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_launches_with_waves_and_metrics() {
+        let mut s = ProfileSink::new();
+        s.span_begin(track::HOST, "iteration", 0, &[("iter", 3u64.into())]);
+        s.span_begin(
+            track::KERNEL,
+            "kernel:thread",
+            10,
+            &[("items", 5u64.into()), ("wave_capacity", 64u64.into())],
+        );
+        s.metrics("wave", 10, &[("dur", 7), ("items", 5), ("slots", 5)]);
+        s.span_end(track::KERNEL, "kernel:thread", 17, &[]);
+        s.metrics("kernel", 17, &[("sim_cycles", 7), ("alu", 4)]);
+        assert_eq!(s.launches.len(), 1);
+        let l = &s.launches[0];
+        assert_eq!(l.iter, 3);
+        assert_eq!((l.t0, l.t1), (10, 17));
+        assert_eq!(l.items, 5);
+        assert_eq!(l.waves.len(), 1);
+        assert_eq!(l.waves[0].dur, 7);
+        assert_eq!(l.metric("alu"), 4);
+        assert_eq!(l.metric("missing"), 0);
+    }
+
+    #[test]
+    fn ignores_unrelated_events() {
+        let mut s = ProfileSink::new();
+        s.span_begin(track::HOST, "lpa_gpu", 0, &[]);
+        s.counter("dN", 1, 2.0);
+        s.hist_sample("x", 3);
+        s.metrics("other", 0, &[("a", 1)]);
+        s.span_end(track::HOST, "lpa_gpu", 9, &[]);
+        assert!(s.launches.is_empty());
+    }
+}

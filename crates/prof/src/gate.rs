@@ -1,0 +1,188 @@
+//! Perf-gate comparison: current profile report vs. a committed baseline.
+//!
+//! The simulator is deterministic, so attributed cycle totals are exactly
+//! reproducible across machines and thread counts; the gate's tolerance
+//! only exists to let intentional small cost-model adjustments through
+//! without a baseline refresh. Anything beyond it fails CI until the
+//! baseline is regenerated deliberately (`profile_baseline --write`).
+
+use nulpa_obs::json::{parse, Json};
+use nulpa_simt::Comp;
+
+/// Outcome of a baseline comparison.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// Individual metric comparisons performed.
+    pub checked: usize,
+    /// Regressions beyond tolerance, human-readable, one per metric.
+    pub regressions: Vec<String>,
+    /// Improvements beyond tolerance (informational; a drift this large
+    /// deserves a baseline refresh too).
+    pub improvements: Vec<String>,
+}
+
+impl GateReport {
+    /// True when no regression was found.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Metrics compared per `(graph, backend)` totals object.
+fn gated_metrics() -> Vec<&'static str> {
+    let mut m = vec![
+        "sim_cycles",
+        "lane_cycles",
+        "idle_cycles",
+        "imbalance_cycles",
+        "stall_cycles",
+    ];
+    m.extend(Comp::all().iter().map(|c| c.label()));
+    m
+}
+
+fn totals_metric(profile: &Json, name: &str) -> Option<u64> {
+    let totals = profile.get("totals")?;
+    if let Some(v) = totals.get(name).and_then(|v| v.as_u64()) {
+        return Some(v);
+    }
+    totals.get("components")?.get(name)?.as_u64()
+}
+
+fn profile_key(p: &Json) -> Option<(String, String)> {
+    Some((
+        p.get("graph")?.as_str()?.to_string(),
+        p.get("backend")?.as_str()?.to_string(),
+    ))
+}
+
+/// Compare two profile-report JSON documents (see
+/// [`crate::json::report_to_json`]). `tolerance_percent` is the allowed
+/// growth of any gated metric before it counts as a regression (the CI
+/// gate uses 5). Integer arithmetic throughout: `cur × 100 > base × (100
+/// + tol)` fails.
+pub fn compare_profiles(
+    baseline: &str,
+    current: &str,
+    tolerance_percent: u64,
+) -> Result<GateReport, String> {
+    let base = parse(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = parse(current).map_err(|e| format!("current: {e}"))?;
+    let base_profiles = base
+        .get("profiles")
+        .and_then(|p| p.as_arr())
+        .ok_or("baseline: missing `profiles` array")?;
+    let cur_profiles = cur
+        .get("profiles")
+        .and_then(|p| p.as_arr())
+        .ok_or("current: missing `profiles` array")?;
+
+    let mut report = GateReport::default();
+    for bp in base_profiles {
+        let Some((graph, backend)) = profile_key(bp) else {
+            return Err("baseline: profile without graph/backend".into());
+        };
+        let Some(cp) = cur_profiles
+            .iter()
+            .find(|p| profile_key(p).as_ref() == Some(&(graph.clone(), backend.clone())))
+        else {
+            report
+                .regressions
+                .push(format!("{graph}/{backend}: missing from current run"));
+            continue;
+        };
+        if cp.get("conserved").and_then(|v| v.as_f64()) == Some(0.0) {
+            report
+                .regressions
+                .push(format!("{graph}/{backend}: conservation check failed"));
+        }
+        for metric in gated_metrics() {
+            let Some(b) = totals_metric(bp, metric) else {
+                continue; // metric absent from baseline: nothing to gate
+            };
+            let Some(c) = totals_metric(cp, metric) else {
+                report.regressions.push(format!(
+                    "{graph}/{backend}: {metric} missing from current run"
+                ));
+                continue;
+            };
+            report.checked += 1;
+            if c * 100 > b * (100 + tolerance_percent) {
+                report.regressions.push(format!(
+                    "{graph}/{backend}: {metric} regressed {b} -> {c} (+{:.1}%, tolerance {tolerance_percent}%)",
+                    100.0 * (c as f64 - b as f64) / b.max(1) as f64
+                ));
+            } else if c * (100 + tolerance_percent) < b * 100 {
+                report.improvements.push(format!(
+                    "{graph}/{backend}: {metric} improved {b} -> {c} ({:.1}%)",
+                    100.0 * (c as f64 - b as f64) / b.max(1) as f64
+                ));
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(sim: u64, alu: u64) -> String {
+        format!(
+            "{{\"meta\":{{}},\"profiles\":[{{\"graph\":\"g\",\"backend\":\"b\",\
+             \"conserved\":true,\"totals\":{{\"sim_cycles\":{sim},\
+             \"components\":{{\"alu\":{alu}}}}}}}]}}"
+        )
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let r = compare_profiles(&doc(1000, 400), &doc(1000, 400), 5).unwrap();
+        assert!(r.passed());
+        assert!(r.checked >= 2);
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let r = compare_profiles(&doc(1000, 400), &doc(1040, 410), 5).unwrap();
+        assert!(r.passed(), "{:?}", r.regressions);
+    }
+
+    #[test]
+    fn inflated_run_fails() {
+        let r = compare_profiles(&doc(1000, 400), &doc(1100, 400), 5).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.regressions[0].contains("sim_cycles"),
+            "{:?}",
+            r.regressions
+        );
+    }
+
+    #[test]
+    fn inflated_component_fails_even_with_flat_total() {
+        let r = compare_profiles(&doc(1000, 400), &doc(1000, 500), 5).unwrap();
+        assert!(!r.passed());
+        assert!(r.regressions[0].contains("alu"));
+    }
+
+    #[test]
+    fn missing_profile_fails() {
+        let empty = "{\"meta\":{},\"profiles\":[]}";
+        let r = compare_profiles(&doc(1000, 400), empty, 5).unwrap();
+        assert!(!r.passed());
+        assert!(r.regressions[0].contains("missing"));
+    }
+
+    #[test]
+    fn large_improvement_is_reported_not_failed() {
+        let r = compare_profiles(&doc(1000, 400), &doc(500, 200), 5).unwrap();
+        assert!(r.passed());
+        assert_eq!(r.improvements.len(), 2);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(compare_profiles("{", &doc(1, 1), 5).is_err());
+    }
+}

@@ -80,6 +80,107 @@ impl Width {
 
 use nulpa_obs::Hist;
 
+/// Cycle-attribution component: where a charged cycle went. Every cycle a
+/// [`LaneMeter`] charges belongs to exactly one component, so (with the
+/// `prof` feature) the per-component totals partition `LaneMeter::cycles`
+/// — the conservation law the profiler's tables rest on.
+///
+/// Memory charges made inside a hash-probe sequence (between
+/// [`LaneMeter::probe_scope`]`(true)` and `(false)`) are attributed to the
+/// probe components instead of the plain global ones; atomics keep their
+/// own component even inside a probe scope, and the ALU work of computing
+/// probe steps stays in [`Comp::Alu`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Comp {
+    /// Register/ALU operations.
+    Alu = 0,
+    /// Global accesses hitting a warm line, outside probe sequences.
+    GlobalNear = 1,
+    /// Global accesses to a cold line, outside probe sequences.
+    GlobalFar = 2,
+    /// Atomic RMWs (memory cost plus contention surcharge).
+    Atomic = 3,
+    /// Probe-sequence global accesses hitting a warm line.
+    ProbeNear = 4,
+    /// Probe-sequence global accesses to a cold line.
+    ProbeFar = 5,
+    /// Shared-memory accesses.
+    Shared = 6,
+    /// Barrier alignment: cycles a lane waited at `__syncthreads()`.
+    Barrier = 7,
+}
+
+/// Number of [`Comp`] variants (length of a [`CompCycles`] array).
+pub const NUM_COMPS: usize = 8;
+
+impl Comp {
+    /// All components, in display order.
+    pub fn all() -> [Comp; NUM_COMPS] {
+        [
+            Comp::Alu,
+            Comp::GlobalNear,
+            Comp::GlobalFar,
+            Comp::Atomic,
+            Comp::ProbeNear,
+            Comp::ProbeFar,
+            Comp::Shared,
+            Comp::Barrier,
+        ]
+    }
+
+    /// Stable snake_case name used in metrics records and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Comp::Alu => "alu",
+            Comp::GlobalNear => "global_near",
+            Comp::GlobalFar => "global_far",
+            Comp::Atomic => "atomic",
+            Comp::ProbeNear => "probe_near",
+            Comp::ProbeFar => "probe_far",
+            Comp::Shared => "shared",
+            Comp::Barrier => "barrier",
+        }
+    }
+}
+
+/// Per-component cycle totals, indexed by [`Comp`]. A plain fixed array so
+/// it stays `Copy` and free to merge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompCycles(pub [u64; NUM_COMPS]);
+
+impl CompCycles {
+    /// Zeroed totals.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cycles attributed to `comp`.
+    #[inline]
+    pub fn get(&self, comp: Comp) -> u64 {
+        self.0[comp as usize]
+    }
+
+    /// Add `cycles` to `comp`.
+    #[inline]
+    pub fn add(&mut self, comp: Comp, cycles: u64) {
+        self.0[comp as usize] += cycles;
+    }
+
+    /// Element-wise merge of another total into this one.
+    #[inline]
+    pub fn merge(&mut self, other: &CompCycles) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a += b;
+        }
+    }
+
+    /// Sum over all components — equals the charged cycles they partition.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+}
+
 /// Per-lane meter: accumulates cycles and event counts for one simulated
 /// thread (lane) during one kernel. Cheap to create; the wave scheduler
 /// makes one per lane and folds them into [`crate::stats::KernelStats`].
@@ -103,6 +204,13 @@ pub struct LaneMeter {
     /// between two buffers — e.g. `H_k`/`H_v` — look uncached).
     recent_lines: [usize; 4],
     recent_len: u8,
+    /// Per-component attribution of `cycles` (profiling builds only).
+    #[cfg(feature = "prof")]
+    pub comp: CompCycles,
+    /// Whether the lane is currently inside a probe sequence (see
+    /// [`LaneMeter::probe_scope`]).
+    #[cfg(feature = "prof")]
+    in_probe: bool,
 }
 
 impl LaneMeter {
@@ -111,37 +219,89 @@ impl LaneMeter {
         Self::default()
     }
 
+    /// Attribute `cycles` to `comp`; compiles away without `prof`.
+    #[inline]
+    pub(crate) fn tag(&mut self, comp: Comp, cycles: u64) {
+        #[cfg(feature = "prof")]
+        self.comp.add(comp, cycles);
+        #[cfg(not(feature = "prof"))]
+        let _ = (comp, cycles);
+    }
+
+    /// Attribute a plain memory charge, picking the near/far and
+    /// global/probe component from the hit flag and the probe scope.
+    #[inline]
+    fn tag_mem(&mut self, near: bool, cycles: u64) {
+        #[cfg(feature = "prof")]
+        {
+            let comp = match (self.in_probe, near) {
+                (false, true) => Comp::GlobalNear,
+                (false, false) => Comp::GlobalFar,
+                (true, true) => Comp::ProbeNear,
+                (true, false) => Comp::ProbeFar,
+            };
+            self.comp.add(comp, cycles);
+        }
+        #[cfg(not(feature = "prof"))]
+        let _ = (near, cycles);
+    }
+
+    /// Mark the start (`true`) / end (`false`) of a hash-probe sequence.
+    /// While set, plain global charges are attributed to
+    /// [`Comp::ProbeNear`]/[`Comp::ProbeFar`] instead of the global
+    /// components. Called by the hashtable layer around its probe loops;
+    /// a no-op (and cost-free) without the `prof` feature.
+    #[inline]
+    pub fn probe_scope(&mut self, on: bool) {
+        #[cfg(feature = "prof")]
+        {
+            self.in_probe = on;
+        }
+        #[cfg(not(feature = "prof"))]
+        let _ = on;
+    }
+
     /// Charge `n` ALU operations.
     #[inline]
     pub fn alu(&mut self, cost: &CostModel, n: u64) {
         self.cycles += cost.alu * n;
+        self.tag(Comp::Alu, cost.alu * n);
     }
 
     /// Charge a global read of the word at index `addr` (in words).
     #[inline]
     pub fn global_read(&mut self, cost: &CostModel, addr: usize, width: Width) {
         self.global_reads += 1;
-        self.cycles += self.mem_cost(cost, addr, width);
+        let (c, near) = self.mem_cost(cost, addr, width);
+        self.cycles += c;
+        self.tag_mem(near, c);
     }
 
     /// Charge a global write.
     #[inline]
     pub fn global_write(&mut self, cost: &CostModel, addr: usize, width: Width) {
         self.global_writes += 1;
-        self.cycles += self.mem_cost(cost, addr, width);
+        let (c, near) = self.mem_cost(cost, addr, width);
+        self.cycles += c;
+        self.tag_mem(near, c);
     }
 
-    /// Charge an atomic RMW (global access + surcharge).
+    /// Charge an atomic RMW (global access + surcharge). Attributed to
+    /// [`Comp::Atomic`] as a whole, even inside a probe scope.
     #[inline]
     pub fn atomic(&mut self, cost: &CostModel, addr: usize, width: Width) {
         self.atomics += 1;
-        self.cycles += self.mem_cost(cost, addr, width) + cost.atomic_extra * width.factor();
+        let (mem, _near) = self.mem_cost(cost, addr, width);
+        let c = mem + cost.atomic_extra * width.factor();
+        self.cycles += c;
+        self.tag(Comp::Atomic, c);
     }
 
     /// Charge a shared-memory access.
     #[inline]
     pub fn shared(&mut self, cost: &CostModel, width: Width) {
         self.cycles += cost.shared * width.factor();
+        self.tag(Comp::Shared, cost.shared * width.factor());
     }
 
     /// Count one hash probe (cost is charged by the accompanying memory
@@ -159,18 +319,21 @@ impl LaneMeter {
         self.probe_hist.record(len);
     }
 
+    /// Memory charge for a global access; returns `(cycles, near)` so the
+    /// caller can attribute the charge to a locality component.
     #[inline]
-    fn mem_cost(&mut self, cost: &CostModel, addr: usize, width: Width) -> u64 {
+    fn mem_cost(&mut self, cost: &CostModel, addr: usize, width: Width) -> (u64, bool) {
         let line = addr / LINE_WORDS;
         // a 64-bit access straddling into the next line still counts as
         // near when either of its lines is warm
         let line2 = (addr + width.words() - 1) / LINE_WORDS;
         let near = self.touch(line) | (line2 != line && self.touch(line2));
-        if near {
+        let c = if near {
             cost.global_near * width.factor()
         } else {
             cost.global_far * width.factor()
-        }
+        };
+        (c, near)
     }
 
     /// LRU lookup-and-insert; returns `true` on a hit.
@@ -199,6 +362,8 @@ impl LaneMeter {
         self.atomics += other.atomics;
         self.global_reads += other.global_reads;
         self.global_writes += other.global_writes;
+        #[cfg(feature = "prof")]
+        self.comp.merge(&other.comp);
     }
 }
 
@@ -301,5 +466,81 @@ mod tests {
         m.global_read(&c, LINE_WORDS - 1, Width::W32); // end of line 0
         m.global_read(&c, LINE_WORDS - 1, Width::W64); // straddles into line 1
         assert_eq!(m.cycles, c.global_far + 2 * c.global_near);
+    }
+
+    #[cfg(feature = "prof")]
+    mod prof {
+        use super::*;
+
+        #[test]
+        fn components_partition_cycles() {
+            let c = CostModel::default_gpu();
+            let mut m = LaneMeter::new();
+            m.alu(&c, 3);
+            m.global_read(&c, 0, Width::W32); // far
+            m.global_read(&c, 1, Width::W32); // near
+            m.atomic(&c, 5000, Width::W64);
+            m.shared(&c, Width::W32);
+            m.probe_scope(true);
+            m.global_read(&c, 9000, Width::W32); // probe far
+            m.global_read(&c, 9001, Width::W32); // probe near
+            m.probe_scope(false);
+            m.global_write(&c, 9002, Width::W32); // back to plain global (near)
+            assert_eq!(m.comp.total(), m.cycles);
+            assert_eq!(m.comp.get(Comp::Alu), 3 * c.alu);
+            assert_eq!(m.comp.get(Comp::GlobalFar), c.global_far);
+            assert_eq!(m.comp.get(Comp::GlobalNear), 2 * c.global_near);
+            assert_eq!(
+                m.comp.get(Comp::Atomic),
+                2 * (c.global_far + c.atomic_extra)
+            );
+            assert_eq!(m.comp.get(Comp::Shared), c.shared);
+            assert_eq!(m.comp.get(Comp::ProbeFar), c.global_far);
+            assert_eq!(m.comp.get(Comp::ProbeNear), c.global_near);
+            assert_eq!(m.comp.get(Comp::Barrier), 0);
+        }
+
+        #[test]
+        fn atomic_in_probe_scope_stays_atomic() {
+            let c = CostModel::default_gpu();
+            let mut m = LaneMeter::new();
+            m.probe_scope(true);
+            m.atomic(&c, 0, Width::W32);
+            m.probe_scope(false);
+            assert_eq!(m.comp.get(Comp::Atomic), m.cycles);
+            assert_eq!(m.comp.get(Comp::ProbeFar), 0);
+        }
+
+        #[test]
+        fn absorb_merges_components() {
+            let c = CostModel::default_gpu();
+            let mut a = LaneMeter::new();
+            a.alu(&c, 2);
+            let mut b = LaneMeter::new();
+            b.shared(&c, Width::W64);
+            a.absorb(&b);
+            assert_eq!(a.comp.get(Comp::Alu), 2 * c.alu);
+            assert_eq!(a.comp.get(Comp::Shared), 2 * c.shared);
+            assert_eq!(a.comp.total(), a.cycles);
+        }
+
+        #[test]
+        fn comp_cycles_merge_and_labels() {
+            let mut x = CompCycles::new();
+            x.add(Comp::Alu, 5);
+            let mut y = CompCycles::new();
+            y.add(Comp::Alu, 2);
+            y.add(Comp::Barrier, 7);
+            x.merge(&y);
+            assert_eq!(x.get(Comp::Alu), 7);
+            assert_eq!(x.total(), 14);
+            let labels: Vec<&str> = Comp::all().iter().map(|c| c.label()).collect();
+            assert_eq!(labels.len(), NUM_COMPS);
+            // labels are unique and stable (JSON/metrics schema)
+            let mut dedup = labels.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), NUM_COMPS);
+        }
     }
 }

@@ -89,6 +89,19 @@ impl DeviceConfig {
         self
     }
 
+    /// Human-readable preset label for reports and run provenance:
+    /// `"a100"` or `"tiny"` for the shipped presets, otherwise a
+    /// `"custom-<sms>sm-<threads>t"` description.
+    pub fn preset_name(&self) -> String {
+        if *self == Self::a100() {
+            "a100".into()
+        } else if *self == Self::tiny() {
+            "tiny".into()
+        } else {
+            format!("custom-{}sm-{}t", self.sm_count, self.max_threads_per_sm)
+        }
+    }
+
     /// Validate internal consistency (warp divides block, etc.).
     pub fn validate(&self) -> Result<(), String> {
         if self.sm_count == 0 || self.warp_size == 0 || self.block_size == 0 {
@@ -143,6 +156,15 @@ mod tests {
         let mut d = DeviceConfig::a100();
         d.sm_count = 0;
         assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn preset_names() {
+        assert_eq!(DeviceConfig::a100().preset_name(), "a100");
+        assert_eq!(DeviceConfig::tiny().preset_name(), "tiny");
+        let mut d = DeviceConfig::a100();
+        d.sm_count = 7;
+        assert_eq!(d.preset_name(), "custom-7sm-2048t");
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod stats;
 pub mod wave;
 
 pub use atomics::{AtomicF32, AtomicF64};
-pub use cost::{CostModel, LaneMeter, Width, LINE_WORDS};
+pub use cost::{Comp, CompCycles, CostModel, LaneMeter, Width, LINE_WORDS, NUM_COMPS};
 pub use deferred::{DeferredStore, StagedWrites, SyncDeferredStore};
 pub use device::DeviceConfig;
 pub use stats::KernelStats;
@@ -37,4 +37,4 @@ pub use wave::{BlockCtx, WaveScheduler};
 
 // Tracing vocabulary, re-exported so instrumented crates depending on
 // nulpa-simt don't each need a direct nulpa-obs dependency.
-pub use nulpa_obs::{track, Hist, NullSink, RecordingSink, TraceSink, Value};
+pub use nulpa_obs::{track, Hist, MetricsEvent, NullSink, RecordingSink, TraceSink, Value};

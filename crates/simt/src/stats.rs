@@ -1,5 +1,7 @@
 //! Aggregated kernel statistics.
 
+#[cfg(feature = "prof")]
+use crate::cost::CompCycles;
 use crate::cost::LaneMeter;
 use nulpa_obs::Hist;
 
@@ -38,6 +40,21 @@ pub struct KernelStats {
     /// Log2 histogram of per-warp lockstep costs (one sample per warp
     /// folded) — the divergence distribution behind `idle_cycles`.
     pub warp_cost_hist: Hist,
+    /// Load-imbalance loss: per wave, the gap between the wave's critical
+    /// path × folded lane slots and the lane slots actually occupied
+    /// (`lane_cycles + idle_cycles`). Cycles where whole warps sat
+    /// finished while the slowest warp/block of the wave was still
+    /// running. Ledger: `lane + idle + imbalance = Σ critical × slots`.
+    pub imbalance_cycles: u64,
+    /// Issue-throughput stall: per wave, the duration beyond the critical
+    /// path charged by the occupancy-degraded throughput term of
+    /// `wave_duration`. Ledger: `sim_cycles = Σ critical + stall`.
+    pub stall_cycles: u64,
+    /// Per-component attribution of `lane_cycles` (profiling builds):
+    /// tagged at charge time by [`LaneMeter`], so `comp.total()` equals
+    /// `lane_cycles` exactly — the profiler's conservation law.
+    #[cfg(feature = "prof")]
+    pub comp: CompCycles,
 }
 
 impl KernelStats {
@@ -60,6 +77,10 @@ impl KernelStats {
         self.threads += other.threads;
         self.probe_hist.merge(&other.probe_hist);
         self.warp_cost_hist.merge(&other.warp_cost_hist);
+        self.imbalance_cycles += other.imbalance_cycles;
+        self.stall_cycles += other.stall_cycles;
+        #[cfg(feature = "prof")]
+        self.comp.merge(&other.comp);
     }
 
     /// Fold one warp's lanes into the stats; returns the warp's cost
@@ -75,11 +96,20 @@ impl KernelStats {
             self.global_reads += l.global_reads;
             self.global_writes += l.global_writes;
             self.threads += 1;
+            #[cfg(feature = "prof")]
+            self.comp.merge(&l.comp);
         }
         if !lanes.is_empty() {
             self.warp_cost_hist.record(warp_cost);
         }
         warp_cost
+    }
+
+    /// Total occupied lane-slot cycles across waves: `lane_cycles +
+    /// idle_cycles + imbalance_cycles`, which equals the sum over waves of
+    /// the wave's critical path × folded lane slots.
+    pub fn slot_cycles(&self) -> u64 {
+        self.lane_cycles + self.idle_cycles + self.imbalance_cycles
     }
 
     /// Fraction of lockstep time wasted idle, in `[0, 1]`.

@@ -192,6 +192,7 @@ impl WaveScheduler {
                 warp_total += c;
             }
             let dur = self.wave_duration(critical, warp_total);
+            before.settle(&mut stats, critical, dur);
             let wave_t0 = t0 + stats.sim_cycles;
             stats.sim_cycles += dur;
             stats.waves += 1;
@@ -283,6 +284,7 @@ impl WaveScheduler {
                 critical = critical.max(block_cost);
             }
             let dur = self.wave_duration(critical, warp_total);
+            before.settle(&mut stats, critical, dur);
             let wave_t0 = t0 + stats.sim_cycles;
             stats.sim_cycles += dur;
             stats.waves += 1;
@@ -377,6 +379,7 @@ impl WaveScheduler {
                 warp_total += c;
             }
             let dur = self.wave_duration(critical, warp_total);
+            before.settle(&mut stats, critical, dur);
             let wave_t0 = t0 + stats.sim_cycles;
             stats.sim_cycles += dur;
             stats.waves += 1;
@@ -459,6 +462,7 @@ impl WaveScheduler {
                 critical = critical.max(block_cost);
             }
             let dur = self.wave_duration(critical, warp_total);
+            before.settle(&mut stats, critical, dur);
             let wave_t0 = t0 + stats.sim_cycles;
             stats.sim_cycles += dur;
             stats.waves += 1;
@@ -645,6 +649,33 @@ impl WaveScheduler {
         if !stats.warp_cost_hist.is_empty() {
             sink.histogram("warp_cost", &stats.warp_cost_hist);
         }
+        #[cfg(feature = "prof")]
+        {
+            use crate::cost::Comp;
+            let c = &stats.comp;
+            sink.metrics(
+                "kernel",
+                t0 + stats.sim_cycles,
+                &[
+                    ("sim_cycles", stats.sim_cycles),
+                    ("lane_cycles", stats.lane_cycles),
+                    ("idle_cycles", stats.idle_cycles),
+                    ("imbalance_cycles", stats.imbalance_cycles),
+                    ("stall_cycles", stats.stall_cycles),
+                    ("waves", stats.waves),
+                    ("threads", stats.threads),
+                    ("probes", stats.probes),
+                    ("alu", c.get(Comp::Alu)),
+                    ("global_near", c.get(Comp::GlobalNear)),
+                    ("global_far", c.get(Comp::GlobalFar)),
+                    ("atomic", c.get(Comp::Atomic)),
+                    ("probe_near", c.get(Comp::ProbeNear)),
+                    ("probe_far", c.get(Comp::ProbeFar)),
+                    ("shared", c.get(Comp::Shared)),
+                    ("barrier", c.get(Comp::Barrier)),
+                ],
+            );
+        }
     }
 
     /// Duration of one wave under a latency/throughput/occupancy model.
@@ -674,11 +705,13 @@ impl WaveScheduler {
 }
 
 /// Pre-wave counter snapshot, used to attribute per-wave deltas (lane vs
-/// idle cycles → wave-local divergence) to the wave's trace span.
+/// idle cycles → wave-local divergence) to the wave's trace span, and to
+/// settle the wave's imbalance/stall ledger entries.
 #[derive(Clone, Copy)]
 struct WaveSnapshot {
     lane_cycles: u64,
     idle_cycles: u64,
+    threads: u64,
 }
 
 impl WaveSnapshot {
@@ -686,7 +719,25 @@ impl WaveSnapshot {
         WaveSnapshot {
             lane_cycles: stats.lane_cycles,
             idle_cycles: stats.idle_cycles,
+            threads: stats.threads,
         }
+    }
+
+    /// Book the wave's load-imbalance and throughput-stall losses.
+    ///
+    /// The lanes folded this wave occupied `critical × slots` lane-slot
+    /// cycles (every slot is held for the wave's critical path); `lane +
+    /// idle` of those were accounted per warp, the remainder is warps
+    /// finishing before the slowest warp/block — load imbalance. The
+    /// duration beyond the critical path is the throughput/occupancy
+    /// stall of [`WaveScheduler::wave_duration`]. Together these keep two
+    /// exact ledgers: `lane + idle + imbalance = Σ critical × slots` and
+    /// `sim_cycles = Σ critical + stall`.
+    fn settle(self, stats: &mut KernelStats, critical: u64, dur: u64) {
+        let slots = stats.threads - self.threads;
+        let busy = (stats.lane_cycles - self.lane_cycles) + (stats.idle_cycles - self.idle_cycles);
+        stats.imbalance_cycles += critical * slots - busy;
+        stats.stall_cycles += dur - critical;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -720,6 +771,20 @@ impl WaveSnapshot {
                 ("warp_cost_max", warp_cost_max.into()),
                 ("warp_cost_sum", warp_cost_sum.into()),
                 ("divergence", Value::F64(divergence)),
+            ],
+        );
+        #[cfg(feature = "prof")]
+        sink.metrics(
+            "wave",
+            wave_t0,
+            &[
+                ("dur", dur),
+                ("items", items as u64),
+                ("slots", stats.threads - self.threads),
+                ("critical", warp_cost_max),
+                ("stall", dur - warp_cost_max),
+                ("busy", lane),
+                ("idle", idle),
             ],
         );
     }
@@ -839,7 +904,9 @@ impl<'a> BlockCtx<'a> {
             .unwrap_or(0);
         for (l, &a) in self.lanes.iter_mut().zip(&self.active) {
             if a {
+                let wait = max - l.cycles;
                 l.cycles = max;
+                l.tag(crate::cost::Comp::Barrier, wait);
             }
         }
     }

@@ -51,7 +51,8 @@ if [ -n "$stray" ]; then
   exit 1
 fi
 for root in crates/graph crates/simt crates/hashtab crates/metrics \
-            crates/baselines crates/obs crates/bench crates/sancheck; do
+            crates/baselines crates/obs crates/bench crates/sancheck \
+            crates/prof; do
   grep -q '^#!\[forbid(unsafe_code)\]' "$root/src/lib.rs" \
     || { echo "unsafe audit: $root/src/lib.rs lacks #![forbid(unsafe_code)]"; exit 1; }
 done
@@ -60,5 +61,8 @@ grep -q '^#!\[deny(unsafe_code)\]' crates/core/src/lib.rs \
 
 echo "==> sancheck (dynamic hazard checker)"
 cargo run --release --bin nulpa -- sancheck
+
+echo "==> perf gate (cycle-attribution baseline)"
+bash scripts/perf_gate.sh
 
 echo "CI OK"

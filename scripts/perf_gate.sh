@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Perf-regression gate. Profiles the built-in graph trio across the
+# profiling backend matrix, writes results/prof_current.json, and fails
+# if any attributed cycle component regressed more than the tolerance
+# (default 5%) against the committed results/prof_baseline.json. The
+# simulator is deterministic, so any drift is a real cost-model change;
+# refresh the baseline deliberately with:
+#   cargo run --release -p nulpa-bench --bin profile_baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p nulpa-bench --bin profile_baseline -- --check "$@"

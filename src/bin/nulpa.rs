@@ -47,6 +47,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("sancheck") => cmd_sancheck(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("--help") | Some("-h") | None => {
             usage();
             Ok(())
@@ -71,8 +72,9 @@ fn usage() {
          nulpa inspect <graph> [--top N]\n  \
          nulpa predict <graph> [-k N]\n  \
          nulpa generate <dataset> [--scale F] [--output FILE]\n  \
-         nulpa trace <tracefile>\n  \
-         nulpa sancheck [graph] [--json]   run backends under the hazard checker\n\n\
+         nulpa trace <tracefile> [--top K]\n  \
+         nulpa sancheck [graph] [--json]   run backends under the hazard checker\n  \
+         nulpa profile [graph] [--json] [--backend NAME]   cycle-attribution profile\n\n\
          METHODS: nu-lpa (default), nu-lpa-sim (simulated A100), flpa,\n  \
          networkit, gunrock, louvain, leiden, gve-lpa\n\n\
          THREADS: --threads N (or NULPA_THREADS=N) sets the host threads\n  \
@@ -480,10 +482,120 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("trace: missing trace file path")?;
+    let top: Option<usize> = opt_value(args, "--top")
+        .map(|s| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&k| k > 0)
+                .ok_or("trace: --top needs a positive integer")
+        })
+        .transpose()?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let s = summary::summarize(&text).map_err(|e| format!("{path}: {e}"))?;
-    print!("{}", summary::render(&s));
+    match top {
+        Some(k) => print!("{}", summary::render_top(&s, k)),
+        None => print!("{}", summary::render(&s)),
+    }
     Ok(())
+}
+
+/// `nulpa profile`: run the simulated-GPU backend matrix under the
+/// cycle-attribution profiler and print per-kernel component breakdowns,
+/// a roofline summary and the per-SM occupancy timeline. Without a graph
+/// argument the built-in trio is profiled; `--backend NAME` restricts the
+/// backend matrix; `--json` prints the machine-readable report the perf
+/// gate compares.
+#[cfg(feature = "prof")]
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    use nu_lpa::core::resolve_threads;
+    use nu_lpa::graph::gen::{caveman_weighted, erdos_renyi, two_cliques_light_bridge};
+    use nu_lpa::obs::meta::run_meta;
+    use nu_lpa::prof::{backends, json::report_to_json, profile_graph, render::render};
+
+    let json = args.iter().any(|a| a == "--json");
+    let backend_filter = opt_value(args, "--backend");
+    let graph_path = {
+        // the first non-flag argument that is not a flag's value
+        let mut skip_next = false;
+        args.iter().find(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--backend" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+    };
+    let graphs: Vec<(String, Csr)> = match graph_path {
+        Some(p) => vec![(p.clone(), load_graph(p)?)],
+        None => vec![
+            ("two-cliques-s6".into(), two_cliques_light_bridge(6)),
+            ("caveman-4x8".into(), caveman_weighted(4, 8, 0.5)),
+            ("erdos-renyi-256".into(), erdos_renyi(256, 768, 42)),
+        ],
+    };
+    let specs: Vec<_> = backends()
+        .into_iter()
+        .filter(|s| backend_filter.is_none_or(|f| s.name == f))
+        .collect();
+    if specs.is_empty() {
+        let names: Vec<&str> = backends().iter().map(|s| s.name).collect();
+        return Err(format!(
+            "profile: unknown backend `{}` (available: {})",
+            backend_filter.unwrap_or(""),
+            names.join(", ")
+        ));
+    }
+
+    let mut profiles = Vec::new();
+    let mut leaked = 0usize;
+    for (gname, g) in &graphs {
+        for spec in &specs {
+            let gp = profile_graph(gname, g, spec);
+            if !json {
+                print!("{}", render(&gp.profile));
+                match &gp.conservation {
+                    Ok(()) => println!(
+                        "conservation: ok (components sum to KernelStats totals exactly); \
+                         {} communities\n",
+                        gp.communities
+                    ),
+                    Err(e) => println!("conservation: FAILED: {e}\n"),
+                }
+            }
+            if gp.conservation.is_err() {
+                leaked += 1;
+            }
+            profiles.push(gp);
+        }
+    }
+    if json {
+        let cfg = LpaConfig::default();
+        let meta = run_meta(&[
+            ("threads", resolve_threads(cfg.threads).to_string()),
+            ("device", cfg.device.preset_name()),
+            ("probe", cfg.probe.label().to_string()),
+        ]);
+        println!("{}", report_to_json(&meta, &profiles));
+    }
+    if leaked > 0 {
+        return Err(format!(
+            "profile: attribution leaked cycles in {leaked} of {} runs",
+            profiles.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Stub when the profiler is compiled out.
+#[cfg(not(feature = "prof"))]
+fn cmd_profile(_args: &[String]) -> Result<(), String> {
+    Err("profile: this binary was built without the `prof` feature \
+         (rebuild with default features)"
+        .into())
 }
 
 /// `nulpa sancheck`: run the shipped backends under the dynamic hazard

@@ -14,6 +14,10 @@
 //! * [`sancheck`] — dynamic hazard checker for the SIMT execution model
 //!   ([`nulpa_sancheck`]; present when the default `sancheck` feature is
 //!   on).
+//! * [`prof`] — cycle-attribution profiler: per-component cost
+//!   breakdowns, occupancy timelines, roofline summaries and the perf
+//!   gate ([`nulpa_prof`]; present when the default `prof` feature is
+//!   on).
 
 #![forbid(unsafe_code)]
 
@@ -23,6 +27,8 @@ pub use nulpa_graph as graph;
 pub use nulpa_hashtab as hashtab;
 pub use nulpa_metrics as metrics;
 pub use nulpa_obs as obs;
+#[cfg(feature = "prof")]
+pub use nulpa_prof as prof;
 #[cfg(feature = "sancheck")]
 pub use nulpa_sancheck as sancheck;
 pub use nulpa_simt as simt;
