@@ -12,9 +12,12 @@
 //! measurements so single-core CI numbers are not misread as a
 //! scaling regression.
 
-use nulpa_bench::{median_time, print_header, BenchArgs, Report, Table};
+use nulpa_bench::{print_header, timing_stats, BenchArgs, Report, Table};
 use nulpa_core::{lpa_gpu, LpaConfig};
 use nulpa_graph::datasets::figure_specs;
+
+// Meter the heap so the report's meta carries `alloc_peak_bytes`.
+nulpa_telemetry::install_counting_alloc!();
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
@@ -38,12 +41,13 @@ fn main() {
         hw_threads
     );
 
-    let mut rows: Vec<(usize, f64)> = Vec::new();
+    let mut rows: Vec<(usize, f64, nulpa_bench::TimingStats)> = Vec::new();
     let mut reference = None;
     for &threads in &THREAD_COUNTS {
         // explicit thread count, overriding any NULPA_THREADS in the env
         let cfg = LpaConfig::default().with_threads(threads);
-        let (wall, r) = median_time(args.repeats, || lpa_gpu(g, &cfg));
+        let (stats, r) = timing_stats(args.repeats, || lpa_gpu(g, &cfg));
+        let wall = stats.p50;
         match &reference {
             None => reference = Some(r),
             Some(base) => {
@@ -61,39 +65,62 @@ fn main() {
                 );
             }
         }
-        rows.push((threads, wall.as_secs_f64() * 1e3));
+        rows.push((threads, wall.as_secs_f64() * 1e3, stats));
     }
 
     print_header(&format!(
         "Host-parallel scaling of the simulator on {} ({} hw thread(s))",
         spec.name, hw_threads
     ));
-    println!("{:<8} {:>12} {:>10}", "threads", "wall (ms)", "speedup");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>10}",
+        "threads", "min (ms)", "p50 (ms)", "p95 (ms)", "speedup"
+    );
     let base_ms = rows[0].1;
-    for &(threads, ms) in &rows {
-        println!("{threads:<8} {ms:>12.2} {:>9.2}x", base_ms / ms.max(1e-9));
+    for &(threads, ms, stats) in &rows {
+        println!(
+            "{threads:<8} {:>12.2} {ms:>12.2} {:>12.2} {:>9.2}x",
+            stats.min.as_secs_f64() * 1e3,
+            stats.p95.as_secs_f64() * 1e3,
+            base_ms / ms.max(1e-9)
+        );
     }
     println!("\nall thread counts produced bit-identical labels and stats");
 
     let mut report = Report::new("parallel_scaling", &args);
     let mut t = Table::new(
         &format!("nulpa detect wall-clock on {}", spec.name),
-        &["threads", "wall_ms", "speedup", "hw_threads"],
+        &[
+            "threads",
+            "min_ms",
+            "wall_ms",
+            "p95_ms",
+            "speedup",
+            "hw_threads",
+        ],
     );
-    for &(threads, ms) in &rows {
+    for &(threads, ms, stats) in &rows {
         t.row(
             &format!("threads={threads}"),
             &[
                 threads as f64,
+                stats.min.as_secs_f64() * 1e3,
                 ms,
+                stats.p95.as_secs_f64() * 1e3,
                 base_ms / ms.max(1e-9),
                 hw_threads as f64,
             ],
         );
+        report.record_timing(&format!("{}::threads={threads}", spec.name), stats);
     }
     report.push(t);
     match report.write(&args.json) {
         Ok(path) => eprintln!("json report written to {path}"),
         Err(e) => eprintln!("warning: could not write json report: {e}"),
+    }
+    match args.write_telemetry() {
+        Ok(Some(path)) => eprintln!("telemetry snapshot written to {path}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: could not write telemetry snapshot: {e}"),
     }
 }

@@ -8,7 +8,8 @@ use std::time::{Duration, Instant};
 pub const USAGE: &str = "options: --scale <f> (fraction of the paper's graph sizes), \
 --quick (tiny test scale), --repeats <n> (runs per measurement), \
 --threads <n> (host threads for the simulator; also NULPA_THREADS), \
---json <path> (machine-readable results), --help";
+--json <path> (machine-readable results), \
+--telemetry <path> (metrics-registry snapshot: .prom or JSONL), --help";
 
 /// Command-line arguments shared by every harness binary.
 #[derive(Clone, Debug, PartialEq)]
@@ -24,6 +25,9 @@ pub struct BenchArgs {
     /// Override path for the machine-readable JSON report (binaries that
     /// emit one default to `results/<binary>.json`).
     pub json: Option<String>,
+    /// Path for a metrics-registry snapshot written at exit via
+    /// [`Self::write_telemetry`] (`.prom` → Prometheus text, else JSONL).
+    pub telemetry: Option<String>,
 }
 
 impl BenchArgs {
@@ -62,6 +66,7 @@ impl BenchArgs {
         let mut repeats = 5;
         let mut threads = None;
         let mut json = None;
+        let mut telemetry = None;
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -81,6 +86,12 @@ impl BenchArgs {
                         .next()
                         .and_then(|s| s.parse().ok())
                         .ok_or("--repeats needs an integer")?;
+                    if repeats == 0 {
+                        return Err(
+                            "--repeats must be at least 1 (0 runs cannot produce a measurement)"
+                                .into(),
+                        );
+                    }
                 }
                 "--threads" => {
                     let t: usize = args
@@ -95,6 +106,9 @@ impl BenchArgs {
                 "--json" => {
                     json = Some(args.next().ok_or("--json needs a path")?);
                 }
+                "--telemetry" => {
+                    telemetry = Some(args.next().ok_or("--telemetry needs a path")?);
+                }
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
@@ -103,17 +117,60 @@ impl BenchArgs {
             repeats,
             threads,
             json,
+            telemetry,
         }))
+    }
+
+    /// Write a snapshot of the global metrics registry to the
+    /// `--telemetry` path, if one was given. Returns the path written.
+    pub fn write_telemetry(&self) -> Result<Option<&str>, String> {
+        match &self.telemetry {
+            None => Ok(None),
+            Some(path) => {
+                nulpa_telemetry::write_snapshot(path, &nulpa_telemetry::global().snapshot())?;
+                Ok(Some(path))
+            }
+        }
     }
 }
 
-/// Median wall time of `repeats` runs of `f` (the paper averages five
-/// runs; the median is more robust on a shared machine). For an even
-/// number of runs the median is the midpoint of the two middle samples —
-/// taking the upper element would bias every even-`repeats` measurement
-/// upward by up to half the inter-sample gap.
-pub fn median_time<T>(repeats: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
-    assert!(repeats >= 1);
+/// Wall-clock distribution over the repeats of one measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimingStats {
+    /// Fastest run.
+    pub min: Duration,
+    /// Median (p50; even counts take the midpoint of the middle pair).
+    pub p50: Duration,
+    /// 95th percentile (nearest-rank; equals the max below 20 repeats).
+    pub p95: Duration,
+    /// Slowest run.
+    pub max: Duration,
+    /// Number of runs measured.
+    pub repeats: usize,
+}
+
+impl TimingStats {
+    /// Compute from a non-empty sample set (sorts `times` in place).
+    pub fn from_times(times: &mut [Duration]) -> Self {
+        assert!(!times.is_empty());
+        let p50 = median_duration(times); // sorts
+        let n = times.len();
+        // nearest-rank percentile: smallest sample covering 95% of runs
+        let p95_idx = ((0.95 * n as f64).ceil() as usize).clamp(1, n) - 1;
+        TimingStats {
+            min: times[0],
+            p50,
+            p95: times[p95_idx],
+            max: times[n - 1],
+            repeats: n,
+        }
+    }
+}
+
+/// Time `repeats` runs of `f`, returning the full timing distribution
+/// alongside the last result.
+pub fn timing_stats<T>(repeats: usize, mut f: impl FnMut() -> T) -> (TimingStats, T) {
+    assert!(repeats >= 1, "timing_stats needs at least one repeat");
     let mut times = Vec::with_capacity(repeats);
     let mut last = None;
     for _ in 0..repeats {
@@ -122,7 +179,17 @@ pub fn median_time<T>(repeats: usize, mut f: impl FnMut() -> T) -> (Duration, T)
         times.push(t0.elapsed());
         last = Some(out);
     }
-    (median_duration(&mut times), last.unwrap())
+    (TimingStats::from_times(&mut times), last.unwrap())
+}
+
+/// Median wall time of `repeats` runs of `f` (the paper averages five
+/// runs; the median is more robust on a shared machine). For an even
+/// number of runs the median is the midpoint of the two middle samples —
+/// taking the upper element would bias every even-`repeats` measurement
+/// upward by up to half the inter-sample gap.
+pub fn median_time<T>(repeats: usize, f: impl FnMut() -> T) -> (Duration, T) {
+    let (stats, out) = timing_stats(repeats, f);
+    (stats.p50, out)
 }
 
 /// Median of a non-empty set of durations; even counts take the midpoint
@@ -201,6 +268,9 @@ pub struct Report {
     pub meta: Vec<(String, String)>,
     /// The tables, in print order.
     pub tables: Vec<Table>,
+    /// Labelled timing distributions ([`Self::record_timing`]),
+    /// serialised as a `timings` array with min/p50/p95/median columns.
+    pub timings: Vec<(String, TimingStats)>,
 }
 
 impl Report {
@@ -217,6 +287,13 @@ impl Report {
             ),
             ("device", cfg.device.preset_name()),
             ("probe", cfg.probe.label().to_string()),
+            (
+                "hw_threads",
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+                    .to_string(),
+            ),
         ]);
         Report {
             name: name.to_string(),
@@ -224,7 +301,25 @@ impl Report {
             repeats: args.repeats,
             meta,
             tables: Vec::new(),
+            timings: Vec::new(),
         }
+    }
+
+    /// Record one labelled timing distribution for the `timings` section,
+    /// mirrored into the global metrics registry (as a
+    /// `bench.<report>.<label>.us` histogram) so `--telemetry` snapshots
+    /// carry the same numbers.
+    pub fn record_timing(&mut self, label: &str, stats: TimingStats) -> &mut Self {
+        let hist = nulpa_telemetry::global().histogram(&format!(
+            "bench.{}.{}.us",
+            self.name,
+            label.replace([' ', ':'], "_")
+        ));
+        for d in [stats.min, stats.p50, stats.p95, stats.max] {
+            hist.record(d.as_micros() as u64);
+        }
+        self.timings.push((label.to_string(), stats));
+        self
     }
 
     /// Override or append one provenance key.
@@ -242,8 +337,17 @@ impl Report {
         self
     }
 
-    /// Serialise to a JSON document.
+    /// Serialise to a JSON document. Host memory peaks (counting
+    /// allocator high-water, `VmHWM` RSS) are stamped into `meta` at
+    /// serialisation time so they cover the whole measured run.
     pub fn to_json(&self) -> String {
+        let mut meta = self.meta.clone();
+        if let Some(h) = nulpa_telemetry::heap_stats() {
+            meta.push(("alloc_peak_bytes".to_string(), h.peak_bytes.to_string()));
+        }
+        if let Some(rss) = nulpa_telemetry::peak_rss_bytes() {
+            meta.push(("peak_rss_bytes".to_string(), rss.to_string()));
+        }
         let mut out = String::new();
         out.push_str("{\n  \"name\": ");
         out.push_str(&escape(&self.name));
@@ -252,8 +356,28 @@ impl Report {
         out.push_str(",\n  \"repeats\": ");
         out.push_str(&fmt_f64(self.repeats as f64));
         out.push_str(",\n  \"meta\": ");
-        out.push_str(&nulpa_obs::meta::meta_json(&self.meta));
-        out.push_str(",\n  \"tables\": [");
+        out.push_str(&nulpa_obs::meta::meta_json(&meta));
+        out.push_str(",\n  \"timings\": [");
+        for (i, (label, s)) in self.timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"label\": ");
+            out.push_str(&escape(label));
+            out.push_str(&format!(
+                ", \"repeats\": {}, \"min_ms\": {}, \"p50_ms\": {}, \"median_ms\": {}, \"p95_ms\": {}, \"max_ms\": {}}}",
+                s.repeats,
+                fmt_f64(s.min.as_secs_f64() * 1e3),
+                fmt_f64(s.p50.as_secs_f64() * 1e3),
+                fmt_f64(s.p50.as_secs_f64() * 1e3),
+                fmt_f64(s.p95.as_secs_f64() * 1e3),
+                fmt_f64(s.max.as_secs_f64() * 1e3),
+            ));
+        }
+        if !self.timings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"tables\": [");
         for (i, t) in self.tables.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -412,6 +536,68 @@ mod tests {
         assert!(BenchArgs::parse_from(strs(&["--scale"])).is_err());
         assert!(BenchArgs::parse_from(strs(&["--scale", "x"])).is_err());
         assert!(BenchArgs::parse_from(strs(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn args_zero_repeats_rejected_with_clear_error() {
+        let err = BenchArgs::parse_from(strs(&["--repeats", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "unhelpful error: {err}");
+        assert!(BenchArgs::parse_from(strs(&["--repeats", "1"])).is_ok());
+    }
+
+    #[test]
+    fn args_telemetry_flag() {
+        let a = BenchArgs::parse_from(strs(&["--telemetry", "out/m.prom"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.telemetry.as_deref(), Some("out/m.prom"));
+        assert!(BenchArgs::parse_from(strs(&["--telemetry"])).is_err());
+    }
+
+    #[test]
+    fn timing_stats_percentiles() {
+        let ms = Duration::from_millis;
+        let mut times: Vec<Duration> = (1..=20).map(ms).collect();
+        let s = TimingStats::from_times(&mut times);
+        assert_eq!(s.min, ms(1));
+        assert_eq!(s.p50, (ms(10) + ms(11)) / 2);
+        assert_eq!(s.p95, ms(19)); // nearest rank: ceil(0.95*20)=19th
+        assert_eq!(s.max, ms(20));
+        assert_eq!(s.repeats, 20);
+        // small sample: p95 degenerates to the max
+        let mut five: Vec<Duration> = vec![ms(5), ms(1), ms(3), ms(2), ms(4)];
+        let s = TimingStats::from_times(&mut five);
+        assert_eq!(s.p50, ms(3));
+        assert_eq!(s.p95, ms(5));
+    }
+
+    #[test]
+    fn timing_stats_orders_invariant() {
+        let (s, v) = timing_stats(6, || 2 + 2);
+        assert_eq!(v, 4);
+        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max);
+        assert_eq!(s.repeats, 6);
+    }
+
+    #[test]
+    fn report_timings_serialise() {
+        let args = BenchArgs::parse_from(strs(&["--quick"])).unwrap().unwrap();
+        let mut rep = Report::new("unit_test", &args);
+        let ms = Duration::from_millis;
+        let mut times = vec![ms(10), ms(20), ms(30)];
+        rep.record_timing("g1::threads=2", TimingStats::from_times(&mut times));
+        let v = nulpa_obs::json::parse(&rep.to_json()).unwrap();
+        let timings = v.get("timings").unwrap().as_arr().unwrap();
+        assert_eq!(timings.len(), 1);
+        let t = &timings[0];
+        assert_eq!(t.get("label").unwrap().as_str(), Some("g1::threads=2"));
+        assert_eq!(t.get("min_ms").unwrap().as_f64(), Some(10.0));
+        assert_eq!(t.get("p50_ms").unwrap().as_f64(), Some(20.0));
+        assert_eq!(t.get("median_ms").unwrap().as_f64(), Some(20.0));
+        assert_eq!(t.get("p95_ms").unwrap().as_f64(), Some(30.0));
+        // meta stamps hw_threads host info
+        let meta = v.get("meta").unwrap();
+        assert!(meta.get("hw_threads").and_then(|m| m.as_str()).is_some());
     }
 
     #[test]

@@ -22,4 +22,6 @@
 
 pub mod harness;
 
-pub use harness::{geomean, median_time, print_header, BenchArgs, Report, Table, USAGE};
+pub use harness::{
+    geomean, median_time, print_header, timing_stats, BenchArgs, Report, Table, TimingStats, USAGE,
+};

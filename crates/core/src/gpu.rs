@@ -39,6 +39,7 @@
 
 use crate::config::{resolve_threads, LpaConfig, ValueType};
 use crate::disjoint::DisjointBuffer;
+use crate::observe::{IterObserver, NullObserver};
 use crate::partition::partition_candidates;
 use crate::result::LpaResult;
 use nulpa_graph::{Csr, VertexId};
@@ -61,10 +62,24 @@ pub fn lpa_gpu(g: &Csr, config: &LpaConfig) -> LpaResult {
 /// neutrality test asserts identical labels and stats vs [`NullSink`].
 /// The caller owns `sink.finish()`.
 pub fn lpa_gpu_traced(g: &Csr, config: &LpaConfig, sink: &mut dyn TraceSink) -> LpaResult {
+    lpa_gpu_observed(g, config, sink, &mut NullObserver)
+}
+
+/// [`lpa_gpu_traced`] plus an [`IterObserver`] called after every
+/// committed iteration (post Cross-Check) — the convergence-telemetry
+/// attachment point. The observer runs on the host between simulated
+/// launches and never influences the simulation: labels, stats, and
+/// trace output are bit-identical with and without it.
+pub fn lpa_gpu_observed(
+    g: &Csr,
+    config: &LpaConfig,
+    sink: &mut dyn TraceSink,
+    obs: &mut dyn IterObserver,
+) -> LpaResult {
     config.validate().expect("invalid LPA config");
     match config.value_type {
-        ValueType::F32 => lpa_gpu_typed::<f32>(g, config, sink),
-        ValueType::F64 => lpa_gpu_typed::<f64>(g, config, sink),
+        ValueType::F32 => lpa_gpu_typed::<f32>(g, config, sink, obs),
+        ValueType::F64 => lpa_gpu_typed::<f64>(g, config, sink, obs),
     }
 }
 
@@ -195,7 +210,12 @@ struct GpuState<V: HashValue> {
     changed: AtomicUsize,
 }
 
-fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig, sink: &mut dyn TraceSink) -> LpaResult {
+fn lpa_gpu_typed<V: HashValue>(
+    g: &Csr,
+    config: &LpaConfig,
+    sink: &mut dyn TraceSink,
+    obs: &mut dyn IterObserver,
+) -> LpaResult {
     let n = g.num_vertices();
     let m = g.num_edges();
     let threads = resolve_threads(config.threads);
@@ -359,6 +379,10 @@ fn lpa_gpu_typed<V: HashValue>(g: &Csr, config: &LpaConfig, sink: &mut dyn Trace
 
         let changed = state.changed.load(Ordering::Relaxed);
         changed_per_iter.push(changed);
+        if obs.is_enabled() {
+            let snapshot = state.labels.snapshot();
+            obs.on_iteration(iter, changed, low_n + high_n, &snapshot);
+        }
         if sink.is_enabled() {
             let active = low_n + high_n;
             sink.counter("dN", stats.sim_cycles, changed as f64);

@@ -42,6 +42,7 @@ pub mod gpu;
 pub mod linkpred;
 #[allow(unsafe_code)]
 pub mod native;
+pub mod observe;
 pub mod partition;
 pub mod pulp;
 pub mod result;
@@ -50,10 +51,11 @@ pub mod seq;
 pub use coarsen::{coarsen_lpa, CoarseLevel, CoarsenConfig, CoarsenResult};
 pub use config::{resolve_threads, LpaConfig, SwapMode, ValueType};
 pub use dynamic::{apply_batch, frontier, lpa_dynamic, EdgeBatch};
-pub use gpu::{lpa_gpu, lpa_gpu_traced};
+pub use gpu::{lpa_gpu, lpa_gpu_observed, lpa_gpu_traced};
 pub use linkpred::{adamic_adar, community_adamic_adar, top_k_predictions};
-pub use native::{lpa_native, lpa_native_from_state, lpa_native_traced};
+pub use native::{lpa_native, lpa_native_from_state, lpa_native_observed, lpa_native_traced};
+pub use observe::{IterObserver, NullObserver};
 pub use partition::{partition_all, partition_candidates, KernelPartition};
 pub use pulp::{pulp_partition, pulp_partition_weighted, PulpConfig, PulpResult};
 pub use result::LpaResult;
-pub use seq::{lpa_seq, lpa_seq_traced};
+pub use seq::{lpa_seq, lpa_seq_observed, lpa_seq_traced};

@@ -20,6 +20,7 @@
 
 use crate::config::{LpaConfig, ValueType};
 use crate::disjoint::DisjointBuffer;
+use crate::observe::{IterObserver, NullObserver};
 use crate::result::LpaResult;
 use nulpa_graph::{Csr, VertexId};
 use nulpa_hashtab::{HashValue, TableMut, TableSlot, EMPTY_KEY};
@@ -37,11 +38,22 @@ pub fn lpa_native(g: &Csr, config: &LpaConfig) -> LpaResult {
 /// here — spans are timestamped in elapsed wall-clock **microseconds**
 /// since the call started. The caller owns `sink.finish()`.
 pub fn lpa_native_traced(g: &Csr, config: &LpaConfig, sink: &mut dyn TraceSink) -> LpaResult {
+    lpa_native_observed(g, config, sink, &mut NullObserver)
+}
+
+/// [`lpa_native_traced`] plus an [`IterObserver`] called after every
+/// committed iteration — the convergence-telemetry attachment point.
+pub fn lpa_native_observed(
+    g: &Csr,
+    config: &LpaConfig,
+    sink: &mut dyn TraceSink,
+    obs: &mut dyn IterObserver,
+) -> LpaResult {
     config.validate().expect("invalid LPA config");
     let init = (0..g.num_vertices() as VertexId).collect();
     match config.value_type {
-        ValueType::F32 => lpa_native_typed::<f32>(g, config, init, None, sink),
-        ValueType::F64 => lpa_native_typed::<f64>(g, config, init, None, sink),
+        ValueType::F32 => lpa_native_typed::<f32>(g, config, init, None, sink, obs),
+        ValueType::F64 => lpa_native_typed::<f64>(g, config, init, None, sink, obs),
     }
 }
 
@@ -58,12 +70,22 @@ pub fn lpa_native_from_state(
     config.validate().expect("invalid LPA config");
     assert_eq!(init_labels.len(), g.num_vertices(), "label length mismatch");
     match config.value_type {
-        ValueType::F32 => {
-            lpa_native_typed::<f32>(g, config, init_labels, Some(unprocessed), &mut NullSink)
-        }
-        ValueType::F64 => {
-            lpa_native_typed::<f64>(g, config, init_labels, Some(unprocessed), &mut NullSink)
-        }
+        ValueType::F32 => lpa_native_typed::<f32>(
+            g,
+            config,
+            init_labels,
+            Some(unprocessed),
+            &mut NullSink,
+            &mut NullObserver,
+        ),
+        ValueType::F64 => lpa_native_typed::<f64>(
+            g,
+            config,
+            init_labels,
+            Some(unprocessed),
+            &mut NullSink,
+            &mut NullObserver,
+        ),
     }
 }
 
@@ -73,6 +95,7 @@ fn lpa_native_typed<V: HashValue>(
     init_labels: Vec<VertexId>,
     unprocessed: Option<&[VertexId]>,
     sink: &mut dyn TraceSink,
+    obs: &mut dyn IterObserver,
 ) -> LpaResult {
     let n = g.num_vertices();
     let labels: Vec<AtomicU32> = init_labels.into_iter().map(AtomicU32::new).collect();
@@ -154,6 +177,11 @@ fn lpa_native_typed<V: HashValue>(
         }
 
         changed_per_iter.push(changed);
+        if obs.is_enabled() {
+            let snapshot: Vec<VertexId> =
+                labels.iter().map(|l| l.load(Ordering::Relaxed)).collect();
+            obs.on_iteration(iter, changed, candidates.len(), &snapshot);
+        }
         if sink.is_enabled() {
             let ts = now_us(&t0);
             sink.counter("dN", ts, changed as f64);

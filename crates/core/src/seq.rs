@@ -15,6 +15,7 @@
 //! magnitude, and the scramble reproduces that property deterministically.
 
 use crate::config::LpaConfig;
+use crate::observe::{IterObserver, NullObserver};
 use crate::result::LpaResult;
 use nulpa_graph::{Csr, VertexId};
 use nulpa_simt::{track, KernelStats, NullSink, TraceSink};
@@ -54,6 +55,17 @@ pub fn lpa_seq(g: &Csr, config: &LpaConfig) -> LpaResult {
 /// wall-clock microseconds (the reference backend has no simulated
 /// clock). The caller owns `sink.finish()`.
 pub fn lpa_seq_traced(g: &Csr, config: &LpaConfig, sink: &mut dyn TraceSink) -> LpaResult {
+    lpa_seq_observed(g, config, sink, &mut NullObserver)
+}
+
+/// [`lpa_seq_traced`] plus an [`IterObserver`] called after every
+/// committed iteration — the convergence-telemetry attachment point.
+pub fn lpa_seq_observed(
+    g: &Csr,
+    config: &LpaConfig,
+    sink: &mut dyn TraceSink,
+    obs: &mut dyn IterObserver,
+) -> LpaResult {
     config.validate().expect("invalid LPA config");
     let n = g.num_vertices();
     let t0 = Instant::now();
@@ -129,6 +141,9 @@ pub fn lpa_seq_traced(g: &Csr, config: &LpaConfig, sink: &mut dyn TraceSink) -> 
         }
 
         changed_per_iter.push(changed);
+        if obs.is_enabled() {
+            obs.on_iteration(iter, changed, active, &labels);
+        }
         if sink.is_enabled() {
             let ts = t0.elapsed().as_micros() as u64;
             sink.counter("dN", ts, changed as f64);

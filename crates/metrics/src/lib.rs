@@ -28,6 +28,6 @@ pub use community::{
     community_count, community_sizes, compact_labels, max_community_size, same_partition,
 };
 pub use cut::{cut_fraction, edge_cut, imbalance};
-pub use modularity::{delta_modularity, modularity, modularity_par};
+pub use modularity::{delta_modularity, modularity, modularity_from_sums, modularity_par};
 pub use nmi::nmi;
 pub use validate::{check_labels, count_unsupported, PartitionError};

@@ -92,6 +92,27 @@ pub fn modularity_par(g: &Csr, labels: &[VertexId]) -> f64 {
         .sum()
 }
 
+/// Modularity from already-accumulated per-community sums — the Eq. 1
+/// fold shared with incrementally maintained trajectories (the
+/// `nulpa-telemetry` convergence recorder keeps `σ_c`/`Σ_c` up to date
+/// across label moves and re-scores with this).
+///
+/// `sigma_in[c]` is the total weight of intra-community *directed* edges
+/// of community `c`, `sigma_tot[c]` the total directed weight incident to
+/// it, and `two_m` the directed total weight of the graph. Returns 0 when
+/// `two_m` is 0.
+pub fn modularity_from_sums(sigma_in: &[f64], sigma_tot: &[f64], two_m: f64) -> f64 {
+    assert_eq!(sigma_in.len(), sigma_tot.len(), "sum length mismatch");
+    if two_m == 0.0 {
+        return 0.0;
+    }
+    sigma_in
+        .iter()
+        .zip(sigma_tot)
+        .map(|(&si, &st)| si / two_m - (st / two_m) * (st / two_m))
+        .sum()
+}
+
 /// Delta modularity of moving vertex `i` from community `d` to `c`
 /// (Eq. 2):
 ///

@@ -257,6 +257,59 @@ pub fn render_top(summary: &TraceSummary, k: usize) -> String {
     out
 }
 
+/// Render the summary as a single JSON object (`nulpa trace --json`).
+pub fn summary_to_json(summary: &TraceSummary) -> String {
+    use crate::json::{escape, fmt_f64};
+    let mut out = String::from("{\"spans\":{");
+    for (i, (name, s)) in summary.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{}:{{\"count\":{},\"total\":{},\"max\":{}}}",
+            escape(name),
+            s.count,
+            s.total_dur,
+            s.max_dur
+        ));
+    }
+    out.push_str("},\"counters\":{");
+    for (i, (name, v)) in summary.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", escape(name), fmt_f64(*v)));
+    }
+    out.push_str("},\"hists\":{");
+    for (i, (name, h)) in summary.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{}:{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+            escape(name),
+            h.count,
+            h.sum,
+            h.max,
+            fmt_f64(h.mean),
+            h.p50,
+            h.p99
+        ));
+        for (j, &(lo, hi, c)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{lo},{hi},{c}]"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str(&format!(
+        "}},\"skipped\":{},\"end_ts\":{}}}",
+        summary.skipped, summary.end_ts
+    ));
+    out
+}
+
 /// Render the summary as the table the CLI prints.
 pub fn render(summary: &TraceSummary) -> String {
     let mut out = String::new();
@@ -411,6 +464,33 @@ mod tests {
             },
         );
         assert_eq!(top_spans(&host_only, 3)[0].0, "iteration");
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let mut jsonl = JsonlSink::new(Vec::new());
+        drive(&mut jsonl);
+        let text = String::from_utf8(jsonl.into_inner().unwrap()).unwrap();
+        let s = summarize(&text).unwrap();
+        let json = summary_to_json(&s);
+        let doc = crate::json::parse(&json).expect("summary JSON parses");
+        let spans = doc.get("spans").unwrap();
+        assert_eq!(
+            spans
+                .get("iteration")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            doc.get("counters").unwrap().get("dN").unwrap().as_f64(),
+            Some(7.0)
+        );
+        assert_eq!(doc.get("end_ts").unwrap().as_u64(), Some(80));
+        let h = doc.get("hists").unwrap().get("probe_len").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(2));
     }
 
     #[test]

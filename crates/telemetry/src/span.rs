@@ -1,0 +1,124 @@
+//! RAII wall-clock phase spans.
+//!
+//! A [`PhaseSpan`] times one named host phase (`load`, `build`,
+//! `iterate`, `flush`, `merge`, …) and, on close, records into the
+//! [global registry](crate::registry::global):
+//!
+//! * `phase.<name>.wall_ns` (counter) — cumulative wall time,
+//! * `phase.<name>.calls` (counter),
+//! * `phase.<name>.alloc_bytes` / `phase.<name>.allocs` (counters) —
+//!   allocation deltas while the span was open (zero when the counting
+//!   allocator is not installed),
+//! * `phase.<name>.ns` (histogram) — per-call durations.
+//!
+//! [`PhaseSpan::finish`] additionally returns the structured
+//! [`PhaseSample`] for per-run reports; plain drop records only.
+
+use crate::alloc::{alloc_snapshot, AllocSnapshot};
+use crate::ledger::PhaseSample;
+use crate::registry::global;
+use std::time::Instant;
+
+/// An open phase span; closes on drop or [`Self::finish`].
+#[derive(Debug)]
+pub struct PhaseSpan {
+    name: String,
+    t0: Instant,
+    alloc0: AllocSnapshot,
+    closed: bool,
+}
+
+impl PhaseSpan {
+    /// Open a span named `name`.
+    pub fn new(name: &str) -> Self {
+        PhaseSpan {
+            name: name.to_string(),
+            t0: Instant::now(),
+            alloc0: alloc_snapshot(),
+            closed: false,
+        }
+    }
+
+    fn sample(&self) -> PhaseSample {
+        let a1 = alloc_snapshot();
+        PhaseSample {
+            name: self.name.clone(),
+            wall_ns: self.t0.elapsed().as_nanos() as u64,
+            alloc_bytes: a1
+                .total_allocated_bytes
+                .saturating_sub(self.alloc0.total_allocated_bytes),
+            allocs: a1.alloc_count.saturating_sub(self.alloc0.alloc_count),
+        }
+    }
+
+    fn record(s: &PhaseSample) {
+        let r = global();
+        r.counter(&format!("phase.{}.wall_ns", s.name))
+            .add(s.wall_ns);
+        r.counter(&format!("phase.{}.calls", s.name)).inc();
+        r.counter(&format!("phase.{}.alloc_bytes", s.name))
+            .add(s.alloc_bytes);
+        r.counter(&format!("phase.{}.allocs", s.name)).add(s.allocs);
+        r.histogram(&format!("phase.{}.ns", s.name))
+            .record(s.wall_ns);
+    }
+
+    /// Close the span, record it, and return the structured sample.
+    pub fn finish(mut self) -> PhaseSample {
+        self.closed = true;
+        let s = self.sample();
+        Self::record(&s);
+        s
+    }
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        if !self.closed {
+            Self::record(&self.sample());
+        }
+    }
+}
+
+/// Run `f` under a phase span and return its sample alongside the result.
+pub fn timed_phase<T>(name: &str, f: impl FnOnce() -> T) -> (PhaseSample, T) {
+    let span = PhaseSpan::new(name);
+    let out = f();
+    (span.finish(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_returns_sample_and_records_globally() {
+        let (s, v) = timed_phase("test.span.finish", || 40 + 2);
+        assert_eq!(v, 42);
+        assert_eq!(s.name, "test.span.finish");
+        let snap = global().snapshot();
+        assert_eq!(snap.counters["phase.test.span.finish.calls"], 1);
+        assert!(snap.counters["phase.test.span.finish.wall_ns"] >= s.wall_ns.min(1));
+        assert_eq!(snap.hists["phase.test.span.finish.ns"].count, 1);
+    }
+
+    #[test]
+    fn drop_records_too() {
+        {
+            let _span = PhaseSpan::new("test.span.drop");
+        }
+        let snap = global().snapshot();
+        assert_eq!(snap.counters["phase.test.span.drop.calls"], 1);
+    }
+
+    #[test]
+    fn nested_spans_record_independently() {
+        let outer = PhaseSpan::new("test.span.outer");
+        let inner = PhaseSpan::new("test.span.inner");
+        inner.finish();
+        outer.finish();
+        let snap = global().snapshot();
+        assert_eq!(snap.counters["phase.test.span.outer.calls"], 1);
+        assert_eq!(snap.counters["phase.test.span.inner.calls"], 1);
+    }
+}

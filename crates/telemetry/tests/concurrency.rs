@@ -1,0 +1,109 @@
+//! Concurrency properties of the metrics registry: with N real OS
+//! threads each performing M increments, totals must sum *exactly* —
+//! a lost update anywhere in the lock-free paths would show up as a
+//! shortfall. Run under varying thread/iteration mixes via proptest.
+
+use nulpa_telemetry::Registry;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Hammer one counter from `threads` threads, `per_thread` increments
+/// each, returning the final value.
+fn hammer_counter(threads: usize, per_thread: u64, step: u64) -> u64 {
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                let c = reg.counter("hammered");
+                for _ in 0..per_thread {
+                    c.add(step);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    reg.counter("hammered").get()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn counter_sums_exactly(threads in 1..8usize, per_thread in 1..2000u64, step in 1..5u64) {
+        let total = hammer_counter(threads, per_thread, step);
+        prop_assert_eq!(total, threads as u64 * per_thread * step);
+    }
+}
+
+#[test]
+fn concurrent_histogram_count_and_sum_exact() {
+    let reg = Arc::new(Registry::new());
+    let threads = 8;
+    let per_thread = 5000u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                let h = reg.histogram("latency");
+                for i in 0..per_thread {
+                    h.record(t as u64 * per_thread + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let snap = reg.histogram("latency").snapshot();
+    let n = threads as u64 * per_thread;
+    assert_eq!(snap.count, n);
+    assert_eq!(snap.sum, n * (n - 1) / 2); // 0 + 1 + … + (n-1)
+    assert_eq!(snap.max, n - 1);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), n);
+}
+
+#[test]
+fn concurrent_registration_yields_one_handle_per_name() {
+    // Threads racing to register the same names must all land on the
+    // same underlying atomics.
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for i in 0..64 {
+                    reg.counter(&format!("racy.{}", i % 4)).inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let snap = reg.snapshot();
+    assert_eq!(snap.counters.len(), 4);
+    assert_eq!(snap.counters.values().sum::<u64>(), 8 * 64);
+}
+
+#[test]
+fn concurrent_gauge_fetch_max_is_global_max() {
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                let g = reg.gauge("peak");
+                for i in 0..1000i64 {
+                    g.fetch_max(t as i64 * 1000 + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    assert_eq!(reg.gauge("peak").get(), 5999);
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Quality-regression gate. Runs the telemetered backend matrix (seq,
+# nu-lpa, nu-lpa-sim) over the built-in graph trio via `nulpa stats`,
+# appends the run records to the results/history.jsonl ledger, and fails
+# if any run regressed against the committed results/telemetry_baseline.json:
+#   - final modularity more than 1% below baseline (deterministic — the
+#     hard gate), or
+#   - wall-clock / peak-heap more than 10% above baseline AND above the
+#     absolute noise floors (250 ms / 16 MiB).
+# Refresh the baseline deliberately with:
+#   cargo run --release --bin nulpa -- stats --write-baseline results/telemetry_baseline.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${NULPA_QUALITY_BASELINE:-results/telemetry_baseline.json}"
+HISTORY="${NULPA_QUALITY_HISTORY:-results/history.jsonl}"
+
+if [ ! -f "$BASELINE" ]; then
+  echo "quality gate: no baseline at $BASELINE; writing one (commit it!)"
+  cargo run --release --bin nulpa -- stats --write-baseline "$BASELINE" >/dev/null
+fi
+
+cargo run --release --bin nulpa -- stats \
+  --history "$HISTORY" \
+  --check "$BASELINE" \
+  "$@" >/dev/null
+
+echo "quality gate OK (ledger: $HISTORY)"

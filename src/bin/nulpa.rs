@@ -35,6 +35,11 @@ use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
+// Meter the heap: every `nulpa` allocation goes through the counting
+// shim so `stats`/`--telemetry` can report peak/current heap bytes.
+#[cfg(feature = "telemetry")]
+nu_lpa::telemetry::install_counting_alloc!();
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -66,15 +71,20 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "nulpa — nu-LPA community detection (paper reproduction)\n\n\
-         USAGE:\n  nulpa stats <graph>\n  nulpa detect <graph> [--method M] [--threads N] [--output FILE] [--quality] [--trace FILE]\n  \
+         USAGE:\n  nulpa stats [graph] [--backend B] [--json] [--history FILE] [--check BASELINE]\n              [--write-baseline FILE] [--telemetry FILE]   convergence observatory\n  \
+         nulpa detect <graph> [--method M] [--threads N] [--output FILE] [--quality] [--trace FILE] [--telemetry FILE]\n  \
          nulpa partition <graph> -k N [--balance F] [--output FILE]\n  \
          nulpa coarsen <graph> --target N [--output FILE]\n  \
          nulpa inspect <graph> [--top N]\n  \
          nulpa predict <graph> [-k N]\n  \
          nulpa generate <dataset> [--scale F] [--output FILE]\n  \
-         nulpa trace <tracefile> [--top K]\n  \
+         nulpa trace <tracefile> [--top K] [--json]\n  \
          nulpa sancheck [graph] [--json]   run backends under the hazard checker\n  \
-         nulpa profile [graph] [--json] [--backend NAME]   cycle-attribution profile\n\n\
+         nulpa profile [graph] [--json] [--backend NAME] [--telemetry FILE]   cycle-attribution profile\n\n\
+         STATS: runs the seq / nu-lpa / nu-lpa-sim backends with per-iteration\n  \
+         convergence telemetry (dN, active fraction, entropy, modularity),\n  \
+         wall-clock phase spans and heap accounting; --history appends run\n  \
+         records to a JSONL ledger, --check gates against a committed baseline.\n\n\
          METHODS: nu-lpa (default), nu-lpa-sim (simulated A100), flpa,\n  \
          networkit, gunrock, louvain, leiden, gve-lpa\n\n\
          THREADS: --threads N (or NULPA_THREADS=N) sets the host threads\n  \
@@ -119,6 +129,23 @@ fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// First positional (non-flag) argument, skipping the values consumed by
+/// the listed value-taking flags.
+fn positional<'a>(args: &'a [String], value_flags: &[&str]) -> Option<&'a String> {
+    let mut skip_next = false;
+    args.iter().find(|a| {
+        if skip_next {
+            skip_next = false;
+            return false;
+        }
+        if value_flags.iter().any(|f| f == a) {
+            skip_next = true;
+            return false;
+        }
+        !a.starts_with("--")
+    })
 }
 
 /// File-backed trace sink for `--trace`: format picked by extension
@@ -201,9 +228,9 @@ impl TraceSink for FileSink {
     }
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("stats: missing graph path")?;
-    let g = load_graph(path)?;
+/// Print the classic graph statistics block (kept stable — scripts and
+/// the CLI tests match on these lines).
+fn print_graph_stats(g: &Csr) {
     println!("vertices:     {}", g.num_vertices());
     println!(
         "edges:        {} directed ({} undirected)",
@@ -215,12 +242,381 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("total weight: {:.1}", g.total_weight());
     println!("self loops:   {}", g.num_self_loops());
     println!("symmetric:    {}", g.is_symmetric());
+}
+
+#[cfg(not(feature = "telemetry"))]
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats: missing graph path")?;
+    let g = load_graph(path)?;
+    print_graph_stats(&g);
+    Ok(())
+}
+
+/// `nulpa stats`: the convergence observatory. With a graph argument,
+/// print its statistics and then run the telemetered backend matrix over
+/// it; without one, use the built-in trio. Every run records wall-clock
+/// phase spans, heap footprint, and the per-iteration convergence
+/// trajectory (ΔN, active fraction, communities, entropy, incremental
+/// modularity). `--history` appends run records to the JSONL ledger,
+/// `--write-baseline`/`--check` drive the quality gate, `--telemetry`
+/// dumps the metrics registry (`.prom` or JSONL).
+#[cfg(feature = "telemetry")]
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    use nu_lpa::core::resolve_threads;
+    use nu_lpa::graph::gen::{caveman_weighted, erdos_renyi, two_cliques_light_bridge};
+    use nu_lpa::obs::meta::run_meta;
+    use nu_lpa::telemetry::{
+        append_history, global, heap_stats, peak_rss_bytes, write_snapshot, PhaseSpan, RunRecord,
+    };
+
+    const VALUE_FLAGS: &[&str] = &[
+        "--backend",
+        "--history",
+        "--check",
+        "--write-baseline",
+        "--telemetry",
+    ];
+    let json = args.iter().any(|a| a == "--json");
+    let backend_filter = opt_value(args, "--backend");
+    let graphs: Vec<(String, Csr)> = match positional(args, VALUE_FLAGS) {
+        Some(p) => {
+            let span = PhaseSpan::new("load");
+            let g = load_graph(p)?;
+            span.finish();
+            vec![(p.clone(), g)]
+        }
+        None => {
+            let span = PhaseSpan::new("load");
+            let trio = vec![
+                ("two-cliques-s6".into(), two_cliques_light_bridge(6)),
+                ("caveman-4x8".into(), caveman_weighted(4, 8, 0.5)),
+                ("erdos-renyi-256".into(), erdos_renyi(256, 768, 42)),
+            ];
+            span.finish();
+            trio
+        }
+    };
+
+    const BACKENDS: &[&str] = &["seq", "nu-lpa", "nu-lpa-sim"];
+    let backends: Vec<&str> = BACKENDS
+        .iter()
+        .copied()
+        .filter(|b| backend_filter.is_none_or(|f| *b == f))
+        .collect();
+    if backends.is_empty() {
+        return Err(format!(
+            "stats: unknown backend `{}` (available: {})",
+            backend_filter.unwrap_or(""),
+            BACKENDS.join(", ")
+        ));
+    }
+
+    let cfg = LpaConfig::default();
+    let meta = run_meta(&[
+        ("threads", resolve_threads(cfg.threads).to_string()),
+        ("device", cfg.device.preset_name()),
+        ("probe", cfg.probe.label().to_string()),
+        (
+            "hw_threads",
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .to_string(),
+        ),
+    ]);
+
+    let mut records = Vec::new();
+    for (gname, g) in &graphs {
+        if !json {
+            println!("graph: {gname}");
+            print_graph_stats(g);
+        }
+        for backend in &backends {
+            let span = PhaseSpan::new("iterate");
+            let run = run_observed(backend, g, &cfg)?;
+            let iterate = span.finish();
+            let wall_ms = iterate.wall_ns as f64 / 1e6;
+            let heap = heap_stats();
+            let record = RunRecord {
+                meta: meta.clone(),
+                graph: gname.clone(),
+                backend: backend.to_string(),
+                n: g.num_vertices(),
+                m: g.num_edges(),
+                wall_ms,
+                phases: vec![iterate],
+                peak_heap_bytes: heap.map(|h| h.peak_bytes),
+                peak_rss_bytes: peak_rss_bytes(),
+                iterations: run.result.iterations,
+                converged: run.result.converged,
+                communities: run.result.num_communities(),
+                modularity: run.final_q,
+                trajectory: run.samples,
+            };
+            if !json {
+                print_run_record(&record);
+            }
+            records.push(record);
+        }
+        if !json {
+            println!();
+        }
+    }
+
+    if json {
+        let runs: Vec<String> = records.iter().map(RunRecord::to_json).collect();
+        println!(
+            "{{\"meta\":{},\"runs\":[{}]}}",
+            nu_lpa::obs::meta::meta_json(&meta),
+            runs.join(",")
+        );
+    }
+    if let Some(path) = opt_value(args, "--history") {
+        append_history(path, &records)?;
+        if !json {
+            eprintln!("{} run records appended to {path}", records.len());
+        }
+    }
+    if let Some(path) = opt_value(args, "--write-baseline") {
+        std::fs::write(path, baseline_json(&meta, &records)).map_err(|e| format!("{path}: {e}"))?;
+        if !json {
+            eprintln!("baseline written to {path}");
+        }
+    }
+    if let Some(path) = opt_value(args, "--telemetry") {
+        write_snapshot(path, &global().snapshot())?;
+        if !json {
+            eprintln!("telemetry snapshot written to {path}");
+        }
+    }
+    if let Some(path) = opt_value(args, "--check") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        check_against_baseline(&text, &records)?;
+        eprintln!("quality gate: ok ({} runs within tolerance)", records.len());
+    }
+    Ok(())
+}
+
+/// One telemetered backend run: result, trajectory, final modularity.
+#[cfg(feature = "telemetry")]
+struct ObservedRun {
+    result: nu_lpa::core::LpaResult,
+    samples: Vec<nu_lpa::telemetry::IterationSample>,
+    final_q: f64,
+}
+
+#[cfg(feature = "telemetry")]
+fn run_observed(backend: &str, g: &Csr, cfg: &LpaConfig) -> Result<ObservedRun, String> {
+    use nu_lpa::core::{lpa_gpu_observed, lpa_native_observed, lpa_seq_observed};
+    use nu_lpa::telemetry::ConvergenceRecorder;
+
+    let mut rec = ConvergenceRecorder::new(g);
+    let mut sink = NullSink;
+    let result = match backend {
+        "seq" => lpa_seq_observed(g, cfg, &mut sink, &mut rec),
+        "nu-lpa" => lpa_native_observed(g, cfg, &mut sink, &mut rec),
+        "nu-lpa-sim" => lpa_gpu_observed(g, cfg, &mut sink, &mut rec),
+        other => return Err(format!("stats: unknown backend `{other}`")),
+    };
+    let final_q = rec.final_modularity();
+    Ok(ObservedRun {
+        result,
+        samples: rec.samples,
+        final_q,
+    })
+}
+
+/// Human-readable rendering of one run record: summary line, phase
+/// breakdown, memory footprint, and the convergence trajectory table.
+#[cfg(feature = "telemetry")]
+fn print_run_record(r: &nu_lpa::telemetry::RunRecord) {
+    println!(
+        "backend {}: {} iterations ({}), {} communities, Q = {:.4}, {:.2} ms",
+        r.backend,
+        r.iterations,
+        if r.converged {
+            "converged"
+        } else {
+            "iteration cap"
+        },
+        r.communities,
+        r.modularity,
+        r.wall_ms
+    );
+    for p in &r.phases {
+        println!(
+            "  phase {:<10} {:>10.3} ms  {:>12} bytes in {} allocs",
+            p.name,
+            p.wall_ns as f64 / 1e6,
+            p.alloc_bytes,
+            p.allocs
+        );
+    }
+    match (r.peak_heap_bytes, r.peak_rss_bytes) {
+        (Some(h), Some(rss)) => println!(
+            "  peak heap: {:.2} MiB, peak RSS: {:.2} MiB",
+            h as f64 / (1 << 20) as f64,
+            rss as f64 / (1 << 20) as f64
+        ),
+        (Some(h), None) => println!("  peak heap: {:.2} MiB", h as f64 / (1 << 20) as f64),
+        (None, _) => println!("  peak heap: unavailable (counting allocator not installed)"),
+    }
+    println!(
+        "  {:>4} {:>8} {:>8} {:>7} {:>7} {:>9} {:>9}",
+        "iter", "dN", "active", "frac", "comms", "entropy", "Q"
+    );
+    const MAX_ROWS: usize = 24;
+    for (i, s) in r.trajectory.iter().enumerate() {
+        if r.trajectory.len() > MAX_ROWS && i == MAX_ROWS / 2 {
+            println!(
+                "  ... ({} iterations elided) ...",
+                r.trajectory.len() - MAX_ROWS
+            );
+        }
+        if r.trajectory.len() > MAX_ROWS
+            && (MAX_ROWS / 2..r.trajectory.len() - MAX_ROWS / 2).contains(&i)
+        {
+            continue;
+        }
+        println!(
+            "  {:>4} {:>8} {:>8} {:>7.3} {:>7} {:>9.3} {:>9.4}",
+            s.iter,
+            s.delta_n,
+            s.active,
+            s.active_fraction,
+            s.communities,
+            s.entropy_bits,
+            s.modularity
+        );
+    }
+}
+
+/// Serialise the quality-gate baseline: per (graph, backend) final
+/// modularity, wall-clock, and peak heap.
+#[cfg(feature = "telemetry")]
+fn baseline_json(meta: &[(String, String)], records: &[nu_lpa::telemetry::RunRecord]) -> String {
+    use nu_lpa::obs::json::{escape, fmt_f64};
+    let mut out = String::from("{\"meta\":");
+    out.push_str(&nu_lpa::obs::meta::meta_json(meta));
+    out.push_str(",\"entries\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"graph\":{},\"backend\":{},\"modularity\":{},\"wall_ms\":{},\"peak_heap_bytes\":{}}}",
+            escape(&r.graph),
+            escape(&r.backend),
+            fmt_f64(r.modularity),
+            fmt_f64(r.wall_ms),
+            r.peak_heap_bytes
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "null".into())
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// The quality gate: compare current runs against a committed baseline.
+///
+/// Fails on a >1% relative modularity drop — deterministic, so this is
+/// the hard gate. Wall-clock and peak-heap regressions fail only beyond
+/// 10% AND above absolute floors (250 ms / 16 MiB): below the floors the
+/// built-in trio measures scheduler noise, not the algorithm.
+#[cfg(feature = "telemetry")]
+fn check_against_baseline(
+    baseline_text: &str,
+    records: &[nu_lpa::telemetry::RunRecord],
+) -> Result<(), String> {
+    use nu_lpa::obs::json::Json;
+    const MOD_DROP_FRAC: f64 = 0.01;
+    const REGRESSION_FRAC: f64 = 0.10;
+    const WALL_FLOOR_MS: f64 = 250.0;
+    const HEAP_FLOOR_BYTES: f64 = 16.0 * (1 << 20) as f64;
+
+    let doc = nu_lpa::obs::json::parse(baseline_text)
+        .map_err(|e| format!("quality gate: baseline does not parse: {e}"))?;
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("quality gate: baseline has no `entries` array")?;
+    let mut matched = 0usize;
+    let mut failures = Vec::new();
+    for e in entries {
+        let graph = e.get("graph").and_then(Json::as_str).unwrap_or("");
+        let backend = e.get("backend").and_then(Json::as_str).unwrap_or("");
+        let Some(r) = records
+            .iter()
+            .find(|r| r.graph == graph && r.backend == backend)
+        else {
+            continue;
+        };
+        matched += 1;
+        if let Some(base_q) = e.get("modularity").and_then(Json::as_f64) {
+            let drop = base_q - r.modularity;
+            if drop > MOD_DROP_FRAC * base_q.abs().max(1e-9) {
+                failures.push(format!(
+                    "{graph}/{backend}: modularity {:.4} dropped >1% below baseline {:.4}",
+                    r.modularity, base_q
+                ));
+            }
+        }
+        if let Some(base_ms) = e.get("wall_ms").and_then(Json::as_f64) {
+            if r.wall_ms > base_ms * (1.0 + REGRESSION_FRAC) && r.wall_ms > WALL_FLOOR_MS {
+                failures.push(format!(
+                    "{graph}/{backend}: wall {:.1} ms regressed >10% over baseline {:.1} ms",
+                    r.wall_ms, base_ms
+                ));
+            }
+        }
+        if let (Some(base_heap), Some(cur_heap)) = (
+            e.get("peak_heap_bytes").and_then(Json::as_f64),
+            r.peak_heap_bytes,
+        ) {
+            let cur = cur_heap as f64;
+            if cur > base_heap * (1.0 + REGRESSION_FRAC) && cur > HEAP_FLOOR_BYTES {
+                failures.push(format!(
+                    "{graph}/{backend}: peak heap {:.1} MiB regressed >10% over baseline {:.1} MiB",
+                    cur / (1 << 20) as f64,
+                    base_heap / (1 << 20) as f64
+                ));
+            }
+        }
+    }
+    if matched == 0 {
+        return Err("quality gate: no current runs matched any baseline entry".into());
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "quality gate: {} regressions:\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ));
+    }
     Ok(())
 }
 
 fn cmd_detect(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("detect: missing graph path")?;
+    let telemetry_path = opt_value(args, "--telemetry");
+    #[cfg(not(feature = "telemetry"))]
+    if telemetry_path.is_some() {
+        return Err(
+            "--telemetry: this binary was built without the `telemetry` feature \
+                    (rebuild with default features)"
+                .into(),
+        );
+    }
+    // Phase spans are opened only when telemetry output was requested —
+    // untelemetered runs stay observation-free.
+    #[cfg(feature = "telemetry")]
+    let load_span = telemetry_path.map(|_| nu_lpa::telemetry::PhaseSpan::new("load"));
     let g = load_graph(path)?;
+    #[cfg(feature = "telemetry")]
+    if let Some(span) = load_span {
+        span.finish();
+    }
     let method = opt_value(args, "--method").unwrap_or("nu-lpa");
     let output = opt_value(args, "--output");
     let quality = args.iter().any(|a| a == "--quality");
@@ -244,6 +640,8 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
     let mut file_sink = trace_path.map(FileSink::create).transpose()?;
     let mut null = NullSink;
 
+    #[cfg(feature = "telemetry")]
+    let iterate_span = telemetry_path.map(|_| nu_lpa::telemetry::PhaseSpan::new("iterate"));
     let t0 = Instant::now();
     let labels: Vec<u32> = {
         let sink: &mut dyn TraceSink = match file_sink.as_mut() {
@@ -273,9 +671,18 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
         }
     };
     let elapsed = t0.elapsed();
+    #[cfg(feature = "telemetry")]
+    if let Some(span) = iterate_span {
+        span.finish();
+    }
     if let (Some(s), Some(tp)) = (file_sink, trace_path) {
         s.close(tp)?;
         eprintln!("trace written to {tp}");
+    }
+    #[cfg(feature = "telemetry")]
+    if let Some(tp) = telemetry_path {
+        nu_lpa::telemetry::write_snapshot(tp, &nu_lpa::telemetry::global().snapshot())?;
+        eprintln!("telemetry snapshot written to {tp}");
     }
 
     eprintln!(
@@ -481,7 +888,8 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_trace(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("trace: missing trace file path")?;
+    let path = positional(args, &["--top"]).ok_or("trace: missing trace file path")?;
+    let json = args.iter().any(|a| a == "--json");
     let top: Option<usize> = opt_value(args, "--top")
         .map(|s| {
             s.parse::<usize>()
@@ -491,10 +899,15 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         })
         .transpose()?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    // A parse failure propagates as Err and exits non-zero in both modes.
     let s = summary::summarize(&text).map_err(|e| format!("{path}: {e}"))?;
-    match top {
-        Some(k) => print!("{}", summary::render_top(&s, k)),
-        None => print!("{}", summary::render(&s)),
+    if json {
+        println!("{}", summary::summary_to_json(&s));
+    } else {
+        match top {
+            Some(k) => print!("{}", summary::render_top(&s, k)),
+            None => print!("{}", summary::render(&s)),
+        }
     }
     Ok(())
 }
@@ -514,21 +927,8 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
 
     let json = args.iter().any(|a| a == "--json");
     let backend_filter = opt_value(args, "--backend");
-    let graph_path = {
-        // the first non-flag argument that is not a flag's value
-        let mut skip_next = false;
-        args.iter().find(|a| {
-            if skip_next {
-                skip_next = false;
-                return false;
-            }
-            if *a == "--backend" {
-                skip_next = true;
-                return false;
-            }
-            !a.starts_with("--")
-        })
-    };
+    let telemetry_path = opt_value(args, "--telemetry");
+    let graph_path = positional(args, &["--backend", "--telemetry"]);
     let graphs: Vec<(String, Csr)> = match graph_path {
         Some(p) => vec![(p.clone(), load_graph(p)?)],
         None => vec![
@@ -554,7 +954,13 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let mut leaked = 0usize;
     for (gname, g) in &graphs {
         for spec in &specs {
+            #[cfg(feature = "telemetry")]
+            let span = telemetry_path.map(|_| nu_lpa::telemetry::PhaseSpan::new("iterate"));
             let gp = profile_graph(gname, g, spec);
+            #[cfg(feature = "telemetry")]
+            if let Some(span) = span {
+                span.finish();
+            }
             if !json {
                 print!("{}", render(&gp.profile));
                 match &gp.conservation {
@@ -580,6 +986,21 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
             ("probe", cfg.probe.label().to_string()),
         ]);
         println!("{}", report_to_json(&meta, &profiles));
+    }
+    #[cfg(feature = "telemetry")]
+    if let Some(tp) = telemetry_path {
+        nu_lpa::telemetry::write_snapshot(tp, &nu_lpa::telemetry::global().snapshot())?;
+        if !json {
+            eprintln!("telemetry snapshot written to {tp}");
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    if telemetry_path.is_some() {
+        return Err(
+            "--telemetry: this binary was built without the `telemetry` feature \
+                    (rebuild with default features)"
+                .into(),
+        );
     }
     if leaked > 0 {
         return Err(format!(

@@ -18,6 +18,11 @@
 //!   breakdowns, occupancy timelines, roofline summaries and the perf
 //!   gate ([`nulpa_prof`]; present when the default `prof` feature is
 //!   on).
+//! * [`telemetry`] — host-side telemetry: lock-free metrics registry,
+//!   counting allocator, wall-clock phase spans, per-iteration
+//!   convergence trajectories and the run-history ledger
+//!   ([`nulpa_telemetry`]; present when the default `telemetry` feature
+//!   is on).
 
 #![forbid(unsafe_code)]
 
@@ -32,3 +37,5 @@ pub use nulpa_prof as prof;
 #[cfg(feature = "sancheck")]
 pub use nulpa_sancheck as sancheck;
 pub use nulpa_simt as simt;
+#[cfg(feature = "telemetry")]
+pub use nulpa_telemetry as telemetry;

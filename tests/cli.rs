@@ -218,6 +218,138 @@ fn inspect_reports_top_communities() {
     assert!(text.contains("density"), "{text}");
 }
 
+/// `stats --write-baseline` → `stats --check` round-trips clean, and the
+/// gate demonstrably fails when the baseline claims 2% more modularity
+/// than the backends deliver (an injected quality regression).
+#[cfg(feature = "telemetry")]
+#[test]
+fn stats_quality_gate_passes_clean_and_fails_injected_regression() {
+    let base = tmp("gate-baseline.json");
+    let out = Command::new(BIN)
+        .args(["stats", "--write-baseline", base.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = Command::new(BIN)
+        .args(["stats", "--check", base.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "clean gate should pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("quality gate: ok"));
+
+    // Inject the regression: bump every baseline modularity by 2% so the
+    // (deterministic) current runs all read as a >1% quality drop.
+    let text = std::fs::read_to_string(&base).unwrap();
+    let mut doctored = String::new();
+    let mut rest = text.as_str();
+    const KEY: &str = "\"modularity\":";
+    while let Some(i) = rest.find(KEY) {
+        let (head, tail) = rest.split_at(i + KEY.len());
+        doctored.push_str(head);
+        let end = tail.find([',', '}']).expect("number terminates");
+        let q: f64 = tail[..end].trim().parse().expect("modularity parses");
+        doctored.push_str(&format!("{}", q * 1.02));
+        rest = &tail[end..];
+    }
+    doctored.push_str(rest);
+    assert_ne!(doctored, text, "injection must change the baseline");
+    let bad = tmp("gate-baseline-doctored.json");
+    std::fs::write(&bad, doctored).unwrap();
+
+    let out = Command::new(BIN)
+        .args(["stats", "--check", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "doctored gate must fail: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("modularity"), "{err}");
+    assert!(err.contains("dropped"), "{err}");
+}
+
+/// `stats --json` emits one parseable object with per-run trajectories.
+#[cfg(feature = "telemetry")]
+#[test]
+fn stats_json_reports_all_backends() {
+    let out = Command::new(BIN)
+        .args(["stats", "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let doc = nu_lpa::obs::json::parse(text.trim()).expect("stats --json parses");
+    let runs = doc.get("runs").unwrap().as_arr().unwrap();
+    assert_eq!(runs.len(), 9, "3 graphs x 3 backends");
+    for run in runs {
+        assert!(!run.get("trajectory").unwrap().as_arr().unwrap().is_empty());
+        assert!(run.get("modularity").unwrap().as_f64().is_some());
+        // the binary installs the counting allocator, so peak heap is live
+        assert!(run.get("peak_heap_bytes").unwrap().as_u64().unwrap() > 0);
+    }
+    assert!(doc.get("meta").unwrap().get("hw_threads").is_some());
+}
+
+/// `trace --json` emits a parseable summary; a garbage trace file exits
+/// non-zero in both human and JSON modes.
+#[test]
+fn trace_json_and_parse_failure_exit() {
+    let gpath = tmp("trace-json-in.txt");
+    std::fs::write(&gpath, two_cliques_edge_list()).unwrap();
+    let tpath = tmp("trace-json.trace");
+    let out = Command::new(BIN)
+        .args([
+            "detect",
+            gpath.to_str().unwrap(),
+            "--method",
+            "nu-lpa-sim",
+            "--trace",
+            tpath.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = Command::new(BIN)
+        .args(["trace", tpath.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let doc = nu_lpa::obs::json::parse(text.trim()).expect("trace --json parses");
+    assert!(doc.get("spans").is_some());
+    assert!(doc.get("end_ts").unwrap().as_u64().is_some());
+
+    let bad = tmp("trace-bad.json");
+    std::fs::write(&bad, "this is not a trace\n").unwrap();
+    for args in [
+        vec!["trace", bad.to_str().unwrap()],
+        vec!["trace", bad.to_str().unwrap(), "--json"],
+    ] {
+        let out = Command::new(BIN).args(&args).output().unwrap();
+        assert!(!out.status.success(), "garbage trace must exit non-zero");
+    }
+}
+
 #[test]
 fn output_file_written() {
     let path = tmp("outfile-in.txt");
