@@ -1,0 +1,249 @@
+//! Fault-injection descriptors — deliberately broken kernels.
+//!
+//! Each injected descriptor encodes one violation class from the
+//! DESIGN.md invariant catalogue, exactly as a buggy kernel would have
+//! to declare itself (an *honest* declaration of dishonest code). The
+//! test suite and `nulpa check --inject` verify that the solver catches
+//! every one with exact (kernel, address-expression, lane-pair)
+//! attribution — the static analogue of sancheck's fault-injection
+//! harness, and the proof that a clean report is a non-vacuous claim.
+
+use crate::report::FindingKind;
+use nulpa_simt::effects::{
+    AccessEffect, AccessKind, AddrExpr, BarrierSite, Effects, EffectsRegistry, IndexExpr,
+    KernelFlavor, LaneOrder, Pred, ProbeBound, Region, StagingClass, Visibility,
+};
+
+/// One injected fault: the doctored descriptor plus the finding kind the
+/// solver must report for it.
+pub struct InjectedFault {
+    /// The deliberately broken descriptor.
+    pub effects: Effects,
+    /// The violation class it encodes.
+    pub expected: FindingKind,
+    /// What the fault models, for the report.
+    pub scenario: &'static str,
+}
+
+fn base(name: &'static str) -> Effects {
+    Effects {
+        kernel: name,
+        flavor: KernelFlavor::ThreadPerItem,
+        order: LaneOrder::Lockstep,
+        staging: StagingClass::Staged,
+        distinct_items: true,
+        accesses: Vec::new(),
+        barriers: Vec::new(),
+        probes: ProbeBound::None,
+    }
+}
+
+/// The six injected violation classes.
+pub fn injected_faults() -> Vec<InjectedFault> {
+    vec![
+        // 1. Lane race: a kernel that pushes its label onto every
+        // neighbour (classic "gossip" LPA variant) — two lanes sharing a
+        // neighbour stage differing values to one cell.
+        InjectedFault {
+            effects: Effects {
+                accesses: vec![AccessEffect {
+                    site: "gossip write",
+                    addr: AddrExpr::new(Region::Labels, IndexExpr::Neighbor),
+                    kind: AccessKind::Write {
+                        vis: Visibility::Staged,
+                        idempotent: false,
+                    },
+                }],
+                ..base("inject:lane-race")
+            },
+            expected: FindingKind::LaneWriteRace,
+            scenario: "push-style label write to neighbours without atomics",
+        },
+        // 2. Divergent barrier: a block kernel that synchronises inside a
+        // per-lane early-out (e.g. `if targets[k] == v { return; }`
+        // before a barrier).
+        InjectedFault {
+            effects: Effects {
+                flavor: KernelFlavor::BlockPerItem,
+                barriers: vec![BarrierSite {
+                    site: "post-scan",
+                    pred: Pred::LaneDivergent,
+                }],
+                ..base("inject:divergent-barrier")
+            },
+            expected: FindingKind::DivergentBarrier,
+            scenario: "barrier under a per-lane self-loop skip",
+        },
+        // 3. Unstaged same-wave read: labels written through immediately
+        // (asynchronous LPA on lockstep hardware) while neighbours are
+        // read in the same wave — the community-swap bug class itself.
+        InjectedFault {
+            effects: Effects {
+                staging: StagingClass::Immediate,
+                accesses: vec![
+                    AccessEffect {
+                        site: "label write-through",
+                        addr: AddrExpr::new(Region::Labels, IndexExpr::OwnVertex),
+                        kind: AccessKind::Write {
+                            vis: Visibility::Immediate,
+                            idempotent: false,
+                        },
+                    },
+                    AccessEffect {
+                        site: "neighbour label read",
+                        addr: AddrExpr::new(Region::Labels, IndexExpr::Neighbor),
+                        kind: AccessKind::Read,
+                    },
+                ],
+                ..base("inject:unstaged-read")
+            },
+            expected: FindingKind::UnstagedSameWaveRead,
+            scenario: "write-through labels read by same-wave neighbours",
+        },
+        // 4. OOB stride: a table region declared with extent scale 3 —
+        // e.g. reserving 3 slots per edge in the 2|E| buffer.
+        InjectedFault {
+            effects: Effects {
+                accesses: vec![AccessEffect {
+                    site: "oversized table scan",
+                    addr: AddrExpr::new(
+                        Region::Keys,
+                        IndexExpr::CsrInterval {
+                            start_scale: 2,
+                            extent_scale: 3,
+                        },
+                    ),
+                    kind: AccessKind::Read,
+                }],
+                probes: ProbeBound::Bounded {
+                    budget: nulpa_hashtab::MAX_RETRIES,
+                    fallback_linear: true,
+                },
+                ..base("inject:oob-stride")
+            },
+            expected: FindingKind::RegionOob,
+            scenario: "3 slots per edge carved from the 2|E| buffer",
+        },
+        // 5. Budget overrun: a probe loop with no declared termination
+        // bound (Algorithm 2 without the retry cap).
+        InjectedFault {
+            effects: Effects {
+                accesses: vec![AccessEffect {
+                    site: "unbounded probe insert",
+                    addr: AddrExpr::new(
+                        Region::Keys,
+                        IndexExpr::CsrInterval {
+                            start_scale: 2,
+                            extent_scale: 2,
+                        },
+                    ),
+                    kind: AccessKind::Write {
+                        vis: Visibility::Immediate,
+                        idempotent: false,
+                    },
+                }],
+                probes: ProbeBound::Unbounded,
+                ..base("inject:probe-overrun")
+            },
+            expected: FindingKind::ProbeBudgetOverrun,
+            scenario: "probe loop with the MAX_RETRIES cap removed",
+        },
+        // 6. Immediate write in a staged kernel: the main kernel marking
+        // its label moved via a plain store instead of staging it.
+        InjectedFault {
+            effects: Effects {
+                accesses: vec![AccessEffect {
+                    site: "label store",
+                    addr: AddrExpr::new(Region::Labels, IndexExpr::OwnVertex),
+                    kind: AccessKind::Write {
+                        vis: Visibility::Immediate,
+                        idempotent: false,
+                    },
+                }],
+                ..base("inject:immediate-write")
+            },
+            expected: FindingKind::ImmediateWriteEscape,
+            scenario: "staged-class kernel storing labels directly",
+        },
+    ]
+}
+
+/// Register every injected descriptor into `registry` (alongside the
+/// shipped ones) — `nulpa check --inject` uses this to demonstrate the
+/// gate failing.
+pub fn register_injected(registry: &mut EffectsRegistry) {
+    for f in injected_faults() {
+        registry.register(f.effects);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::verify;
+    use nulpa_simt::effects::EffectsRegistry;
+
+    #[test]
+    fn at_least_six_violation_classes() {
+        let faults = injected_faults();
+        assert!(faults.len() >= 6);
+        // ... and they cover six *distinct* finding kinds.
+        let mut kinds: Vec<_> = faults.iter().map(|f| f.expected as u8).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert!(kinds.len() >= 6, "injections must cover distinct classes");
+    }
+
+    #[test]
+    fn each_fault_caught_with_exact_attribution() {
+        for fault in injected_faults() {
+            let kernel = fault.effects.kernel;
+            let mut r = EffectsRegistry::new();
+            r.register(fault.effects);
+            let rep = verify(&r);
+            assert!(
+                rep.count_of(fault.expected) > 0,
+                "{kernel}: expected a {} finding, got:\n{}",
+                fault.expected.name(),
+                rep.render()
+            );
+            // Exact attribution: the finding names the injected kernel
+            // and carries a rendered address expression.
+            let f = rep.of_kind(fault.expected).next().expect("counted above");
+            assert_eq!(f.kernel, kernel, "finding attributed to wrong kernel");
+            assert!(!f.addr.is_empty(), "{kernel}: finding lacks an address");
+            // Overlap-class findings must carry a concrete lane pair.
+            if matches!(
+                fault.expected,
+                FindingKind::LaneWriteRace | FindingKind::UnstagedSameWaveRead
+            ) {
+                let w = f.witness.as_ref().expect("overlap finding needs lanes");
+                assert_ne!(w.a, w.b, "witness lanes must be distinct");
+                assert!(!w.assignment.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn faults_are_isolated_to_their_own_class() {
+        // Each injected kernel triggers its expected class and no finding
+        // attributed to a *different* injected kernel — attribution never
+        // bleeds between descriptors.
+        let mut r = EffectsRegistry::new();
+        register_injected(&mut r);
+        let rep = verify(&r);
+        for fault in injected_faults() {
+            let mine: Vec<_> = rep
+                .findings
+                .iter()
+                .filter(|f| f.kernel == fault.effects.kernel)
+                .collect();
+            assert!(
+                mine.iter().any(|f| f.kind == fault.expected),
+                "{} lost its {} finding in the combined run",
+                fault.effects.kernel,
+                fault.expected.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The checked unsafe-audit manifest (`check/unsafe_allowlist.toml`).
+//!
+//! The CI script used to carry the unsafe-code allowlist as an inline
+//! grep; promoting it to a committed manifest makes the policy
+//! reviewable in diffs and lets `nulpa check` report *stale* entries
+//! (allowlisted files that no longer contain `unsafe`) as findings, so
+//! the list can only shrink deliberately. The parser below handles the
+//! TOML subset the manifest uses — `[[allow]]` tables with string
+//! values and a `[headers]` table with string arrays — because the
+//! build environment is offline and the workspace vendors no TOML
+//! crate.
+
+use std::fmt::Write as _;
+
+/// One allowlisted file: a workspace-relative path plus the reason its
+/// `unsafe` blocks are accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Why this file is allowed to contain `unsafe`.
+    pub reason: String,
+}
+
+/// Parsed `check/unsafe_allowlist.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Files permitted to contain `unsafe` code.
+    pub allow: Vec<AllowEntry>,
+    /// Crate roots that must carry `#![forbid(unsafe_code)]`.
+    pub forbid_headers: Vec<String>,
+    /// Crate roots that must carry `#![deny(unsafe_code)]`.
+    pub deny_headers: Vec<String>,
+}
+
+impl Allowlist {
+    /// Is `path` (workspace-relative, forward slashes) allowlisted?
+    pub fn allows(&self, path: &str) -> bool {
+        self.allow.iter().any(|e| e.path == path)
+    }
+
+    /// Render the manifest back to canonical TOML — used to show the
+    /// *expected* manifest in diff-style failure messages.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for e in &self.allow {
+            let _ = writeln!(s, "[[allow]]");
+            let _ = writeln!(s, "path = \"{}\"", e.path);
+            let _ = writeln!(s, "reason = \"{}\"", e.reason);
+            let _ = writeln!(s);
+        }
+        let _ = writeln!(s, "[headers]");
+        let _ = writeln!(s, "forbid = {}", render_arr(&self.forbid_headers));
+        let _ = writeln!(s, "deny = {}", render_arr(&self.deny_headers));
+        s
+    }
+}
+
+fn render_arr(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|i| format!("\"{i}\"")).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+/// Parse the manifest. Returns `Err` with a line-attributed message on
+/// anything outside the supported subset, so a malformed manifest fails
+/// the check loudly instead of silently allowing everything.
+pub fn parse_allowlist(text: &str) -> Result<Allowlist, String> {
+    let mut out = Allowlist::default();
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Allow,
+        Headers,
+    }
+    let mut section = Section::None;
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        if line == "[[allow]]" {
+            out.allow.push(AllowEntry {
+                path: String::new(),
+                reason: String::new(),
+            });
+            section = Section::Allow;
+            continue;
+        }
+        if line == "[headers]" {
+            section = Section::Headers;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {lineno}: unknown table {line}"));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "line {lineno}: expected `key = value`, got {line:?}"
+            ));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match section {
+            Section::Allow => {
+                let entry = out.allow.last_mut().expect("section implies an entry");
+                let v = parse_str(value)
+                    .ok_or_else(|| format!("line {lineno}: expected a quoted string"))?;
+                match key {
+                    "path" => entry.path = v,
+                    "reason" => entry.reason = v,
+                    _ => return Err(format!("line {lineno}: unknown key {key:?} in [[allow]]")),
+                }
+            }
+            Section::Headers => {
+                // Array value, possibly spanning multiple lines.
+                let mut buf = value.to_string();
+                while !buf.trim_end().ends_with(']') {
+                    let Some((_, next)) = lines.next() else {
+                        return Err(format!("line {lineno}: unterminated array for {key:?}"));
+                    };
+                    buf.push(' ');
+                    buf.push_str(strip_comment(next).trim());
+                }
+                let items = parse_arr(&buf)
+                    .ok_or_else(|| format!("line {lineno}: expected an array of strings"))?;
+                match key {
+                    "forbid" => out.forbid_headers = items,
+                    "deny" => out.deny_headers = items,
+                    _ => return Err(format!("line {lineno}: unknown key {key:?} in [headers]")),
+                }
+            }
+            Section::None => {
+                return Err(format!("line {lineno}: key outside any table"));
+            }
+        }
+    }
+    for (i, e) in out.allow.iter().enumerate() {
+        if e.path.is_empty() {
+            return Err(format!("[[allow]] entry #{} missing `path`", i + 1));
+        }
+        if e.reason.is_empty() {
+            return Err(format!("allow entry for {:?} missing `reason`", e.path));
+        }
+    }
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // The manifest subset never puts `#` inside strings, so a plain
+    // split is exact for the files we own; a `#` inside a quoted value
+    // would be a parse error downstream, not silent truncation.
+    match line.find('#') {
+        Some(pos)
+            if !line[..pos].contains('"') || line[..pos].matches('"').count().is_multiple_of(2) =>
+        {
+            &line[..pos]
+        }
+        _ => line,
+    }
+}
+
+fn parse_str(v: &str) -> Option<String> {
+    let v = v.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Some(v[1..v.len() - 1].to_string())
+    } else {
+        None
+    }
+}
+
+fn parse_arr(v: &str) -> Option<Vec<String>> {
+    let v = v.trim();
+    let inner = v.strip_prefix('[')?.strip_suffix(']')?;
+    let mut items = Vec::new();
+    for piece in inner.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue; // trailing comma
+        }
+        items.push(parse_str(piece)?);
+    }
+    Some(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# unsafe audit manifest
+[[allow]]
+path = "crates/core/src/native.rs"   # SIMD intrinsics
+reason = "portable-SIMD gather path"
+
+[[allow]]
+path = "crates/telemetry/src/alloc.rs"
+reason = "global allocator hooks"
+
+[headers]
+forbid = ["crates/graph", "crates/simt"]
+deny = [
+    "crates/core",
+    "crates/telemetry",
+]
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let a = parse_allowlist(SAMPLE).unwrap();
+        assert_eq!(a.allow.len(), 2);
+        assert_eq!(a.allow[0].path, "crates/core/src/native.rs");
+        assert_eq!(a.allow[0].reason, "portable-SIMD gather path");
+        assert!(a.allows("crates/telemetry/src/alloc.rs"));
+        assert!(!a.allows("crates/core/src/gpu.rs"));
+        assert_eq!(a.forbid_headers, vec!["crates/graph", "crates/simt"]);
+        assert_eq!(a.deny_headers, vec!["crates/core", "crates/telemetry"]);
+    }
+
+    #[test]
+    fn roundtrips_through_render() {
+        let a = parse_allowlist(SAMPLE).unwrap();
+        let b = parse_allowlist(&a.render()).unwrap();
+        assert_eq!(a.allow, b.allow);
+        assert_eq!(a.forbid_headers, b.forbid_headers);
+        assert_eq!(a.deny_headers, b.deny_headers);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let err = parse_allowlist("[[allow]]\npath = \"x.rs\"\n").unwrap_err();
+        assert!(err.contains("missing `reason`"), "{err}");
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let err = parse_allowlist("[[allow]]\npath = \"x.rs\"\nwhy = \"no\"\n").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn key_outside_table_is_an_error() {
+        assert!(parse_allowlist("path = \"x\"\n").is_err());
+    }
+}

@@ -1,0 +1,362 @@
+//! Finding records and the structured report.
+//!
+//! The schema deliberately mirrors `nulpa-sancheck`'s
+//! `SancheckReport` — kind enum with stable kebab-case names, a
+//! per-kind `counts` array indexed by discriminant, `is_clean`,
+//! `render`, `to_json` — so downstream tooling (CI artifact diffing,
+//! the observability exporters) treats the static and dynamic gates
+//! uniformly. Where sancheck attributes a hazard to a concrete
+//! `(wave, block, warp, lane)`, a static finding attributes to a
+//! *symbolic* witness: the kernel, the rendered address expression,
+//! and a lane pair with a concrete item assignment that realises the
+//! overlap.
+
+use nulpa_obs::json;
+
+/// The classes of finding the static checker reports. The discriminant
+/// indexes [`CheckReport::counts`]. Kinds 0–5 come from the Layer-1
+/// effect solver, 6–9 from the Layer-2 workspace linter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FindingKind {
+    /// Two lanes of one wave may write the same cell through plain
+    /// (non-atomic) stores with differing values — the static form of
+    /// sancheck's `wave-write-race`.
+    LaneWriteRace = 0,
+    /// An immediate plain write is reachable by a same-wave read of
+    /// another lane with no intervening flush/wave boundary — the
+    /// static form of `write-through-race`.
+    UnstagedSameWaveRead = 1,
+    /// A `BlockCtx::barrier()` site is dominated by a lane-divergent
+    /// predicate (or declared outside block scope) — the static form of
+    /// `barrier-divergence`.
+    DivergentBarrier = 2,
+    /// A probe loop's declared bound is missing, unbounded, or
+    /// inconsistent with the budget the table code enforces — the
+    /// static form of `probe-overrun`.
+    ProbeBudgetOverrun = 3,
+    /// An immediate write escapes its sanctioned scope: a staged-class
+    /// kernel writes shared state immediately, or an immediate-class
+    /// kernel's plain write is not confined to lane-disjoint cells.
+    ImmediateWriteEscape = 4,
+    /// An address expression leaves its declared region (stride/extent
+    /// exceeds the CSR carve) or indexes a region with the wrong index
+    /// space — the static form of `out-of-bounds`.
+    RegionOob = 5,
+    /// A `launch_*` call site references a kernel with no registered
+    /// `Effects` descriptor (or a non-literal name the checker cannot
+    /// resolve).
+    UnregisteredKernel = 6,
+    /// `.stage(` / `.flush_shards(` used outside kernel scope (the SIMT
+    /// simulator and the GPU kernel module).
+    StageOutsideKernel = 7,
+    /// Wall-clock or randomness primitives inside `crates/simt` — the
+    /// simulator must stay deterministic and replayable.
+    NondeterminismInSimt = 8,
+    /// Unsafe-audit violation: `unsafe` outside the committed
+    /// allowlist, a stale allowlist entry, or a missing
+    /// forbid/deny(unsafe_code) crate header.
+    UnsafeAudit = 9,
+}
+
+/// Number of finding kinds (length of [`CheckReport::counts`]).
+pub const KIND_COUNT: usize = 10;
+
+impl FindingKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [FindingKind; KIND_COUNT] = [
+        FindingKind::LaneWriteRace,
+        FindingKind::UnstagedSameWaveRead,
+        FindingKind::DivergentBarrier,
+        FindingKind::ProbeBudgetOverrun,
+        FindingKind::ImmediateWriteEscape,
+        FindingKind::RegionOob,
+        FindingKind::UnregisteredKernel,
+        FindingKind::StageOutsideKernel,
+        FindingKind::NondeterminismInSimt,
+        FindingKind::UnsafeAudit,
+    ];
+
+    /// Stable kebab-case name (used in reports and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            FindingKind::LaneWriteRace => "lane-write-race",
+            FindingKind::UnstagedSameWaveRead => "unstaged-same-wave-read",
+            FindingKind::DivergentBarrier => "divergent-barrier",
+            FindingKind::ProbeBudgetOverrun => "probe-budget-overrun",
+            FindingKind::ImmediateWriteEscape => "immediate-write-escape",
+            FindingKind::RegionOob => "region-oob",
+            FindingKind::UnregisteredKernel => "unregistered-kernel",
+            FindingKind::StageOutsideKernel => "stage-outside-kernel",
+            FindingKind::NondeterminismInSimt => "nondeterminism-in-simt",
+            FindingKind::UnsafeAudit => "unsafe-audit",
+        }
+    }
+}
+
+/// Concrete lane-pair witness realising a symbolic overlap: two lane
+/// (item) indices plus the item/neighbour assignment under which their
+/// address sets intersect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LanePair {
+    /// First lane (execution-unit) index.
+    pub a: usize,
+    /// Second lane index.
+    pub b: usize,
+    /// The assignment that realises the overlap, e.g.
+    /// `"u=0, u′=1 sharing neighbour j=2"`.
+    pub assignment: String,
+}
+
+impl LanePair {
+    /// Witness over the canonical first two lanes.
+    pub fn new(assignment: impl Into<String>) -> Self {
+        LanePair {
+            a: 0,
+            b: 1,
+            assignment: assignment.into(),
+        }
+    }
+}
+
+/// One finding, with exact attribution.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Finding class.
+    pub kind: FindingKind,
+    /// Kernel the finding is about — or, for lint findings, the
+    /// repo-relative source path.
+    pub kernel: String,
+    /// Rendered address expression (solver findings) or `file:line`
+    /// location (lint findings).
+    pub addr: String,
+    /// The declared effect site(s) involved, `"a ↔ b"` for pairs.
+    pub site: String,
+    /// Lane-pair witness, when the finding is an overlap.
+    pub witness: Option<LanePair>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl Finding {
+    /// One-line rendering with attribution.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "[{}] {} addr={} site={}",
+            self.kind.name(),
+            self.kernel,
+            self.addr,
+            self.site
+        );
+        if let Some(w) = &self.witness {
+            s.push_str(&format!(" lanes=({},{}) [{}]", w.a, w.b, w.assignment));
+        }
+        s.push_str(": ");
+        s.push_str(&self.detail);
+        s
+    }
+
+    /// JSON object rendering.
+    pub fn to_json(&self) -> String {
+        let witness = match &self.witness {
+            None => "null".to_string(),
+            Some(w) => format!(
+                "{{\"lane_a\":{},\"lane_b\":{},\"assignment\":{}}}",
+                w.a,
+                w.b,
+                json::escape(&w.assignment)
+            ),
+        };
+        format!(
+            "{{\"kind\":{},\"kernel\":{},\"addr\":{},\"site\":{},\"witness\":{},\"detail\":{}}}",
+            json::escape(self.kind.name()),
+            json::escape(&self.kernel),
+            json::escape(&self.addr),
+            json::escape(&self.site),
+            witness,
+            json::escape(&self.detail)
+        )
+    }
+}
+
+/// Structured result of one `nulpa check` run.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Detailed finding records.
+    pub findings: Vec<Finding>,
+    /// Occurrences per kind, indexed by [`FindingKind`] discriminant.
+    pub counts: [u64; KIND_COUNT],
+    /// Kernels with a registered effects descriptor that were verified.
+    pub kernels_checked: usize,
+    /// Access pairs / declaration facts the solver discharged.
+    pub facts_checked: u64,
+    /// Source files scanned by the workspace linter.
+    pub files_scanned: usize,
+}
+
+impl CheckReport {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a finding, keeping the counts in sync.
+    pub fn push(&mut self, f: Finding) {
+        self.counts[f.kind as usize] += 1;
+        self.findings.push(f);
+    }
+
+    /// Total findings across all kinds.
+    pub fn total_findings(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `true` when no finding of any kind was reported.
+    pub fn is_clean(&self) -> bool {
+        self.total_findings() == 0
+    }
+
+    /// Occurrences of one kind.
+    pub fn count_of(&self, kind: FindingKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Findings of one kind, in report order.
+    pub fn of_kind(&self, kind: FindingKind) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.kind == kind)
+    }
+
+    /// Merge another report into this one (solver + linter halves).
+    pub fn merge(&mut self, other: CheckReport) {
+        for f in other.findings {
+            self.push(f);
+        }
+        self.kernels_checked += other.kernels_checked;
+        self.facts_checked += other.facts_checked;
+        self.files_scanned += other.files_scanned;
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        if self.is_clean() {
+            s.push_str(&format!(
+                "check: clean ({} kernels verified, {} facts discharged, {} files linted)\n",
+                self.kernels_checked, self.facts_checked, self.files_scanned
+            ));
+            return s;
+        }
+        let by_kind: Vec<String> = FindingKind::ALL
+            .iter()
+            .filter(|&&k| self.count_of(k) > 0)
+            .map(|&k| format!("{}: {}", k.name(), self.count_of(k)))
+            .collect();
+        s.push_str(&format!(
+            "check: {} findings ({}), {} kernels verified, {} files linted\n",
+            self.total_findings(),
+            by_kind.join(", "),
+            self.kernels_checked,
+            self.files_scanned
+        ));
+        for f in &self.findings {
+            s.push_str("  ");
+            s.push_str(&f.render());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// JSON object rendering (for `nulpa check --json`).
+    pub fn to_json(&self) -> String {
+        let counts: Vec<String> = FindingKind::ALL
+            .iter()
+            .filter(|&&k| self.count_of(k) > 0)
+            .map(|&k| format!("{}:{}", json::escape(k.name()), self.count_of(k)))
+            .collect();
+        let findings: Vec<String> = self.findings.iter().map(Finding::to_json).collect();
+        format!(
+            "{{\"total_findings\":{},\"counts\":{{{}}},\"findings\":[{}],\"kernels_checked\":{},\"facts_checked\":{},\"files_scanned\":{}}}",
+            self.total_findings(),
+            counts.join(","),
+            findings.join(","),
+            self.kernels_checked,
+            self.facts_checked,
+            self.files_scanned
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nulpa_obs::json::Json;
+
+    fn finding() -> Finding {
+        Finding {
+            kind: FindingKind::LaneWriteRace,
+            kernel: "inject:lane-race".to_string(),
+            addr: "labels[j], j ∈ N(v)".to_string(),
+            site: "gossip write ↔ gossip write".to_string(),
+            witness: Some(LanePair::new("u=0, u′=1 sharing neighbour j=2")),
+            detail: "two lanes may stage differing values to one cell".to_string(),
+        }
+    }
+
+    #[test]
+    fn render_includes_attribution() {
+        let r = finding().render();
+        assert!(r.contains("lane-write-race"));
+        assert!(r.contains("inject:lane-race"));
+        assert!(r.contains("labels[j]"));
+        assert!(r.contains("lanes=(0,1)"));
+        assert!(r.contains("j=2"));
+    }
+
+    #[test]
+    fn json_is_parseable_and_counts_match() {
+        let mut rep = CheckReport::default();
+        rep.push(finding());
+        rep.kernels_checked = 3;
+        rep.facts_checked = 42;
+        let parsed = json::parse(&rep.to_json()).expect("valid json");
+        assert_eq!(parsed.get("total_findings").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            parsed
+                .get("findings")
+                .and_then(Json::as_arr)
+                .map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            parsed.get("kernels_checked").and_then(Json::as_u64),
+            Some(3)
+        );
+        assert!(!rep.is_clean());
+        assert_eq!(rep.count_of(FindingKind::LaneWriteRace), 1);
+    }
+
+    #[test]
+    fn clean_report_renders_clean() {
+        let rep = CheckReport::default();
+        assert!(rep.is_clean());
+        assert!(rep.render().contains("clean"));
+    }
+
+    #[test]
+    fn merge_combines_counts_and_totals() {
+        let mut a = CheckReport::default();
+        a.push(finding());
+        a.kernels_checked = 3;
+        let mut b = CheckReport::default();
+        b.push(Finding {
+            kind: FindingKind::UnsafeAudit,
+            ..finding()
+        });
+        b.files_scanned = 10;
+        a.merge(b);
+        assert_eq!(a.total_findings(), 2);
+        assert_eq!(a.count_of(FindingKind::UnsafeAudit), 1);
+        assert_eq!(a.files_scanned, 10);
+        assert_eq!(a.kernels_checked, 3);
+    }
+}

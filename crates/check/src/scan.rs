@@ -1,0 +1,346 @@
+//! Lexical source masking for the workspace linter.
+//!
+//! The build environment is offline, so the Layer-2 pass cannot use a
+//! full Rust parser (`syn`); instead it works on a *masked* copy of each
+//! source file in which comment bodies and string/char-literal contents
+//! are replaced by spaces, byte for byte. Offsets and line numbers are
+//! preserved exactly, string *delimiters* are kept (so a lint can locate
+//! a literal in the masked text and read its value from the original),
+//! and `#[cfg(test)]` modules can additionally be blanked so test-only
+//! code is exempt from production lints. This is deliberately a lexer,
+//! not a parser: every lint it feeds matches on tokens that are
+//! unambiguous at the lexical level (`.launch_`, `.stage(`, `unsafe`).
+
+/// Replace comment bodies and string/char contents with spaces,
+/// preserving length, newlines, and the quote delimiters themselves.
+pub fn mask_source(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                // Line comment: mask to end of line.
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment, possibly nested.
+                let mut depth = 1;
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                // Raw (byte) string: r"...", r#"..."#, br##"..."##.
+                let mut j = i;
+                while b[j] != b'r' {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                out.push(b'r');
+                j += 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    out.push(b'#');
+                    hashes += 1;
+                    j += 1;
+                }
+                out.push(b'"');
+                j += 1; // opening quote
+                loop {
+                    if j >= b.len() {
+                        break;
+                    }
+                    if b[j] == b'"' && closes_raw(b, j, hashes) {
+                        out.push(b'"');
+                        out.extend(std::iter::repeat_n(b'#', hashes));
+                        j += 1 + hashes;
+                        break;
+                    }
+                    out.push(if b[j] == b'\n' { b'\n' } else { b' ' });
+                    j += 1;
+                }
+                i = j;
+            }
+            b'"' => {
+                // Ordinary string (a preceding `b` was already copied —
+                // harmless, it is not an ident boundary for our lints).
+                out.push(b'"');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == b'"' {
+                        out.push(b'"');
+                        i += 1;
+                        break;
+                    }
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime. `'\..'` or `'x'` is a char
+                // literal; `'ident` (no closing quote right after one
+                // char) is a lifetime and copied verbatim.
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    out.push(b'\'');
+                    out.push(b' ');
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                    if i < b.len() {
+                        out.push(b'\'');
+                        i += 1;
+                    }
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    out.push(b'\'');
+                    out.push(b' ');
+                    out.push(b'\'');
+                    i += 3;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    // Masking only ever replaces bytes with ASCII spaces at UTF-8
+    // boundary positions or copies them through, but a multi-byte char
+    // inside a masked span is replaced byte-per-byte with spaces, which
+    // is still valid UTF-8.
+    String::from_utf8(out).expect("masking preserves UTF-8")
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    // r" r#" br" br#" rb is not a thing; b" is handled by the string arm.
+    let (mut j, first) = (i, b[i]);
+    if first == b'b' {
+        j += 1;
+        if j >= b.len() || b[j] != b'r' {
+            return false;
+        }
+    }
+    j += 1; // past 'r'
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"' && {
+        // Reject identifiers ending in r, like `var"` (not valid Rust
+        // anyway) — require a non-ident char before i.
+        i == 0 || !is_ident(b[i - 1])
+    }
+}
+
+fn closes_raw(b: &[u8], j: usize, hashes: usize) -> bool {
+    (j + 1..j + 1 + hashes).all(|k| k < b.len() && b[k] == b'#')
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Blank out every `#[cfg(test)] mod … { … }` block in already-masked
+/// text (braces inside strings/comments are gone, so plain brace
+/// matching is exact). Returns text of identical length.
+pub fn mask_cfg_test(masked: &str) -> String {
+    let b = masked.as_bytes();
+    let mut out = masked.as_bytes().to_vec();
+    let needle = b"#[cfg(test)]";
+    let mut i = 0;
+    while let Some(pos) = find_from(b, needle, i) {
+        i = pos + needle.len();
+        // Skip whitespace and further attributes to the item keyword.
+        let mut j = i;
+        loop {
+            while j < b.len() && (b[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'#' {
+                // another attribute: skip to its closing ']'
+                while j < b.len() && b[j] != b']' {
+                    j += 1;
+                }
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        // Only blank module bodies; a #[cfg(test)] on a single fn or use
+        // is rare here and merely makes the lint conservative.
+        let rest = &b[j..];
+        if !(rest.starts_with(b"mod ") || rest.starts_with(b"pub mod ")) {
+            continue;
+        }
+        // Find the opening brace, then match it.
+        let Some(open_rel) = rest.iter().position(|&c| c == b'{' || c == b';') else {
+            continue;
+        };
+        if rest[open_rel] == b';' {
+            continue; // out-of-line test module: its file is still linted
+        }
+        let open = j + open_rel;
+        let mut depth = 0usize;
+        let mut k = open;
+        while k < b.len() {
+            match b[k] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for c in out
+            .iter_mut()
+            .take(k.min(b.len().saturating_sub(1)) + 1)
+            .skip(pos)
+        {
+            if *c != b'\n' {
+                *c = b' ';
+            }
+        }
+        i = k;
+    }
+    String::from_utf8(out).expect("blanking preserves UTF-8")
+}
+
+fn find_from(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= hay.len() {
+        return None;
+    }
+    hay[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// 1-indexed line number of a byte offset.
+pub fn line_of(text: &str, offset: usize) -> usize {
+    text.as_bytes()[..offset.min(text.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+/// Does `text` contain `word` as a whole token (not an identifier
+/// substring)?
+pub fn has_token(text: &str, word: &str) -> bool {
+    let b = text.as_bytes();
+    let w = word.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = find_from(b, w, i) {
+        let before_ok = pos == 0 || !is_ident(b[pos - 1]);
+        let after = pos + w.len();
+        let after_ok = after >= b.len() || !is_ident(b[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        i = pos + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let a = \"unsafe\"; // unsafe comment\nlet b = 1; /* unsafe */ call();";
+        let m = mask_source(src);
+        assert_eq!(m.len(), src.len());
+        assert!(!has_token(&m, "unsafe"));
+        assert!(m.contains("let a = \""));
+        assert!(m.contains("call()"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked_delimiters_kept() {
+        let src = r###"let s = r#"launch_thread_per_item"#; x();"###;
+        let m = mask_source(src);
+        assert_eq!(m.len(), src.len());
+        assert!(!m.contains("launch_thread_per_item"));
+        assert!(m.contains("x();"));
+    }
+
+    #[test]
+    fn char_literals_masked_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) { let c = '{'; let d = '\\n'; g(); }";
+        let m = mask_source(src);
+        assert_eq!(m.len(), src.len());
+        assert!(m.contains("<'a>"));
+        assert!(m.contains("&'a str"));
+        // the only remaining `{` is the fn body's — the literal is masked
+        assert_eq!(m.matches('{').count(), 1);
+        assert!(m.contains("g();"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_blanked() {
+        let src = "fn prod() { stage(); }\n#[cfg(test)]\nmod tests {\n    fn t() { s.stage(0, 1); }\n}\nfn prod2() {}";
+        let masked = mask_cfg_test(&mask_source(src));
+        assert!(masked.contains("fn prod()"));
+        assert!(masked.contains("fn prod2()"));
+        assert!(!masked.contains(".stage(0, 1)"));
+        assert_eq!(masked.len(), src.len());
+    }
+
+    #[test]
+    fn nested_braces_in_test_mod_are_matched() {
+        let src = "#[cfg(test)]\nmod t { fn a() { if x { y(); } } }\nfn keep() {}";
+        let masked = mask_cfg_test(&mask_source(src));
+        assert!(masked.contains("fn keep()"));
+        assert!(!masked.contains("y();"));
+    }
+
+    #[test]
+    fn line_numbers_are_stable_under_masking() {
+        let src = "a\n/* c\nc */\nb \"s\ns\" x\ntarget";
+        let m = mask_source(src);
+        let pos = m.find("target").unwrap();
+        assert_eq!(line_of(&m, pos), 6);
+        assert_eq!(line_of(src, src.find("target").unwrap()), 6);
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        assert!(has_token("unsafe {", "unsafe"));
+        assert!(!has_token("my_unsafe_fn()", "unsafe"));
+        assert!(!has_token("unsafeish", "unsafe"));
+    }
+}

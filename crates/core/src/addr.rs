@@ -1,0 +1,220 @@
+//! Word-address layout of the simulated global memory.
+//!
+//! One flat address space holds, in order: vertex labels (`n` words),
+//! processed flags (`n`), CSR edge targets (`m`), CSR edge weights
+//! (`m`), hashtable keys (`2m`), hashtable values (`2m`), and a single
+//! dedicated word for the global ΔN counter. The kernels in
+//! [`crate::gpu`] charge every access against this map so the locality
+//! model sees realistic cache-line reuse, and the static verifier
+//! (`nulpa-check`) cross-validates its symbolic region model
+//! ([`nulpa_simt::effects::Region`]) against the concrete layout here.
+
+use nulpa_hashtab::{TableAddr, TableSlot};
+use nulpa_simt::effects::Region;
+
+/// Word-address layout of the simulated global memory, for the locality
+/// model. Regions in order: labels, processed flags, CSR targets, CSR
+/// weights, hash keys, hash values, and the one-word ΔN counter.
+#[derive(Clone, Copy, Debug)]
+pub struct AddrMap {
+    /// Start of the `n`-word label region (always 0).
+    pub labels: usize,
+    /// Start of the `n`-word processed-flag region.
+    pub processed: usize,
+    /// Start of the `m`-word CSR target region.
+    pub targets: usize,
+    /// Start of the `m`-word CSR weight region.
+    pub weights: usize,
+    /// Start of the `2m`-word hashtable key region.
+    pub keys: usize,
+    /// Start of the `2m`-word hashtable value region.
+    pub values: usize,
+    /// Dedicated cell for the global ΔN counter. It must not alias any
+    /// per-vertex region: charging the ΔN atomic at `processed` (as an
+    /// earlier revision did) made it share a cache line with vertex 0's
+    /// processed flag, mixing a plain write and an atomic on the same
+    /// simulated cell and skewing the locality model.
+    pub dn: usize,
+    n: usize,
+    m: usize,
+}
+
+impl AddrMap {
+    /// Layout for a graph with `n` vertices and `m` stored directed edges.
+    pub fn new(n: usize, m: usize) -> Self {
+        let labels = 0;
+        let processed = labels + n;
+        let targets = processed + n;
+        let weights = targets + m;
+        let keys = weights + m;
+        let values = keys + 2 * m;
+        let dn = values + 2 * m;
+        AddrMap {
+            labels,
+            processed,
+            targets,
+            weights,
+            keys,
+            values,
+            dn,
+            n,
+            m,
+        }
+    }
+
+    /// Global addresses of a per-vertex hashtable slot.
+    pub fn table(&self, slot: &TableSlot) -> TableAddr {
+        TableAddr {
+            keys: self.keys + slot.start,
+            values: self.values + slot.start,
+            shared_space: false,
+        }
+    }
+
+    /// Total extent of the address space in words (one past the ΔN cell).
+    pub fn len(&self) -> usize {
+        self.dn + 1
+    }
+
+    /// `true` only for the degenerate empty graph (`n = 0`, `m = 0`),
+    /// where the only cell is the ΔN word.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0 && self.m == 0
+    }
+
+    /// `[start, start + len)` of a symbolic region in this concrete
+    /// layout. This is what ties the static verifier's symbolic model to
+    /// the addresses the kernels actually charge:
+    /// `nulpa-check` asserts `region_range(r).len() == r.extent(n, m)`
+    /// and that the regions tile `[0, len())` without gaps or overlap.
+    /// [`Region::Shared`] has no global range and returns an empty range
+    /// at the end of the space.
+    pub fn region_range(&self, r: Region) -> std::ops::Range<usize> {
+        let (n, m) = (self.n, self.m);
+        match r {
+            Region::Labels => self.labels..self.labels + n,
+            Region::Processed => self.processed..self.processed + n,
+            Region::Targets => self.targets..self.targets + m,
+            Region::Weights => self.weights..self.weights + m,
+            Region::Keys => self.keys..self.keys + 2 * m,
+            Region::Values => self.values..self.values + 2 * m,
+            Region::Dn => self.dn..self.dn + 1,
+            Region::Shared => self.len()..self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nulpa_simt::effects::Region;
+
+    #[test]
+    fn regions_tile_the_space_in_order() {
+        for (n, m) in [(0, 0), (1, 0), (100, 400), (7, 13)] {
+            let a = AddrMap::new(n, m);
+            let mut next = 0usize;
+            for r in Region::GLOBAL {
+                let range = a.region_range(r);
+                assert_eq!(
+                    range.start,
+                    next,
+                    "{} starts late for n={n} m={m}",
+                    r.name()
+                );
+                assert_eq!(
+                    range.len(),
+                    r.extent(n, m),
+                    "{} extent mismatch for n={n} m={m}",
+                    r.name()
+                );
+                next = range.end;
+            }
+            assert_eq!(next, a.len());
+        }
+    }
+
+    #[test]
+    fn zero_length_regions_collapse_cleanly() {
+        // An edgeless graph: the four m-scaled regions are empty and the
+        // adjacent regions become back-to-back. Empty ranges must not be
+        // treated as overlapping anything.
+        let a = AddrMap::new(5, 0);
+        assert_eq!(a.region_range(Region::Targets).len(), 0);
+        assert_eq!(a.region_range(Region::Keys).len(), 0);
+        assert_eq!(a.targets, a.weights);
+        assert_eq!(a.weights, a.keys);
+        assert_eq!(a.dn, 2 * 5);
+        assert_eq!(a.len(), 2 * 5 + 1);
+        assert!(!a.is_empty());
+        assert!(AddrMap::new(0, 0).is_empty());
+    }
+
+    #[test]
+    fn dn_word_is_not_vertex_zero_of_any_region() {
+        // The ΔN counter once aliased processed[0]; it must sit strictly
+        // after every region, including in the degenerate n=1, m=0 layout
+        // where most region starts coincide.
+        for (n, m) in [(1, 0), (1, 1), (100, 400)] {
+            let a = AddrMap::new(n, m);
+            for r in Region::GLOBAL {
+                if r == Region::Dn {
+                    continue;
+                }
+                let range = a.region_range(r);
+                assert!(
+                    !range.contains(&a.dn),
+                    "dn aliases {} for n={n} m={m}",
+                    r.name()
+                );
+            }
+            assert_ne!(a.dn, a.processed, "dn must differ from processed[0]");
+        }
+    }
+
+    #[test]
+    fn shared_tables_leave_global_layout_untouched() {
+        // Block-shared (and thread-shared ablation) tables keep their
+        // *offsets* from the global map but flip the address space — the
+        // global key/value regions must be unaffected.
+        use nulpa_hashtab::TableSlot;
+        let a = AddrMap::new(10, 40);
+        let slot = TableSlot::for_vertex(8, 5);
+        let global = a.table(&slot);
+        let shared = a.table(&slot).in_shared_memory();
+        assert!(!global.shared_space);
+        assert!(shared.shared_space);
+        assert_eq!(global.keys, shared.keys);
+        assert_eq!(global.values, shared.values);
+        assert_eq!(global.keys, a.keys + slot.start);
+        assert_eq!(global.values, a.values + slot.start);
+        // The slot's key range stays inside the keys region.
+        let keys = a.region_range(Region::Keys);
+        assert!(global.keys >= keys.start);
+        assert!(global.keys + slot.capacity <= keys.end);
+    }
+
+    #[test]
+    fn table_slots_of_distinct_vertices_are_disjoint() {
+        // The CSR-carving property the effect solver's interval oracle
+        // relies on: for offsets off(v) + deg(v) <= off(v'), the
+        // 2·off-based reservations never overlap.
+        let a = AddrMap::new(4, 10);
+        // Degrees 3, 1, 6 at offsets 0, 3, 4 (CSR-consistent).
+        let slots = [
+            TableSlot::for_vertex(0, 3),
+            TableSlot::for_vertex(3, 1),
+            TableSlot::for_vertex(4, 6),
+        ];
+        for (i, s) in slots.iter().enumerate() {
+            for t in slots.iter().skip(i + 1) {
+                let (a0, a1) = (a.table(s).keys, a.table(s).keys + s.reserve);
+                let (b0, b1) = (a.table(t).keys, a.table(t).keys + t.reserve);
+                assert!(
+                    a1 <= b0 || b1 <= a0,
+                    "slots {a0}..{a1} and {b0}..{b1} overlap"
+                );
+            }
+        }
+    }
+}

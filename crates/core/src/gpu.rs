@@ -27,7 +27,7 @@
 //! Lanes of a wave are independent by construction (reads see wave-start
 //! state, writes are staged), so the kernels run through the scheduler's
 //! *sharded* launches: each lane stages its writes into a per-host-thread
-//! [`LaneShard`], and the shards are merged in deterministic lane order at
+//! `LaneShard`, and the shards are merged in deterministic lane order at
 //! the wave boundary. Labels, `KernelStats`, collision counts, and trace
 //! output are bit-for-bit identical at every thread count; see
 //! [`crate::config::resolve_threads`] for how `LpaConfig::threads` and
@@ -37,13 +37,14 @@
 //! [`DisjointBuffer`] slices tiled by the CSR layout, and the ΔN counter
 //! is a commutative `fetch_add`.
 
+use crate::addr::AddrMap;
 use crate::config::{resolve_threads, LpaConfig, ValueType};
 use crate::disjoint::DisjointBuffer;
 use crate::observe::{IterObserver, NullObserver};
 use crate::partition::partition_candidates;
 use crate::result::LpaResult;
 use nulpa_graph::{Csr, VertexId};
-use nulpa_hashtab::{HashValue, ProbeStrategy, TableAddr, TableMut, TableSlot, EMPTY_KEY};
+use nulpa_hashtab::{HashValue, ProbeStrategy, TableMut, TableSlot, EMPTY_KEY};
 use nulpa_simt::{
     track, KernelStats, LaneMeter, NullSink, StagedWrites, SyncDeferredStore, TraceSink,
     WaveScheduler, Width,
@@ -80,54 +81,6 @@ pub fn lpa_gpu_observed(
     match config.value_type {
         ValueType::F32 => lpa_gpu_typed::<f32>(g, config, sink, obs),
         ValueType::F64 => lpa_gpu_typed::<f64>(g, config, sink, obs),
-    }
-}
-
-/// Word-address layout of the simulated global memory, for the locality
-/// model. Regions in order: labels, processed flags, CSR targets, CSR
-/// weights, hash keys, hash values, and the one-word ΔN counter.
-#[derive(Clone, Copy)]
-struct AddrMap {
-    labels: usize,
-    processed: usize,
-    targets: usize,
-    weights: usize,
-    keys: usize,
-    values: usize,
-    /// Dedicated cell for the global ΔN counter. It must not alias any
-    /// per-vertex region: charging the ΔN atomic at `processed` (as an
-    /// earlier revision did) made it share a cache line with vertex 0's
-    /// processed flag, mixing a plain write and an atomic on the same
-    /// simulated cell and skewing the locality model.
-    dn: usize,
-}
-
-impl AddrMap {
-    fn new(n: usize, m: usize) -> Self {
-        let labels = 0;
-        let processed = labels + n;
-        let targets = processed + n;
-        let weights = targets + m;
-        let keys = weights + m;
-        let values = keys + 2 * m;
-        let dn = values + 2 * m;
-        AddrMap {
-            labels,
-            processed,
-            targets,
-            weights,
-            keys,
-            values,
-            dn,
-        }
-    }
-
-    fn table(&self, slot: &TableSlot) -> TableAddr {
-        TableAddr {
-            keys: self.keys + slot.start,
-            values: self.values + slot.start,
-            shared_space: false,
-        }
     }
 }
 

@@ -27,16 +27,19 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod addr;
 pub mod coarsen;
 pub mod config;
 // The only unsafe code in the workspace lives in these three modules
-// (audited, allowlisted in scripts/ci.sh): `disjoint` hands out
-// non-overlapping mutable table regions from one buffer, and `native` and
-// `gpu` take such disjoint per-vertex regions from it (vertex-disjoint by
-// CSR construction) for their parallel table writes.
+// (audited, allowlisted in check/unsafe_allowlist.toml and enforced by
+// `nulpa check`): `disjoint` hands out non-overlapping mutable table
+// regions from one buffer, and `native` and `gpu` take such disjoint
+// per-vertex regions from it (vertex-disjoint by CSR construction) for
+// their parallel table writes.
 #[allow(unsafe_code)]
 pub mod disjoint;
 pub mod dynamic;
+pub mod effects;
 #[allow(unsafe_code)]
 pub mod gpu;
 pub mod linkpred;
@@ -48,9 +51,11 @@ pub mod pulp;
 pub mod result;
 pub mod seq;
 
+pub use addr::AddrMap;
 pub use coarsen::{coarsen_lpa, CoarseLevel, CoarsenConfig, CoarsenResult};
 pub use config::{resolve_threads, LpaConfig, SwapMode, ValueType};
 pub use dynamic::{apply_batch, frontier, lpa_dynamic, EdgeBatch};
+pub use effects::shipped_effects;
 pub use gpu::{lpa_gpu, lpa_gpu_observed, lpa_gpu_traced};
 pub use linkpred::{adamic_adar, community_adamic_adar, top_k_predictions};
 pub use native::{lpa_native, lpa_native_from_state, lpa_native_observed, lpa_native_traced};

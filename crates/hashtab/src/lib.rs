@@ -40,5 +40,5 @@ pub use layout::{
     capacity_for_degree, next_pow2, secondary_prime, TableSlot, EMPTY_KEY, MAX_RETRIES,
 };
 pub use probe::{ProbeSeq, ProbeStrategy};
-pub use table::{Accumulate, TableAddr, TableMut, TableShared};
+pub use table::{probe_budget, Accumulate, TableAddr, TableMut, TableShared};
 pub use value::HashValue;

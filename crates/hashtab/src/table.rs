@@ -161,7 +161,7 @@ impl<'a, V: HashValue> TableMut<'a, V> {
             return Accumulate::Failed;
         }
         let mut seq = ProbeSeq::new(strategy, key, p1, self.p2);
-        let retries = max_retries_for(p1);
+        let retries = probe_budget(p1);
         #[cfg(feature = "sancheck")]
         hooks::probe_start(self.tid(), p1, (retries + p1 as u32) as u64);
         let mut probes = 0u32;
@@ -276,7 +276,7 @@ impl<'a, V: HashValue> TableMut<'a, V> {
             return Accumulate::Failed;
         }
         let mut seq = ProbeSeq::new(strategy, key, p1, self.p2);
-        let retries = max_retries_for(p1);
+        let retries = probe_budget(p1);
         #[cfg(feature = "sancheck")]
         hooks::probe_start(self.tid(), p1, (retries + p1 as u32) as u64);
         let mut probes = 0u32;
@@ -386,7 +386,7 @@ impl<'a, V: HashValue> TableMut<'a, V> {
             return Accumulate::Failed;
         }
         let mut seq = ProbeSeq::new(strategy, key, p1, self.p2);
-        let retries = max_retries_for(p1);
+        let retries = probe_budget(p1);
         #[cfg(feature = "sancheck")]
         hooks::probe_start(self.tid(), p1, (retries + p1 as u32) as u64);
         let mut probes = 0u32;
@@ -526,7 +526,7 @@ impl<'a, V: HashValue> TableShared<'a, V> {
             return Accumulate::Failed;
         }
         let mut seq = ProbeSeq::new(strategy, key, p1, self.p2);
-        let retries = max_retries_for(p1);
+        let retries = probe_budget(p1);
         #[cfg(feature = "sancheck")]
         hooks::probe_start(self.tid(), p1, (retries + p1 as u32) as u64);
         let mut probes = 0u32;
@@ -604,7 +604,7 @@ impl<'a, V: HashValue> TableShared<'a, V> {
             return Accumulate::Failed;
         }
         let mut seq = ProbeSeq::new(strategy, key, p1, self.p2);
-        let retries = max_retries_for(p1);
+        let retries = probe_budget(p1);
         #[cfg(feature = "sancheck")]
         hooks::probe_start(self.tid(), p1, (retries + p1 as u32) as u64);
         let mut probes = 0u32;
@@ -701,8 +701,14 @@ impl<'a, V: HashValue> TableShared<'a, V> {
 /// reaches the third slot), and burning all 64 retries there would
 /// dominate the runtime of low-degree graphs — road networks and k-mer
 /// graphs, half the paper's dataset.
+///
+/// Public because it *is* the declared probe bound of every table
+/// operation: the static verifier (`nulpa-check`) checks each kernel's
+/// declared `ProbeBound` against this budget, and the dynamic checker
+/// (`nulpa-sancheck`) receives `probe_budget(p1) + p1` as the hard cap a
+/// probe loop may not exceed (strategy steps plus the linear fallback).
 #[inline]
-fn max_retries_for(p1: usize) -> u32 {
+pub fn probe_budget(p1: usize) -> u32 {
     MAX_RETRIES.min(2 * p1 as u32)
 }
 

@@ -25,6 +25,7 @@ pub mod atomics;
 pub mod cost;
 pub mod deferred;
 pub mod device;
+pub mod effects;
 pub mod stats;
 pub mod wave;
 
@@ -32,6 +33,10 @@ pub use atomics::{AtomicF32, AtomicF64};
 pub use cost::{Comp, CompCycles, CostModel, LaneMeter, Width, LINE_WORDS, NUM_COMPS};
 pub use deferred::{DeferredStore, StagedWrites, SyncDeferredStore};
 pub use device::DeviceConfig;
+pub use effects::{
+    AccessEffect, AccessKind, AddrExpr, BarrierSite, Effects, EffectsRegistry, IndexExpr,
+    KernelFlavor, LaneOrder, Pred, ProbeBound, Region, StagingClass, Visibility,
+};
 pub use stats::KernelStats;
 pub use wave::{BlockCtx, WaveScheduler};
 

@@ -1,80 +1,64 @@
 #!/usr/bin/env bash
 # CI gate. Tier 1 (must stay green): release build + root test suite.
 # Then workspace tests, formatting, clippy with warnings denied (in both
-# feature configurations), an unsafe-code audit, and the dynamic hazard
-# checker over every shipped backend.
-set -euo pipefail
-cd "$(dirname "$0")/.."
+# feature configurations), rustdoc with warnings denied, the static
+# effect verifier + workspace linter, and the dynamic hazard checker
+# over every shipped backend.
+. "$(dirname "$0")/lib.sh"
 
-echo "==> tier 1: cargo build --release"
+step "tier 1: cargo build --release"
 cargo build --release
 
-echo "==> tier 1: cargo test -q"
+step "tier 1: cargo test -q"
 cargo test -q
 
-echo "==> workspace tests"
+step "workspace tests"
 cargo test -q --workspace
 
-echo "==> workspace tests (all features)"
+step "workspace tests (all features)"
 cargo test -q --workspace --all-features
 
 # Telemetry neutrality: with every optional observability layer compiled
 # out, the suite (including the byte-exact golden-trace tests) must still
 # pass — observers may never perturb the algorithms.
-echo "==> root tests (no default features)"
+step "root tests (no default features)"
 cargo test -q --no-default-features
 
 # The sharded wave scheduler promises bit-identical results at any host
 # thread count; run the suite at both extremes to catch order leaks.
-echo "==> workspace tests (NULPA_THREADS=1)"
+step "workspace tests (NULPA_THREADS=1)"
 NULPA_THREADS=1 cargo test -q --workspace
 
-echo "==> workspace tests (NULPA_THREADS=4)"
+step "workspace tests (NULPA_THREADS=4)"
 NULPA_THREADS=4 cargo test -q --workspace
 
-echo "==> rustfmt"
+step "rustfmt"
 cargo fmt --all --check
 
-echo "==> clippy"
+step "clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> clippy (all features)"
+step "clippy (all features)"
 cargo clippy --workspace --all-targets --all-features -- -D warnings
 
-echo "==> unsafe audit"
-# Every crate root must carry #![forbid(unsafe_code)] except nulpa-core
-# and nulpa-telemetry, which carry #![deny(unsafe_code)] with allowlisted
-# modules (core/disjoint: non-overlapping buffer split; core/native and
-# core/gpu: vertex-disjoint table regions taken from it for parallel
-# writes; telemetry/alloc: the counting GlobalAlloc shim — GlobalAlloc is
-# an unsafe trait). Any unsafe outside the allowlist fails the gate.
-stray=$(grep -rlE 'unsafe (fn|\{|impl)' --include="*.rs" crates/*/src src \
-  | grep -v -e "crates/core/src/disjoint.rs" -e "crates/core/src/native.rs" \
-    -e "crates/core/src/gpu.rs" -e "crates/telemetry/src/alloc.rs" \
-  || true)
-if [ -n "$stray" ]; then
-  echo "unsafe audit: unsafe code outside the allowlist:"
-  echo "$stray"
-  exit 1
-fi
-for root in crates/graph crates/simt crates/hashtab crates/metrics \
-            crates/baselines crates/obs crates/bench crates/sancheck \
-            crates/prof; do
-  grep -q '^#!\[forbid(unsafe_code)\]' "$root/src/lib.rs" \
-    || { echo "unsafe audit: $root/src/lib.rs lacks #![forbid(unsafe_code)]"; exit 1; }
-done
-for root in crates/core crates/telemetry; do
-  grep -q '^#!\[deny(unsafe_code)\]' "$root/src/lib.rs" \
-    || { echo "unsafe audit: $root/src/lib.rs lacks #![deny(unsafe_code)]"; exit 1; }
-done
+step "rustdoc (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "==> sancheck (dynamic hazard checker)"
+# Static verification: the kernel effect solver (lane disjointness,
+# staging discipline, barrier uniformity, probe budgets) plus the
+# workspace invariant linter. This subsumes the old inline unsafe-code
+# grep: the allowlist now lives in check/unsafe_allowlist.toml and stale
+# entries fail the gate too.
+step "nulpa check (static effect verifier + workspace linter)"
+cargo run --release --bin nulpa -- check
+
+step "sancheck (dynamic hazard checker)"
 cargo run --release --bin nulpa -- sancheck
 
-echo "==> perf gate (cycle-attribution baseline)"
+step "perf gate (cycle-attribution baseline)"
 bash scripts/perf_gate.sh
 
-echo "==> quality gate (convergence-telemetry baseline)"
+step "quality gate (convergence-telemetry baseline)"
 bash scripts/quality_gate.sh
 
 echo "CI OK"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Shared helpers for the scripts/ entry points. Source this first:
+#
+#   . "$(dirname "$0")/lib.sh"
+#
+# It enables strict mode, moves to the workspace root, and provides the
+# step/fail helpers the gates use for uniform output.
+set -euo pipefail
+
+cd "$(dirname "${BASH_SOURCE[0]}")/.."
+
+# Announce a CI step.
+step() { echo "==> $*"; }
+
+# Fail the gate with a message.
+fail() {
+  echo "$*" >&2
+  exit 1
+}

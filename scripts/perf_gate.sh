@@ -6,7 +6,7 @@
 # simulator is deterministic, so any drift is a real cost-model change;
 # refresh the baseline deliberately with:
 #   cargo run --release -p nulpa-bench --bin profile_baseline
-set -euo pipefail
-cd "$(dirname "$0")/.."
+. "$(dirname "$0")/lib.sh"
 
+step "perf gate: profiling backend matrix vs committed baseline"
 cargo run --release -p nulpa-bench --bin profile_baseline -- --check "$@"

@@ -9,8 +9,7 @@
 #     absolute noise floors (250 ms / 16 MiB).
 # Refresh the baseline deliberately with:
 #   cargo run --release --bin nulpa -- stats --write-baseline results/telemetry_baseline.json
-set -euo pipefail
-cd "$(dirname "$0")/.."
+. "$(dirname "$0")/lib.sh"
 
 BASELINE="${NULPA_QUALITY_BASELINE:-results/telemetry_baseline.json}"
 HISTORY="${NULPA_QUALITY_HISTORY:-results/history.jsonl}"

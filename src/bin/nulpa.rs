@@ -52,6 +52,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("sancheck") => cmd_sancheck(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("--help") | Some("-h") | None => {
             usage();
@@ -80,6 +81,7 @@ fn usage() {
          nulpa generate <dataset> [--scale F] [--output FILE]\n  \
          nulpa trace <tracefile> [--top K] [--json]\n  \
          nulpa sancheck [graph] [--json]   run backends under the hazard checker\n  \
+         nulpa check [--json] [--inject]   static kernel effect verifier + workspace linter\n  \
          nulpa profile [graph] [--json] [--backend NAME] [--telemetry FILE]   cycle-attribution profile\n\n\
          STATS: runs the seq / nu-lpa / nu-lpa-sim backends with per-iteration\n  \
          convergence telemetry (dN, active fraction, entropy, modularity),\n  \
@@ -1137,4 +1139,69 @@ fn cmd_sancheck(_args: &[String]) -> Result<(), String> {
          (rebuild with default features)"
             .into(),
     )
+}
+
+/// `nulpa check [--json] [--inject] [--root DIR]` — run the static
+/// kernel effect verifier and the workspace invariant linter. Exits
+/// non-zero on any finding; `--inject` adds the fault-injection
+/// descriptors (the gate must then fail — that is its self-test).
+#[cfg(feature = "check")]
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    use nu_lpa::check::{register_injected, run_check};
+
+    let json = args.iter().any(|a| a == "--json");
+    let inject = args.iter().any(|a| a == "--inject");
+    let root = match opt_value(args, "--root") {
+        Some(r) => std::path::PathBuf::from(r),
+        None => workspace_root()?,
+    };
+    let mut registry = nu_lpa::core::shipped_effects();
+    if inject {
+        register_injected(&mut registry);
+    }
+    let report = run_check(&root, &registry);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if !report.is_clean() {
+        return Err(format!(
+            "check: {} findings across {} kernels / {} files",
+            report.total_findings(),
+            report.kernels_checked,
+            report.files_scanned
+        ));
+    }
+    Ok(())
+}
+
+/// Locate the workspace root by walking up from the current directory
+/// until a `Cargo.toml` containing a `[workspace]` table is found.
+#[cfg(feature = "check")]
+fn workspace_root() -> Result<std::path::PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(
+                "check: no workspace Cargo.toml above the current directory \
+                 (pass --root <dir>)"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// Stub when the static checker is compiled out.
+#[cfg(not(feature = "check"))]
+fn cmd_check(_args: &[String]) -> Result<(), String> {
+    Err("check: this binary was built without the `check` feature \
+         (rebuild with default features)"
+        .into())
 }

@@ -23,10 +23,15 @@
 //!   convergence trajectories and the run-history ledger
 //!   ([`nulpa_telemetry`]; present when the default `telemetry` feature
 //!   is on).
+//! * [`check`] — static kernel effect verifier + workspace invariant
+//!   linter ([`nulpa_check`]; present when the default `check` feature
+//!   is on).
 
 #![forbid(unsafe_code)]
 
 pub use nulpa_baselines as baselines;
+#[cfg(feature = "check")]
+pub use nulpa_check as check;
 pub use nulpa_core as core;
 pub use nulpa_graph as graph;
 pub use nulpa_hashtab as hashtab;

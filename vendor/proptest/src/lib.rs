@@ -218,7 +218,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Anything usable as the size argument of [`vec`].
+    /// Anything usable as the size argument of [`vec()`].
     pub trait SizeRange {
         /// Draw a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
