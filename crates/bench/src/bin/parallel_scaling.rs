@@ -41,31 +41,39 @@ fn main() {
         hw_threads
     );
 
-    let mut rows: Vec<(usize, f64, nulpa_bench::TimingStats)> = Vec::new();
-    let mut reference = None;
-    for &threads in &THREAD_COUNTS {
-        // explicit thread count, overriding any NULPA_THREADS in the env
-        let cfg = LpaConfig::default().with_threads(threads);
-        let (stats, r) = timing_stats(args.repeats, || lpa_gpu(g, &cfg));
-        let wall = stats.p50;
-        match &reference {
-            None => reference = Some(r),
-            Some(base) => {
-                assert_eq!(
-                    r.labels, base.labels,
-                    "labels diverged at {threads} threads"
-                );
-                assert_eq!(
-                    r.stats, base.stats,
-                    "simulator stats diverged at {threads} threads"
-                );
-                assert_eq!(
-                    r.staged_collisions, base.staged_collisions,
-                    "staged collisions diverged at {threads} threads"
-                );
+    // (frontier?, threads, p50 ms, stats) — both scheduling modes run the
+    // full thread ladder, and each mode's runs must be bit-identical
+    // across thread counts (the deterministic-merge contract covers the
+    // frontier worklist too).
+    let mut rows: Vec<(bool, usize, f64, nulpa_bench::TimingStats)> = Vec::new();
+    for &frontier in &[false, true] {
+        let mut reference = None;
+        for &threads in &THREAD_COUNTS {
+            // explicit thread count, overriding any NULPA_THREADS in the env
+            let cfg = LpaConfig::default()
+                .with_threads(threads)
+                .with_frontier(frontier);
+            let (stats, r) = timing_stats(args.repeats, || lpa_gpu(g, &cfg));
+            let wall = stats.p50;
+            match &reference {
+                None => reference = Some(r),
+                Some(base) => {
+                    assert_eq!(
+                        r.labels, base.labels,
+                        "labels diverged at {threads} threads (frontier={frontier})"
+                    );
+                    assert_eq!(
+                        r.stats, base.stats,
+                        "simulator stats diverged at {threads} threads (frontier={frontier})"
+                    );
+                    assert_eq!(
+                        r.staged_collisions, base.staged_collisions,
+                        "staged collisions diverged at {threads} threads (frontier={frontier})"
+                    );
+                }
             }
+            rows.push((frontier, threads, wall.as_secs_f64() * 1e3, stats));
         }
-        rows.push((threads, wall.as_secs_f64() * 1e3, stats));
     }
 
     print_header(&format!(
@@ -73,24 +81,26 @@ fn main() {
         spec.name, hw_threads
     ));
     println!(
-        "{:<8} {:>12} {:>12} {:>12} {:>10}",
-        "threads", "min (ms)", "p50 (ms)", "p95 (ms)", "speedup"
+        "{:<10} {:<8} {:>12} {:>12} {:>12} {:>10}",
+        "mode", "threads", "min (ms)", "p50 (ms)", "p95 (ms)", "speedup"
     );
-    let base_ms = rows[0].1;
-    for &(threads, ms, stats) in &rows {
+    let base_ms = rows[0].2;
+    for &(frontier, threads, ms, stats) in &rows {
         println!(
-            "{threads:<8} {:>12.2} {ms:>12.2} {:>12.2} {:>9.2}x",
+            "{:<10} {threads:<8} {:>12.2} {ms:>12.2} {:>12.2} {:>9.2}x",
+            if frontier { "frontier" } else { "dense" },
             stats.min.as_secs_f64() * 1e3,
             stats.p95.as_secs_f64() * 1e3,
             base_ms / ms.max(1e-9)
         );
     }
-    println!("\nall thread counts produced bit-identical labels and stats");
+    println!("\nall thread counts produced bit-identical labels and stats in both modes");
 
     let mut report = Report::new("parallel_scaling", &args);
     let mut t = Table::new(
         &format!("nulpa detect wall-clock on {}", spec.name),
         &[
+            "frontier",
             "threads",
             "min_ms",
             "wall_ms",
@@ -99,10 +109,12 @@ fn main() {
             "hw_threads",
         ],
     );
-    for &(threads, ms, stats) in &rows {
+    for &(frontier, threads, ms, stats) in &rows {
+        let mode = if frontier { "frontier" } else { "dense" };
         t.row(
-            &format!("threads={threads}"),
+            &format!("{mode}:threads={threads}"),
             &[
+                frontier as u8 as f64,
                 threads as f64,
                 stats.min.as_secs_f64() * 1e3,
                 ms,
@@ -111,7 +123,7 @@ fn main() {
                 hw_threads as f64,
             ],
         );
-        report.record_timing(&format!("{}::threads={threads}", spec.name), stats);
+        report.record_timing(&format!("{}::{mode}:threads={threads}", spec.name), stats);
     }
     report.push(t);
     match report.write(&args.json) {

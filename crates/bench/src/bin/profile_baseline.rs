@@ -86,6 +86,53 @@ fn run_matrix() -> Result<Vec<GraphProfile>, String> {
     Ok(profiles)
 }
 
+/// The frontier acceptance lock: the compacted active-set mode must beat
+/// its dense counterpart by at least this much on at least one
+/// `(graph, device)` cell of the matrix. The simulator is deterministic,
+/// so a miss means the frontier scheduling genuinely regressed.
+const FRONTIER_MIN_REDUCTION_PCT: f64 = 25.0;
+
+fn check_frontier_win(profiles: &[GraphProfile]) -> Result<(), String> {
+    let mut best: Option<(String, f64)> = None;
+    for gp in profiles {
+        let Some(dense_name) = gp.profile.backend.strip_suffix("-frontier") else {
+            continue;
+        };
+        let dense = profiles
+            .iter()
+            .find(|d| d.profile.backend == dense_name && d.profile.graph == gp.profile.graph)
+            .ok_or_else(|| {
+                format!(
+                    "frontier gate: no dense counterpart `{dense_name}` for {}/{}",
+                    gp.profile.graph, gp.profile.backend
+                )
+            })?;
+        let red = 100.0
+            * (1.0 - gp.profile.totals.sim_cycles as f64 / dense.profile.totals.sim_cycles as f64);
+        println!(
+            "frontier vs dense {:<18} {:<6} {:>+6.1}% sim cycles",
+            gp.profile.graph, dense_name, -red
+        );
+        if best.as_ref().is_none_or(|(_, r)| red > *r) {
+            best = Some((format!("{}/{dense_name}", gp.profile.graph), red));
+        }
+    }
+    match best {
+        Some((cell, red)) if red >= FRONTIER_MIN_REDUCTION_PCT => {
+            println!(
+                "frontier gate: {cell} cut {red:.1}% of simulated cycles \
+                 (threshold {FRONTIER_MIN_REDUCTION_PCT}%)"
+            );
+            Ok(())
+        }
+        Some((cell, red)) => Err(format!(
+            "frontier gate failed: best reduction {red:.1}% ({cell}) is below \
+             the locked {FRONTIER_MIN_REDUCTION_PCT}% threshold"
+        )),
+        None => Err("frontier gate: no frontier backends in the matrix".into()),
+    }
+}
+
 fn write_report(path: &str, text: &str) -> Result<(), String> {
     if let Some(dir) = std::path::Path::new(path).parent() {
         if !dir.as_os_str().is_empty() {
@@ -135,6 +182,7 @@ fn run(args: &Args) -> Result<(), String> {
             gp.communities,
         );
     }
+    check_frontier_win(&profiles)?;
 
     if !args.check {
         let out = args.out.clone().unwrap_or_else(|| args.baseline.clone());

@@ -97,6 +97,15 @@ pub struct LpaConfig {
     /// neighbourhood changed are reprocessed. Disable for the ablation
     /// bench — every iteration then scans all vertices.
     pub pruning: bool,
+    /// Frontier (worklist) execution: instead of scanning all |V|
+    /// vertices and filtering on the pruning flags, each iteration
+    /// processes an explicit active set carried over from the previous
+    /// one (Traag & Šubelj's fast label propagation). Final labels are
+    /// bit-identical to the dense sweep per backend; on the simulated GPU
+    /// the sparse launch charges cycles proportional to the frontier, not
+    /// |V|. Requires `pruning` (the frontier *is* the pruning rule made
+    /// explicit).
+    pub frontier: bool,
     /// Shared-memory hashtables for low-degree vertices (paper §4.2: the
     /// authors "experimented with shared memory-based hashtables for
     /// low-degree vertices, but saw little to no performance gain" — off
@@ -125,6 +134,7 @@ impl Default for LpaConfig {
             probe: ProbeStrategy::QuadraticDouble,
             value_type: ValueType::F32,
             pruning: true,
+            frontier: false,
             shared_tables: false,
             device: DeviceConfig::a100(),
             cost: CostModel::default_gpu(),
@@ -172,6 +182,9 @@ impl LpaConfig {
             }
             _ => {}
         }
+        if self.frontier && !self.pruning {
+            return Err("frontier mode requires pruning (the worklist is the pruning rule)".into());
+        }
         self.device.validate()
     }
 
@@ -202,6 +215,12 @@ impl LpaConfig {
     /// Builder-style setter for vertex pruning.
     pub fn with_pruning(mut self, p: bool) -> Self {
         self.pruning = p;
+        self
+    }
+
+    /// Builder-style setter for frontier (worklist) execution.
+    pub fn with_frontier(mut self, f: bool) -> Self {
+        self.frontier = f;
         self
     }
 
@@ -251,7 +270,15 @@ mod tests {
         assert_eq!(c.probe, ProbeStrategy::QuadraticDouble);
         assert_eq!(c.value_type, ValueType::F32);
         assert!(c.pruning);
+        assert!(!c.frontier);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn frontier_requires_pruning() {
+        let c = LpaConfig::default().with_frontier(true);
+        assert!(c.validate().is_ok());
+        assert!(c.with_pruning(false).validate().is_err());
     }
 
     #[test]

@@ -115,13 +115,79 @@ fn lpa_native_typed<V: HashValue>(
     let buf_k = DisjointBuffer::new(vec![EMPTY_KEY; buf_len]);
     let buf_v = DisjointBuffer::new(vec![V::zero(); buf_len]);
 
+    // Frontier (worklist) state. Activation is deduplicated with atomic
+    // `queued` flags (the thread that flips 0 → 1 owns the push), each
+    // task returns its activations as a local list, and the lists are
+    // merged on the host in candidate order — the merged *set* is the
+    // race-free union, and sorting ascending at the next iteration start
+    // erases any thread-schedule dependence in the order. That is what
+    // keeps `--threads N` frontier runs bit-identical (see DESIGN.md).
+    let frontier = config.frontier;
+    let queued: Vec<AtomicU8> = (0..if frontier { n } else { 0 })
+        .map(|_| AtomicU8::new(0))
+        .collect();
+    let mut worklist: Vec<VertexId> = Vec::new();
+    if frontier {
+        match unprocessed {
+            None => {
+                for v in 0..n as VertexId {
+                    if g.degree(v) > 0 {
+                        queued[v as usize].store(1, Ordering::Relaxed);
+                        worklist.push(v);
+                    }
+                }
+            }
+            Some(seed) => {
+                for &v in seed {
+                    if g.degree(v) > 0 && queued[v as usize].swap(1, Ordering::Relaxed) == 0 {
+                        worklist.push(v);
+                    }
+                }
+            }
+        }
+    }
+    let mut movers: Vec<VertexId> = Vec::new();
+
     let mut changed_per_iter = Vec::new();
+    let mut scanned_per_iter = Vec::new();
     let mut converged = false;
     let mut iterations = 0;
     let t0 = Instant::now();
     let now_us = |t0: &Instant| t0.elapsed().as_micros() as u64;
 
     for iter in 0..config.max_iterations {
+        // Shuffled sweep order: emulates the interleaved schedule a real
+        // thread pool produces and avoids the ascending-cascade pathology
+        // (see `seq::shuffle_candidates`).
+        let (mut candidates, scanned) = if frontier {
+            worklist.sort_unstable();
+            let scanned = worklist.len();
+            for &v in &worklist {
+                queued[v as usize].store(0, Ordering::Relaxed);
+            }
+            let cands: Vec<VertexId> = worklist
+                .drain(..)
+                .filter(|&v| processed[v as usize].load(Ordering::Relaxed) == 0)
+                .collect();
+            (cands, scanned)
+        } else {
+            (
+                (0..n as VertexId)
+                    .into_par_iter()
+                    .filter(|&v| {
+                        (!config.pruning || processed[v as usize].load(Ordering::Relaxed) == 0)
+                            && g.degree(v) > 0
+                    })
+                    .collect(),
+                n,
+            )
+        };
+        if frontier && candidates.is_empty() {
+            // Empty frontier: nothing can change, so the run is converged
+            // without spending (or recording) a final sweep.
+            converged = true;
+            break;
+        }
         iterations = iter + 1;
         let pick_less = config.swap_mode.pick_less_on(iter);
         let prev = config.swap_mode.cross_check_on(iter).then(|| {
@@ -138,54 +204,98 @@ fn lpa_native_typed<V: HashValue>(
                 &[("iter", iter.into())],
             );
         }
-
-        // Shuffled sweep order: emulates the interleaved schedule a real
-        // thread pool produces and avoids the ascending-cascade pathology
-        // (see `seq::shuffle_candidates`).
-        let mut candidates: Vec<VertexId> = (0..n as VertexId)
-            .into_par_iter()
-            .filter(|&v| {
-                (!config.pruning || processed[v as usize].load(Ordering::Relaxed) == 0)
-                    && g.degree(v) > 0
-            })
-            .collect();
         crate::seq::shuffle_candidates(&mut candidates, iter);
 
         // ΔN via parallel reduce — no shared counter contention.
-        let mut changed: usize = candidates
-            .par_iter()
-            .map(|&v| {
-                process_vertex::<V>(g, config, v, pick_less, &labels, &processed, &buf_k, &buf_v)
-                    as usize
-            })
-            .sum();
+        let mut changed: usize;
+        if frontier {
+            let outcomes: Vec<(bool, Vec<VertexId>)> = candidates
+                .par_iter()
+                .map(|&v| {
+                    let mut acts = Vec::new();
+                    let moved = process_vertex::<V>(
+                        g,
+                        config,
+                        v,
+                        pick_less,
+                        &labels,
+                        &processed,
+                        &buf_k,
+                        &buf_v,
+                        Some((queued.as_slice(), &mut acts)),
+                    );
+                    (moved, acts)
+                })
+                .collect();
+            changed = 0;
+            for (i, (moved, acts)) in outcomes.into_iter().enumerate() {
+                if moved {
+                    changed += 1;
+                    movers.push(candidates[i]);
+                }
+                worklist.extend(acts);
+            }
+        } else {
+            changed = candidates
+                .par_iter()
+                .map(|&v| {
+                    process_vertex::<V>(
+                        g, config, v, pick_less, &labels, &processed, &buf_k, &buf_v, None,
+                    ) as usize
+                })
+                .sum();
+        }
 
         // Cross-Check pass (paper §4.1): sequential over changed vertices,
         // so a revert is visible to the partner's check — this is the
-        // symmetry breaker.
+        // symmetry breaker. Only movers can satisfy `c != prev[v]` and a
+        // revert never flips a non-mover's condition, so in frontier mode
+        // the ascending scan over the movers is exactly the dense 0..n
+        // scan.
         if let Some(prev) = prev {
             let mut reverted = 0usize;
-            for v in 0..n {
-                let c = labels[v].load(Ordering::Relaxed);
-                if c != prev[v] && labels[c as usize].load(Ordering::Relaxed) != c {
-                    labels[v].store(prev[v], Ordering::Relaxed);
-                    processed[v].store(0, Ordering::Relaxed);
-                    reverted += 1;
+            if frontier {
+                movers.sort_unstable();
+                for &m in &movers {
+                    let v = m as usize;
+                    let c = labels[v].load(Ordering::Relaxed);
+                    if c != prev[v] && labels[c as usize].load(Ordering::Relaxed) != c {
+                        labels[v].store(prev[v], Ordering::Relaxed);
+                        processed[v].store(0, Ordering::Relaxed);
+                        if queued[v].swap(1, Ordering::Relaxed) == 0 {
+                            worklist.push(m);
+                        }
+                        reverted += 1;
+                    }
+                }
+            } else {
+                for v in 0..n {
+                    let c = labels[v].load(Ordering::Relaxed);
+                    if c != prev[v] && labels[c as usize].load(Ordering::Relaxed) != c {
+                        labels[v].store(prev[v], Ordering::Relaxed);
+                        processed[v].store(0, Ordering::Relaxed);
+                        reverted += 1;
+                    }
                 }
             }
             changed = changed.saturating_sub(reverted);
         }
+        movers.clear();
 
         changed_per_iter.push(changed);
+        scanned_per_iter.push(scanned);
         if obs.is_enabled() {
             let snapshot: Vec<VertexId> =
                 labels.iter().map(|l| l.load(Ordering::Relaxed)).collect();
-            obs.on_iteration(iter, changed, candidates.len(), &snapshot);
+            obs.on_iteration(iter, changed, candidates.len(), scanned, &snapshot);
         }
         if sink.is_enabled() {
             let ts = now_us(&t0);
             sink.counter("dN", ts, changed as f64);
             sink.counter("active_vertices", ts, candidates.len() as f64);
+            if frontier {
+                sink.counter("frontier_size", ts, scanned as f64);
+            }
             sink.span_end(
                 track::HOST,
                 "iteration",
@@ -212,12 +322,18 @@ fn lpa_native_typed<V: HashValue>(
         iterations,
         converged,
         changed_per_iter,
+        scanned_per_iter,
         stats: KernelStats::new(),
         staged_collisions: 0,
     }
 }
 
 /// One vertex's label update; returns `true` if the label changed.
+///
+/// In frontier mode, `activate` carries the shared `queued` flags and the
+/// task-local activation list: a moving vertex CAS-claims each cleared
+/// neighbour (0 → 1) and records the ones it won, so every re-activated
+/// vertex lands in exactly one task's list.
 #[allow(clippy::too_many_arguments)]
 fn process_vertex<V: HashValue>(
     g: &Csr,
@@ -228,6 +344,7 @@ fn process_vertex<V: HashValue>(
     processed: &[AtomicU8],
     buf_k: &DisjointBuffer<u32>,
     buf_v: &DisjointBuffer<V>,
+    activate: Option<(&[AtomicU8], &mut Vec<VertexId>)>,
 ) -> bool {
     processed[v as usize].store(1, Ordering::Relaxed);
     let degree = g.degree(v);
@@ -257,8 +374,17 @@ fn process_vertex<V: HashValue>(
     let cur = labels[v as usize].load(Ordering::Relaxed);
     if c_star != cur && (!pick_less || c_star < cur) {
         labels[v as usize].store(c_star, Ordering::Relaxed);
-        for &j in g.neighbor_ids(v) {
-            processed[j as usize].store(0, Ordering::Relaxed);
+        if let Some((queued, acts)) = activate {
+            for &j in g.neighbor_ids(v) {
+                processed[j as usize].store(0, Ordering::Relaxed);
+                if queued[j as usize].swap(1, Ordering::Relaxed) == 0 {
+                    acts.push(j);
+                }
+            }
+        } else {
+            for &j in g.neighbor_ids(v) {
+                processed[j as usize].store(0, Ordering::Relaxed);
+            }
         }
         true
     } else {
@@ -413,5 +539,68 @@ mod tests {
         let g = erdos_renyi(200, 800, 11);
         let r = lpa_native(&g, &cfg().with_max_iterations(3));
         assert!(r.iterations <= 3);
+    }
+
+    #[test]
+    fn frontier_matches_dense_exactly_across_swap_modes() {
+        // The worklist mirrors the pruning flags, so the full trajectory
+        // — labels, ΔN series, iteration count — must be bit-identical.
+        let g = erdos_renyi(200, 600, 13);
+        for mode in [
+            SwapMode::Off,
+            SwapMode::CrossCheck { every: 2 },
+            SwapMode::PickLess { every: 4 },
+            SwapMode::PickLess { every: 1 },
+            SwapMode::Hybrid {
+                cc_every: 2,
+                pl_every: 3,
+            },
+        ] {
+            let dense = lpa_native(&g, &cfg().with_swap_mode(mode));
+            let front = lpa_native(&g, &cfg().with_swap_mode(mode).with_frontier(true));
+            assert_eq!(dense.labels, front.labels, "{mode:?}");
+            assert_eq!(dense.changed_per_iter, front.changed_per_iter, "{mode:?}");
+            assert_eq!(dense.iterations, front.iterations, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn frontier_scans_fewer_vertices() {
+        let g = caveman_weighted(8, 8, 0.5);
+        let dense = lpa_native(&g, &cfg());
+        let front = lpa_native(&g, &cfg().with_frontier(true));
+        assert_eq!(dense.labels, front.labels);
+        assert!(
+            front.scanned_per_iter.iter().sum::<usize>()
+                < dense.scanned_per_iter.iter().sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn empty_frontier_warm_start_converges_without_a_sweep() {
+        // Warm start with nothing to do: the frontier starts empty and the
+        // run must report converged without recording a single iteration.
+        let g = two_cliques_light_bridge(6);
+        let settled = lpa_native(&g, &cfg());
+        let r = lpa_native_from_state(&g, &cfg().with_frontier(true), settled.labels.clone(), &[]);
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+        assert!(r.changed_per_iter.is_empty());
+        assert_eq!(r.labels, settled.labels);
+    }
+
+    #[test]
+    fn frontier_bit_identical_across_thread_counts() {
+        let g = erdos_renyi(250, 800, 17);
+        let cfg = cfg().with_frontier(true);
+        let base = lpa_native(&g, &cfg.with_threads(1));
+        for threads in [2, 3, 4] {
+            let r = lpa_native(&g, &cfg.with_threads(threads));
+            assert_eq!(base.labels, r.labels, "threads={threads}");
+            assert_eq!(
+                base.changed_per_iter, r.changed_per_iter,
+                "threads={threads}"
+            );
+        }
     }
 }

@@ -14,6 +14,11 @@ pub struct LpaResult {
     pub converged: bool,
     /// Vertices whose label changed, per iteration (`ΔN` series).
     pub changed_per_iter: Vec<usize>,
+    /// Vertices each iteration had to inspect to build its work set:
+    /// |V| per dense sweep, the worklist length per frontier iteration.
+    /// The frontier speedup is visible as this series collapsing while
+    /// `changed_per_iter` stays identical.
+    pub scanned_per_iter: Vec<usize>,
     /// Simulator statistics (zeroed for the native/sequential backends).
     pub stats: KernelStats,
     /// Label cells staged more than once within a single simulated wave,
@@ -47,6 +52,7 @@ mod tests {
             iterations: 3,
             converged: true,
             changed_per_iter: vec![4, 2, 0],
+            scanned_per_iter: vec![4, 4, 4],
             stats: KernelStats::new(),
             staged_collisions: 0,
         };

@@ -72,10 +72,56 @@ pub fn lpa_seq_observed(
     let mut labels: Vec<VertexId> = (0..n as VertexId).collect();
     let mut processed = vec![false; n];
     let mut changed_per_iter = Vec::new();
+    let mut scanned_per_iter = Vec::new();
     let mut converged = false;
     let mut iterations = 0;
 
+    // Frontier (worklist) state. The worklist mirrors the pruning flags
+    // exactly: a vertex is queued iff its `processed` flag was cleared
+    // (by a moving neighbour or a Cross-Check revert) since it last ran.
+    // Sorting ascending and re-filtering on the flag at iteration start
+    // reproduces the dense candidate list verbatim, so the shuffled sweep
+    // order — and therefore every label — is bit-identical to the dense
+    // sweep; only the O(n)-per-iteration scan disappears.
+    let frontier = config.frontier;
+    let mut worklist: Vec<VertexId> = Vec::new();
+    let mut queued = vec![false; if frontier { n } else { 0 }];
+    if frontier {
+        for v in 0..n as VertexId {
+            if g.degree(v) > 0 {
+                queued[v as usize] = true;
+                worklist.push(v);
+            }
+        }
+    }
+    let mut movers: Vec<VertexId> = Vec::new();
+
     for iter in 0..config.max_iterations {
+        let (mut candidates, scanned) = if frontier {
+            worklist.sort_unstable();
+            let scanned = worklist.len();
+            for &v in &worklist {
+                queued[v as usize] = false;
+            }
+            let cands: Vec<VertexId> = worklist
+                .drain(..)
+                .filter(|&v| !processed[v as usize])
+                .collect();
+            (cands, scanned)
+        } else {
+            (
+                (0..n as VertexId)
+                    .filter(|&v| (!config.pruning || !processed[v as usize]) && g.degree(v) > 0)
+                    .collect(),
+                n,
+            )
+        };
+        if frontier && candidates.is_empty() {
+            // Empty frontier: nothing can change, so the run is converged
+            // without spending (or recording) a final sweep.
+            converged = true;
+            break;
+        }
         iterations = iter + 1;
         let pick_less = config.swap_mode.pick_less_on(iter);
         let prev = if config.swap_mode.cross_check_on(iter) {
@@ -84,9 +130,6 @@ pub fn lpa_seq_observed(
             None
         };
 
-        let mut candidates: Vec<VertexId> = (0..n as VertexId)
-            .filter(|&v| (!config.pruning || !processed[v as usize]) && g.degree(v) > 0)
-            .collect();
         shuffle_candidates(&mut candidates, iter);
         let active = candidates.len();
         if sink.is_enabled() {
@@ -122,32 +165,63 @@ pub fn lpa_seq_observed(
             if c_star != cur && (!pick_less || c_star < cur) {
                 labels[v as usize] = c_star;
                 changed += 1;
+                if frontier {
+                    movers.push(v);
+                }
                 for j in g.neighbor_ids(v) {
                     processed[*j as usize] = false;
+                    if frontier && !queued[*j as usize] {
+                        queued[*j as usize] = true;
+                        worklist.push(*j);
+                    }
                 }
             }
         }
 
-        // Cross-Check pass: revert "bad" changes (paper §4.1)
+        // Cross-Check pass: revert "bad" changes (paper §4.1). Only
+        // movers can satisfy `c != prev[v]`, and reverting a mover never
+        // flips a non-mover's condition, so in frontier mode scanning the
+        // movers in ascending vertex order is exactly the dense 0..n scan.
         if let Some(prev) = prev {
-            for v in 0..n {
-                let c = labels[v];
-                if c != prev[v] && labels[c as usize] != c {
-                    labels[v] = prev[v];
-                    // reverted vertices may need reprocessing
-                    processed[v] = false;
+            if frontier {
+                movers.sort_unstable();
+                for &m in &movers {
+                    let v = m as usize;
+                    let c = labels[v];
+                    if c != prev[v] && labels[c as usize] != c {
+                        labels[v] = prev[v];
+                        processed[v] = false;
+                        if !queued[v] {
+                            queued[v] = true;
+                            worklist.push(m);
+                        }
+                    }
+                }
+            } else {
+                for v in 0..n {
+                    let c = labels[v];
+                    if c != prev[v] && labels[c as usize] != c {
+                        labels[v] = prev[v];
+                        // reverted vertices may need reprocessing
+                        processed[v] = false;
+                    }
                 }
             }
         }
+        movers.clear();
 
         changed_per_iter.push(changed);
+        scanned_per_iter.push(scanned);
         if obs.is_enabled() {
-            obs.on_iteration(iter, changed, active, &labels);
+            obs.on_iteration(iter, changed, active, scanned, &labels);
         }
         if sink.is_enabled() {
             let ts = t0.elapsed().as_micros() as u64;
             sink.counter("dN", ts, changed as f64);
             sink.counter("active_vertices", ts, active as f64);
+            if frontier {
+                sink.counter("frontier_size", ts, scanned as f64);
+            }
             sink.span_end(
                 track::HOST,
                 "iteration",
@@ -174,6 +248,7 @@ pub fn lpa_seq_observed(
         iterations,
         converged,
         changed_per_iter,
+        scanned_per_iter,
         stats: KernelStats::new(),
         staged_collisions: 0,
     }
@@ -317,6 +392,66 @@ mod tests {
             .build();
         let r = lpa_seq(&g, &cfg());
         assert_eq!(r.labels[0], r.labels[1]);
+    }
+
+    #[test]
+    fn frontier_matches_dense_exactly_across_swap_modes() {
+        // The worklist mirrors the pruning flags, so the full trajectory
+        // — labels, ΔN series, iteration count — must be bit-identical.
+        let g = nulpa_graph::gen::erdos_renyi(200, 600, 11);
+        for mode in [
+            SwapMode::Off,
+            SwapMode::CrossCheck { every: 2 },
+            SwapMode::PickLess { every: 4 },
+            SwapMode::PickLess { every: 1 },
+            SwapMode::Hybrid {
+                cc_every: 2,
+                pl_every: 3,
+            },
+        ] {
+            let dense = lpa_seq(&g, &cfg().with_swap_mode(mode));
+            let front = lpa_seq(&g, &cfg().with_swap_mode(mode).with_frontier(true));
+            assert_eq!(dense.labels, front.labels, "{mode:?}");
+            assert_eq!(dense.changed_per_iter, front.changed_per_iter, "{mode:?}");
+            assert_eq!(dense.iterations, front.iterations, "{mode:?}");
+            assert_eq!(dense.converged, front.converged, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn frontier_scans_fewer_vertices() {
+        let g = caveman_weighted(8, 8, 0.5);
+        let dense = lpa_seq(&g, &cfg());
+        let front = lpa_seq(&g, &cfg().with_frontier(true));
+        assert_eq!(dense.labels, front.labels);
+        assert!(dense
+            .scanned_per_iter
+            .iter()
+            .all(|&s| s == g.num_vertices()));
+        assert!(
+            front.scanned_per_iter.iter().sum::<usize>()
+                < dense.scanned_per_iter.iter().sum::<usize>(),
+            "frontier should inspect fewer vertices: {:?}",
+            front.scanned_per_iter
+        );
+        // active <= scanned per iteration
+        assert!(front
+            .scanned_per_iter
+            .iter()
+            .zip(&front.changed_per_iter)
+            .all(|(&s, &c)| c <= s));
+    }
+
+    #[test]
+    fn empty_frontier_converges_without_a_sweep() {
+        // No edges: the initial frontier is empty, so the run must report
+        // converged without recording a single iteration.
+        let g = Csr::empty(5);
+        let r = lpa_seq(&g, &cfg().with_frontier(true));
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+        assert!(r.changed_per_iter.is_empty());
+        assert_eq!(r.labels, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -109,10 +109,14 @@ pub enum Comp {
     Shared = 6,
     /// Barrier alignment: cycles a lane waited at `__syncthreads()`.
     Barrier = 7,
+    /// Frontier compaction: every cycle charged while a lane runs the
+    /// sparse-frontier compaction kernel (flag reads, predicate ALU, and
+    /// the warp-aggregated emit), regardless of operation kind.
+    FrontierCompact = 8,
 }
 
 /// Number of [`Comp`] variants (length of a [`CompCycles`] array).
-pub const NUM_COMPS: usize = 8;
+pub const NUM_COMPS: usize = 9;
 
 impl Comp {
     /// All components, in display order.
@@ -126,6 +130,7 @@ impl Comp {
             Comp::ProbeFar,
             Comp::Shared,
             Comp::Barrier,
+            Comp::FrontierCompact,
         ]
     }
 
@@ -140,6 +145,7 @@ impl Comp {
             Comp::ProbeFar => "probe_far",
             Comp::Shared => "shared",
             Comp::Barrier => "barrier",
+            Comp::FrontierCompact => "frontier_compact",
         }
     }
 }
@@ -211,6 +217,10 @@ pub struct LaneMeter {
     /// [`LaneMeter::probe_scope`]).
     #[cfg(feature = "prof")]
     in_probe: bool,
+    /// Whether the lane is currently inside the frontier-compaction
+    /// kernel (see [`LaneMeter::compact_scope`]).
+    #[cfg(feature = "prof")]
+    in_compact: bool,
 }
 
 impl LaneMeter {
@@ -220,10 +230,19 @@ impl LaneMeter {
     }
 
     /// Attribute `cycles` to `comp`; compiles away without `prof`.
+    /// Inside a compact scope every charge belongs to
+    /// [`Comp::FrontierCompact`] instead.
     #[inline]
     pub(crate) fn tag(&mut self, comp: Comp, cycles: u64) {
         #[cfg(feature = "prof")]
-        self.comp.add(comp, cycles);
+        {
+            let comp = if self.in_compact {
+                Comp::FrontierCompact
+            } else {
+                comp
+            };
+            self.comp.add(comp, cycles);
+        }
         #[cfg(not(feature = "prof"))]
         let _ = (comp, cycles);
     }
@@ -234,11 +253,15 @@ impl LaneMeter {
     fn tag_mem(&mut self, near: bool, cycles: u64) {
         #[cfg(feature = "prof")]
         {
-            let comp = match (self.in_probe, near) {
-                (false, true) => Comp::GlobalNear,
-                (false, false) => Comp::GlobalFar,
-                (true, true) => Comp::ProbeNear,
-                (true, false) => Comp::ProbeFar,
+            let comp = if self.in_compact {
+                Comp::FrontierCompact
+            } else {
+                match (self.in_probe, near) {
+                    (false, true) => Comp::GlobalNear,
+                    (false, false) => Comp::GlobalFar,
+                    (true, true) => Comp::ProbeNear,
+                    (true, false) => Comp::ProbeFar,
+                }
             };
             self.comp.add(comp, cycles);
         }
@@ -256,6 +279,21 @@ impl LaneMeter {
         #[cfg(feature = "prof")]
         {
             self.in_probe = on;
+        }
+        #[cfg(not(feature = "prof"))]
+        let _ = on;
+    }
+
+    /// Mark the start (`true`) / end (`false`) of the frontier-compaction
+    /// kernel. While set, *every* charge (memory, ALU, atomic, shared,
+    /// barrier) is attributed to [`Comp::FrontierCompact`], so the cost of
+    /// building the sparse active set is a separate line in the profiler's
+    /// tables. A no-op (and cost-free) without the `prof` feature.
+    #[inline]
+    pub fn compact_scope(&mut self, on: bool) {
+        #[cfg(feature = "prof")]
+        {
+            self.in_compact = on;
         }
         #[cfg(not(feature = "prof"))]
         let _ = on;
@@ -509,6 +547,24 @@ mod tests {
             m.probe_scope(false);
             assert_eq!(m.comp.get(Comp::Atomic), m.cycles);
             assert_eq!(m.comp.get(Comp::ProbeFar), 0);
+        }
+
+        #[test]
+        fn compact_scope_reroutes_every_charge() {
+            let c = CostModel::default_gpu();
+            let mut m = LaneMeter::new();
+            m.compact_scope(true);
+            m.global_read(&c, 0, Width::W32);
+            m.alu(&c, 3);
+            m.atomic(&c, 5000, Width::W32);
+            m.probe_scope(true); // compact wins over probe scope
+            m.global_read(&c, 9000, Width::W32);
+            m.probe_scope(false);
+            m.compact_scope(false);
+            m.alu(&c, 1); // outside the scope again
+            assert_eq!(m.comp.get(Comp::FrontierCompact), m.cycles - c.alu);
+            assert_eq!(m.comp.get(Comp::Alu), c.alu);
+            assert_eq!(m.comp.total(), m.cycles);
         }
 
         #[test]

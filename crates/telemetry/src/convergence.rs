@@ -35,6 +35,11 @@ pub struct IterationSample {
     pub active: usize,
     /// `active / |V|` — the frontier-scheduling signal.
     pub active_fraction: f64,
+    /// Vertices the iteration inspected to build the work set: |V| for a
+    /// dense sweep, the worklist length under `LpaConfig::frontier`. The
+    /// frontier win is this column collapsing while `delta_n` tracks the
+    /// dense run exactly.
+    pub scanned: usize,
     /// Distinct communities after the iteration.
     pub communities: usize,
     /// Shannon entropy (bits) of the community-size distribution.
@@ -165,7 +170,14 @@ impl<'g> ConvergenceRecorder<'g> {
 }
 
 impl IterObserver for ConvergenceRecorder<'_> {
-    fn on_iteration(&mut self, iter: u32, changed: usize, active: usize, labels: &[VertexId]) {
+    fn on_iteration(
+        &mut self,
+        iter: u32,
+        changed: usize,
+        active: usize,
+        scanned: usize,
+        labels: &[VertexId],
+    ) {
         assert_eq!(labels.len(), self.prev.len(), "label length mismatch");
         for (v, &label) in labels.iter().enumerate() {
             if label != self.prev[v] {
@@ -178,6 +190,7 @@ impl IterObserver for ConvergenceRecorder<'_> {
             delta_n: changed,
             active,
             active_fraction: active as f64 / n.max(1) as f64,
+            scanned,
             communities: self.communities,
             entropy_bits: self.current_entropy_bits(),
             modularity: self.current_modularity(),
@@ -207,7 +220,7 @@ mod tests {
             for l in labels.iter_mut() {
                 *l %= modulus;
             }
-            rec.on_iteration(round, n, n, &labels);
+            rec.on_iteration(round, n, n, n, &labels);
             let expect = modularity(&g, &labels);
             let got = rec.samples.last().unwrap().modularity;
             assert!(
@@ -272,7 +285,7 @@ mod tests {
             .build();
         let mut rec = ConvergenceRecorder::new(&g);
         let labels = vec![0, 0, 2, 2];
-        rec.on_iteration(0, 2, 4, &labels);
+        rec.on_iteration(0, 2, 4, 4, &labels);
         let expect = modularity(&g, &labels);
         let got = rec.samples[0].modularity;
         assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Perf-regression gate. Profiles the built-in graph trio across the
-# profiling backend matrix, writes results/prof_current.json, and fails
+# profiling backend matrix — including the frontier (active-set) modes,
+# whose >=25% cycle win over the dense sweeps is asserted by the binary —
+# writes results/prof_current.json, and fails
 # if any attributed cycle component regressed more than the tolerance
 # (default 5%) against the committed results/prof_baseline.json. The
 # simulator is deterministic, so any drift is a real cost-model change;

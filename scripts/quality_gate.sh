@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Quality-regression gate. Runs the telemetered backend matrix (seq,
-# nu-lpa, nu-lpa-sim) over the built-in graph trio via `nulpa stats`,
+# nu-lpa, nu-lpa-sim, plus their -frontier worklist-mode variants) over
+# the built-in graph trio via `nulpa stats`,
 # appends the run records to the results/history.jsonl ledger, and fails
 # if any run regressed against the committed results/telemetry_baseline.json:
 #   - final modularity more than 1% below baseline (deterministic — the

@@ -73,7 +73,7 @@ fn usage() {
     eprintln!(
         "nulpa — nu-LPA community detection (paper reproduction)\n\n\
          USAGE:\n  nulpa stats [graph] [--backend B] [--json] [--history FILE] [--check BASELINE]\n              [--write-baseline FILE] [--telemetry FILE]   convergence observatory\n  \
-         nulpa detect <graph> [--method M] [--threads N] [--output FILE] [--quality] [--trace FILE] [--telemetry FILE]\n  \
+         nulpa detect <graph> [--method M] [--threads N] [--frontier] [--output FILE] [--quality] [--trace FILE] [--telemetry FILE]\n  \
          nulpa partition <graph> -k N [--balance F] [--output FILE]\n  \
          nulpa coarsen <graph> --target N [--output FILE]\n  \
          nulpa inspect <graph> [--top N]\n  \
@@ -91,6 +91,9 @@ fn usage() {
          networkit, gunrock, louvain, leiden, gve-lpa\n\n\
          THREADS: --threads N (or NULPA_THREADS=N) sets the host threads\n  \
          driving nu-lpa / nu-lpa-sim; results are identical at any count.\n\n\
+         FRONTIER: --frontier switches nu-lpa / nu-lpa-sim to worklist\n  \
+         (active-set) scheduling: only re-activated vertices are scanned\n  \
+         and, on the simulator, launched. Deterministic at any thread count.\n\n\
          TRACING: --trace x.jsonl writes a JSONL event stream; any other\n  \
          extension writes a Chrome trace-event file (open in Perfetto).\n  \
          Only nu-lpa and nu-lpa-sim are instrumented.\n\n\
@@ -299,7 +302,14 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         }
     };
 
-    const BACKENDS: &[&str] = &["seq", "nu-lpa", "nu-lpa-sim"];
+    const BACKENDS: &[&str] = &[
+        "seq",
+        "nu-lpa",
+        "nu-lpa-sim",
+        "seq-frontier",
+        "nu-lpa-frontier",
+        "nu-lpa-sim-frontier",
+    ];
     let backends: Vec<&str> = BACKENDS
         .iter()
         .copied()
@@ -414,10 +424,17 @@ fn run_observed(backend: &str, g: &Csr, cfg: &LpaConfig) -> Result<ObservedRun, 
 
     let mut rec = ConvergenceRecorder::new(g);
     let mut sink = NullSink;
+    // `<backend>-frontier` rows run the same backend in worklist mode, so
+    // the quality gate also pins the frontier scheduler's modularity and
+    // the ledger records its collapsing `scanned` trajectory.
+    let (backend, cfg) = match backend.strip_suffix("-frontier") {
+        Some(base) => (base, cfg.with_frontier(true)),
+        None => (backend, *cfg),
+    };
     let result = match backend {
-        "seq" => lpa_seq_observed(g, cfg, &mut sink, &mut rec),
-        "nu-lpa" => lpa_native_observed(g, cfg, &mut sink, &mut rec),
-        "nu-lpa-sim" => lpa_gpu_observed(g, cfg, &mut sink, &mut rec),
+        "seq" => lpa_seq_observed(g, &cfg, &mut sink, &mut rec),
+        "nu-lpa" => lpa_native_observed(g, &cfg, &mut sink, &mut rec),
+        "nu-lpa-sim" => lpa_gpu_observed(g, &cfg, &mut sink, &mut rec),
         other => return Err(format!("stats: unknown backend `{other}`")),
     };
     let final_q = rec.final_modularity();
@@ -464,8 +481,8 @@ fn print_run_record(r: &nu_lpa::telemetry::RunRecord) {
         (None, _) => println!("  peak heap: unavailable (counting allocator not installed)"),
     }
     println!(
-        "  {:>4} {:>8} {:>8} {:>7} {:>7} {:>9} {:>9}",
-        "iter", "dN", "active", "frac", "comms", "entropy", "Q"
+        "  {:>4} {:>8} {:>8} {:>7} {:>8} {:>7} {:>9} {:>9}",
+        "iter", "dN", "active", "frac", "scanned", "comms", "entropy", "Q"
     );
     const MAX_ROWS: usize = 24;
     for (i, s) in r.trajectory.iter().enumerate() {
@@ -481,11 +498,12 @@ fn print_run_record(r: &nu_lpa::telemetry::RunRecord) {
             continue;
         }
         println!(
-            "  {:>4} {:>8} {:>8} {:>7.3} {:>7} {:>9.3} {:>9.4}",
+            "  {:>4} {:>8} {:>8} {:>7.3} {:>8} {:>7} {:>9.3} {:>9.4}",
             s.iter,
             s.delta_n,
             s.active,
             s.active_fraction,
+            s.scanned,
             s.communities,
             s.entropy_bits,
             s.modularity
@@ -633,7 +651,15 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
         })
         .transpose()?
         .unwrap_or(0);
-    let cfg = LpaConfig::default().with_threads(threads);
+    let frontier = args.iter().any(|a| a == "--frontier");
+    if frontier && !matches!(method, "nu-lpa" | "nu-lpa-sim") {
+        return Err(format!(
+            "--frontier: method `{method}` has no frontier mode (use nu-lpa or nu-lpa-sim)"
+        ));
+    }
+    let cfg = LpaConfig::default()
+        .with_threads(threads)
+        .with_frontier(frontier);
     if trace_path.is_some() && !matches!(method, "nu-lpa" | "nu-lpa-sim") {
         return Err(format!(
             "--trace: method `{method}` is not instrumented (use nu-lpa or nu-lpa-sim)"
@@ -1053,6 +1079,11 @@ fn cmd_sancheck(args: &[String]) -> Result<(), String> {
     let tiny = LpaConfig::default().with_device(DeviceConfig::tiny());
     let a100 = LpaConfig::default();
     let cc1 = tiny.with_swap_mode(SwapMode::CrossCheck { every: 1 });
+    // Frontier rows drive the sparse compact + re-activation launch path
+    // (including the `kernel:compact` reads) under the checker, on both a
+    // single-wave and a multi-wave device.
+    let tiny_f = tiny.with_frontier(true);
+    let a100_f = a100.with_frontier(true);
     type RunFn = Box<dyn Fn(&Csr) -> Vec<u32>>;
     let runs: Vec<(&str, RunFn)> = vec![
         (
@@ -1068,8 +1099,20 @@ fn cmd_sancheck(args: &[String]) -> Result<(), String> {
             Box::new(move |g| lpa_gpu(g, &cc1).labels),
         ),
         (
+            "nu-lpa-sim/tiny+frontier",
+            Box::new(move |g| lpa_gpu(g, &tiny_f).labels),
+        ),
+        (
+            "nu-lpa-sim/a100+frontier",
+            Box::new(move |g| lpa_gpu(g, &a100_f).labels),
+        ),
+        (
             "nu-lpa",
             Box::new(|g| lpa_native(g, &LpaConfig::default()).labels),
+        ),
+        (
+            "nu-lpa+frontier",
+            Box::new(|g| lpa_native(g, &LpaConfig::default().with_frontier(true)).labels),
         ),
         (
             "gunrock",

@@ -137,4 +137,45 @@ proptest! {
         let labels = lpa_native(&g, &LpaConfig::default()).labels;
         prop_assert!(community_count(&labels) >= k_comp);
     }
+
+    #[test]
+    fn frontier_agrees_with_dense_sweeps(g in arb_graph(50, 120)) {
+        // Worklist scheduling is an execution-order optimisation, not an
+        // algorithm change: under every swap-mitigation mode the frontier
+        // run of each backend must land on the dense sweep's labels
+        // (seq/native mirror the pruning flags exactly; the simulator's
+        // narrowed rule is label-identical on single-wave launches, and
+        // these graphs fit one A100 wave).
+        for mode in [
+            SwapMode::Off,
+            SwapMode::CrossCheck { every: 2 },
+            SwapMode::PickLess { every: 4 },
+            SwapMode::Hybrid { cc_every: 2, pl_every: 3 },
+        ] {
+            let dense = LpaConfig::default().with_swap_mode(mode).with_threads(1);
+            let front = dense.with_frontier(true);
+            let ds = lpa_seq(&g, &dense);
+            let fs = lpa_seq(&g, &front);
+            prop_assert_eq!(&fs.labels, &ds.labels, "seq {:?}", mode);
+            let dn = lpa_native(&g, &dense);
+            let fnat = lpa_native(&g, &front);
+            prop_assert_eq!(&fnat.labels, &dn.labels, "native {:?}", mode);
+            let dg = lpa_gpu(&g, &dense);
+            let fg = lpa_gpu(&g, &front);
+            prop_assert_eq!(&fg.labels, &dg.labels, "gpu {:?}", mode);
+            // The frontier may only skip the dense run's trailing ΔN = 0
+            // confirmation sweep, nothing more.
+            prop_assert!(
+                fg.iterations == dg.iterations || fg.iterations + 1 == dg.iterations,
+                "gpu {:?}: {} vs {}", mode, fg.iterations, dg.iterations
+            );
+            let q_dense = modularity(&g, &ds.labels);
+            for labels in [&fs.labels, &fnat.labels] {
+                prop_assert!((modularity(&g, labels) - q_dense).abs() < 1e-9);
+            }
+            prop_assert!(
+                (modularity(&g, &fg.labels) - modularity(&g, &dg.labels)).abs() < 1e-9
+            );
+        }
+    }
 }
