@@ -1,19 +1,28 @@
-//! Host-parallel scaling of the SIMT simulator.
+//! Host-parallel scaling of the SIMT simulator and the native backend.
 //!
-//! Runs `nulpa`-style community detection (the GPU-simulator backend)
-//! on the largest benchmark graph at 1, 2 and 4 host threads, records
+//! Runs `nulpa`-style community detection on the largest benchmark graph
+//! at 1, 2 and 4 host threads — first on the GPU-simulator backend
+//! (both scheduling modes), then on the native fast path — records
 //! median wall-clock per thread count, and cross-checks that every run
-//! produces bit-identical labels, simulator statistics and staged-write
-//! collision counts — the determinism contract of the sharded wave
-//! scheduler. Emits `results/parallel_scaling.json`.
+//! produces bit-identical labels (plus simulator statistics and
+//! staged-write collision counts for the simulator runs): the
+//! determinism contract of the sharded wave scheduler and of the
+//! speculative-pick/sequential-repair commit. Emits
+//! `results/parallel_scaling.json`.
 //!
 //! Speedup is only expected when the machine actually has that many
-//! hardware threads; the report records `hw_threads` alongside the
-//! measurements so single-core CI numbers are not misread as a
+//! hardware threads. Every row carries a `degraded` flag — set when the
+//! host has a single hardware thread or fewer hardware threads than the
+//! row requested — so single-core CI numbers are never misread as a
 //! scaling regression.
+//!
+//! `--check-scaling` turns the binary into a perf gate: on a host with
+//! at least 4 hardware threads it exits non-zero unless the native
+//! backend reaches a 2x speedup at 4 threads; on smaller hosts it
+//! prints a SKIP notice and passes.
 
-use nulpa_bench::{print_header, timing_stats, BenchArgs, Report, Table};
-use nulpa_core::{lpa_gpu, LpaConfig};
+use nulpa_bench::{print_header, timing_stats, BenchArgs, Report, Table, TimingStats};
+use nulpa_core::{lpa_gpu, lpa_native, LpaConfig};
 use nulpa_graph::datasets::figure_specs;
 
 // Meter the heap so the report's meta carries `alloc_peak_bytes`.
@@ -21,8 +30,37 @@ nulpa_telemetry::install_counting_alloc!();
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
+/// Speedup the native backend must reach at 4 threads for
+/// `--check-scaling` to pass (only enforced when `hw_threads >= 4`).
+const NATIVE_SPEEDUP_FLOOR: f64 = 2.0;
+
 fn main() {
-    let args = BenchArgs::parse();
+    // `--check-scaling` is specific to this binary; strip it before the
+    // shared parser (which rejects unknown flags) sees the rest.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let check_scaling = match raw.iter().position(|a| a == "--check-scaling") {
+        Some(i) => {
+            raw.remove(i);
+            true
+        }
+        None => false,
+    };
+    let args = match BenchArgs::parse_from(raw) {
+        Ok(Some(a)) => {
+            if let Some(t) = a.threads {
+                std::env::set_var("NULPA_THREADS", t.to_string());
+            }
+            a
+        }
+        Ok(None) => {
+            println!("{} , --check-scaling (gate: fail unless the native backend reaches {NATIVE_SPEEDUP_FLOOR}x at 4 threads; SKIPs below 4 hw threads)", nulpa_bench::USAGE);
+            return;
+        }
+        Err(e) => {
+            eprintln!("{e}\n{}", nulpa_bench::USAGE);
+            std::process::exit(2);
+        }
+    };
 
     let spec = figure_specs()
         .into_iter()
@@ -41,11 +79,14 @@ fn main() {
         hw_threads
     );
 
+    let degraded = |threads: usize| hw_threads == 1 || threads > hw_threads;
+
+    // --- GPU-simulator ladder -------------------------------------------
     // (frontier?, threads, p50 ms, stats) — both scheduling modes run the
     // full thread ladder, and each mode's runs must be bit-identical
     // across thread counts (the deterministic-merge contract covers the
     // frontier worklist too).
-    let mut rows: Vec<(bool, usize, f64, nulpa_bench::TimingStats)> = Vec::new();
+    let mut rows: Vec<(bool, usize, f64, TimingStats)> = Vec::new();
     for &frontier in &[false, true] {
         let mut reference = None;
         for &threads in &THREAD_COUNTS {
@@ -76,25 +117,67 @@ fn main() {
         }
     }
 
+    // --- Native fast-path ladder ----------------------------------------
+    // Degree-bucketed, cache-blocked host path (buckets on by default).
+    // The speculative-pick/sequential-repair commit must keep labels
+    // bit-identical to the single-thread run at every thread count.
+    let mut native_rows: Vec<(usize, f64, TimingStats)> = Vec::new();
+    {
+        let mut reference: Option<Vec<u32>> = None;
+        for &threads in &THREAD_COUNTS {
+            let cfg = LpaConfig::default().with_threads(threads);
+            let (stats, r) = timing_stats(args.repeats, || lpa_native(g, &cfg));
+            match &reference {
+                None => reference = Some(r.labels),
+                Some(base) => assert_eq!(
+                    &r.labels, base,
+                    "native labels diverged at {threads} threads"
+                ),
+            }
+            native_rows.push((threads, stats.p50.as_secs_f64() * 1e3, stats));
+        }
+    }
+
     print_header(&format!(
-        "Host-parallel scaling of the simulator on {} ({} hw thread(s))",
+        "Host-parallel scaling on {} ({} hw thread(s))",
         spec.name, hw_threads
     ));
     println!(
-        "{:<10} {:<8} {:>12} {:>12} {:>12} {:>10}",
-        "mode", "threads", "min (ms)", "p50 (ms)", "p95 (ms)", "speedup"
+        "{:<10} {:<8} {:>12} {:>12} {:>12} {:>10} {:>9}",
+        "mode", "threads", "min (ms)", "p50 (ms)", "p95 (ms)", "speedup", "degraded"
     );
     let base_ms = rows[0].2;
     for &(frontier, threads, ms, stats) in &rows {
         println!(
-            "{:<10} {threads:<8} {:>12.2} {ms:>12.2} {:>12.2} {:>9.2}x",
+            "{:<10} {threads:<8} {:>12.2} {ms:>12.2} {:>12.2} {:>9.2}x {:>9}",
             if frontier { "frontier" } else { "dense" },
             stats.min.as_secs_f64() * 1e3,
             stats.p95.as_secs_f64() * 1e3,
-            base_ms / ms.max(1e-9)
+            base_ms / ms.max(1e-9),
+            if degraded(threads) { "yes" } else { "no" },
         );
     }
-    println!("\nall thread counts produced bit-identical labels and stats in both modes");
+    let native_base_ms = native_rows[0].1;
+    for &(threads, ms, stats) in &native_rows {
+        println!(
+            "{:<10} {threads:<8} {:>12.2} {ms:>12.2} {:>12.2} {:>9.2}x {:>9}",
+            "native",
+            stats.min.as_secs_f64() * 1e3,
+            stats.p95.as_secs_f64() * 1e3,
+            native_base_ms / ms.max(1e-9),
+            if degraded(threads) { "yes" } else { "no" },
+        );
+    }
+    println!(
+        "\nall thread counts produced bit-identical labels (and simulator stats) in every mode"
+    );
+    if THREAD_COUNTS.iter().any(|&t| degraded(t)) {
+        eprintln!(
+            "warning: host has {hw_threads} hardware thread(s) but the ladder requests up to {} — \
+             degraded rows measure oversubscription, not scaling; rerun on a multi-core host",
+            THREAD_COUNTS.iter().max().unwrap()
+        );
+    }
 
     let mut report = Report::new("parallel_scaling", &args);
     let mut t = Table::new(
@@ -107,6 +190,7 @@ fn main() {
             "p95_ms",
             "speedup",
             "hw_threads",
+            "degraded",
         ],
     );
     for &(frontier, threads, ms, stats) in &rows {
@@ -121,11 +205,42 @@ fn main() {
                 stats.p95.as_secs_f64() * 1e3,
                 base_ms / ms.max(1e-9),
                 hw_threads as f64,
+                degraded(threads) as u8 as f64,
             ],
         );
         report.record_timing(&format!("{}::{mode}:threads={threads}", spec.name), stats);
     }
     report.push(t);
+
+    let mut nt = Table::new(
+        &format!("lpa_native wall-clock on {}", spec.name),
+        &[
+            "threads",
+            "min_ms",
+            "wall_ms",
+            "p95_ms",
+            "speedup",
+            "hw_threads",
+            "degraded",
+        ],
+    );
+    for &(threads, ms, stats) in &native_rows {
+        nt.row(
+            &format!("native:threads={threads}"),
+            &[
+                threads as f64,
+                stats.min.as_secs_f64() * 1e3,
+                ms,
+                stats.p95.as_secs_f64() * 1e3,
+                native_base_ms / ms.max(1e-9),
+                hw_threads as f64,
+                degraded(threads) as u8 as f64,
+            ],
+        );
+        report.record_timing(&format!("{}::native:threads={threads}", spec.name), stats);
+    }
+    report.push(nt);
+
     match report.write(&args.json) {
         Ok(path) => eprintln!("json report written to {path}"),
         Err(e) => eprintln!("warning: could not write json report: {e}"),
@@ -134,5 +249,31 @@ fn main() {
         Ok(Some(path)) => eprintln!("telemetry snapshot written to {path}"),
         Ok(None) => {}
         Err(e) => eprintln!("warning: could not write telemetry snapshot: {e}"),
+    }
+
+    if check_scaling {
+        let four = native_rows
+            .iter()
+            .find(|(t, _, _)| *t == 4)
+            .expect("thread ladder includes 4");
+        let speedup = native_base_ms / four.1.max(1e-9);
+        if hw_threads < 4 {
+            println!(
+                "check-scaling: SKIP — host has {hw_threads} hardware thread(s), \
+                 need 4 to enforce the {NATIVE_SPEEDUP_FLOOR}x native floor \
+                 (measured {speedup:.2}x, degraded)"
+            );
+        } else if speedup < NATIVE_SPEEDUP_FLOOR {
+            eprintln!(
+                "check-scaling: FAIL — native speedup at 4 threads is {speedup:.2}x \
+                 (floor {NATIVE_SPEEDUP_FLOOR}x, hw_threads={hw_threads})"
+            );
+            std::process::exit(1);
+        } else {
+            println!(
+                "check-scaling: OK — native speedup at 4 threads is {speedup:.2}x \
+                 (floor {NATIVE_SPEEDUP_FLOOR}x)"
+            );
+        }
     }
 }

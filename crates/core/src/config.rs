@@ -63,6 +63,33 @@ impl SwapMode {
     }
 }
 
+/// Degree thresholds splitting an iteration's active set into low-,
+/// mid-, and high-degree buckets for the native fast path.
+///
+/// Low-degree vertices (`degree <= low_max`) are cheap and abundant, so
+/// threads claim them in large chunks; mid-degree vertices
+/// (`low_max < degree <= mid_max`) in small chunks; high-degree hubs
+/// (`degree > mid_max`) one at a time, so a single hub can never
+/// serialize a whole chunk behind it (see DESIGN.md §10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BucketThresholds {
+    /// Largest degree still counted as "low" (default 32 — the warp
+    /// size, matching the paper's kernel switch degree).
+    pub low_max: u32,
+    /// Largest degree still counted as "mid" (default 512). Anything
+    /// above is a hub and is claimed one vertex at a time.
+    pub mid_max: u32,
+}
+
+impl Default for BucketThresholds {
+    fn default() -> Self {
+        BucketThresholds {
+            low_max: 32,
+            mid_max: 512,
+        }
+    }
+}
+
 /// Hashtable value datatype (Fig. 5 ablation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ValueType {
@@ -122,6 +149,14 @@ pub struct LpaConfig {
     /// available parallelism. Results are bit-for-bit identical at every
     /// setting; see [`resolve_threads`].
     pub threads: usize,
+    /// Degree-bucketed fast path for the native backend: `Some(..)` (the
+    /// default) routes `lpa_native` through the cache-blocked, dense-
+    /// counter engine with the given bucket thresholds; `None` keeps the
+    /// legacy per-vertex hashtable path. Labels differ between the two
+    /// paths only in tie-breaks (the fast path uses the sequential
+    /// backend's scrambled tie-break; the hashtable path is slot-order
+    /// dependent), but each path is bit-identical across thread counts.
+    pub buckets: Option<BucketThresholds>,
 }
 
 impl Default for LpaConfig {
@@ -139,6 +174,7 @@ impl Default for LpaConfig {
             device: DeviceConfig::a100(),
             cost: CostModel::default_gpu(),
             threads: 0,
+            buckets: Some(BucketThresholds::default()),
         }
     }
 }
@@ -152,16 +188,35 @@ pub fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
+    let auto = || {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    };
     if let Ok(env) = std::env::var("NULPA_THREADS") {
-        if let Ok(t) = env.trim().parse::<usize>() {
-            if t > 0 {
-                return t;
+        match env.trim().parse::<usize>() {
+            Ok(t) if t > 0 => return t,
+            _ => {
+                let fallback = auto();
+                warn_bad_threads_env(&env, fallback);
+                return fallback;
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
+    auto()
+}
+
+/// One-line stderr warning for an unusable `NULPA_THREADS` value, emitted
+/// at most once per process so bench loops that resolve the config per
+/// run don't spam.
+fn warn_bad_threads_env(value: &str, fallback: usize) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "warning: NULPA_THREADS={value:?} is not a positive integer; \
+             falling back to available parallelism ({fallback})"
+        );
+    });
 }
 
 impl LpaConfig {
@@ -184,6 +239,17 @@ impl LpaConfig {
         }
         if self.frontier && !self.pruning {
             return Err("frontier mode requires pruning (the worklist is the pruning rule)".into());
+        }
+        if let Some(b) = self.buckets {
+            if b.low_max == 0 {
+                return Err("bucket threshold low_max must be positive".into());
+            }
+            if b.low_max >= b.mid_max {
+                return Err(format!(
+                    "bucket thresholds must satisfy low_max < mid_max (got {} >= {})",
+                    b.low_max, b.mid_max
+                ));
+            }
         }
         self.device.validate()
     }
@@ -254,6 +320,13 @@ impl LpaConfig {
         self.threads = t;
         self
     }
+
+    /// Builder-style setter for the native fast path's degree buckets
+    /// (`None` = legacy per-vertex hashtable path).
+    pub fn with_buckets(mut self, b: Option<BucketThresholds>) -> Self {
+        self.buckets = b;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -271,7 +344,38 @@ mod tests {
         assert_eq!(c.value_type, ValueType::F32);
         assert!(c.pruning);
         assert!(!c.frontier);
+        assert_eq!(c.buckets, Some(BucketThresholds::default()));
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn bucket_threshold_defaults_and_validation() {
+        let b = BucketThresholds::default();
+        assert_eq!(b.low_max, 32);
+        assert_eq!(b.mid_max, 512);
+        let base = LpaConfig::default();
+        assert!(base.with_buckets(None).validate().is_ok());
+        assert!(base
+            .with_buckets(Some(BucketThresholds {
+                low_max: 0,
+                mid_max: 8
+            }))
+            .validate()
+            .is_err());
+        assert!(base
+            .with_buckets(Some(BucketThresholds {
+                low_max: 64,
+                mid_max: 64
+            }))
+            .validate()
+            .is_err());
+        assert!(base
+            .with_buckets(Some(BucketThresholds {
+                low_max: 4,
+                mid_max: 1024
+            }))
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -281,10 +385,58 @@ mod tests {
         assert!(c.with_pruning(false).validate().is_err());
     }
 
+    /// Serializes the tests that mutate `NULPA_THREADS` — the test
+    /// harness runs tests on parallel threads and the env is process
+    /// global.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_threads_env<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let saved = std::env::var("NULPA_THREADS").ok();
+        match value {
+            Some(v) => std::env::set_var("NULPA_THREADS", v),
+            None => std::env::remove_var("NULPA_THREADS"),
+        }
+        let out = f();
+        match saved {
+            Some(v) => std::env::set_var("NULPA_THREADS", v),
+            None => std::env::remove_var("NULPA_THREADS"),
+        }
+        out
+    }
+
     #[test]
     fn resolve_threads_explicit_wins() {
-        assert_eq!(resolve_threads(3), 3);
-        assert!(resolve_threads(0) >= 1);
+        with_threads_env(Some("7"), || {
+            assert_eq!(resolve_threads(3), 3);
+            assert!(resolve_threads(0) >= 1);
+        });
+    }
+
+    #[test]
+    fn resolve_threads_env_positive_integer() {
+        with_threads_env(Some("6"), || assert_eq!(resolve_threads(0), 6));
+        // surrounding whitespace is tolerated
+        with_threads_env(Some("  5\n"), || assert_eq!(resolve_threads(0), 5));
+    }
+
+    #[test]
+    fn resolve_threads_unparsable_env_falls_back() {
+        let auto = with_threads_env(None, || resolve_threads(0));
+        with_threads_env(Some("abc"), || assert_eq!(resolve_threads(0), auto));
+    }
+
+    #[test]
+    fn resolve_threads_zero_env_falls_back() {
+        let auto = with_threads_env(None, || resolve_threads(0));
+        with_threads_env(Some("0"), || assert_eq!(resolve_threads(0), auto));
+    }
+
+    #[test]
+    fn resolve_threads_whitespace_env_falls_back() {
+        let auto = with_threads_env(None, || resolve_threads(0));
+        with_threads_env(Some("   "), || assert_eq!(resolve_threads(0), auto));
+        with_threads_env(Some(""), || assert_eq!(resolve_threads(0), auto));
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod config;
 pub mod disjoint;
 pub mod dynamic;
 pub mod effects;
+pub mod fastpath;
 #[allow(unsafe_code)]
 pub mod gpu;
 pub mod linkpred;
@@ -53,9 +54,10 @@ pub mod seq;
 
 pub use addr::AddrMap;
 pub use coarsen::{coarsen_lpa, CoarseLevel, CoarsenConfig, CoarsenResult};
-pub use config::{resolve_threads, LpaConfig, SwapMode, ValueType};
+pub use config::{resolve_threads, BucketThresholds, LpaConfig, SwapMode, ValueType};
 pub use dynamic::{apply_batch, frontier, lpa_dynamic, EdgeBatch};
 pub use effects::shipped_effects;
+pub use fastpath::bucket_partition;
 pub use gpu::{lpa_gpu, lpa_gpu_observed, lpa_gpu_traced};
 pub use linkpred::{adamic_adar, community_adamic_adar, top_k_predictions};
 pub use native::{lpa_native, lpa_native_from_state, lpa_native_observed, lpa_native_traced};

@@ -20,6 +20,7 @@
 
 use crate::config::{LpaConfig, ValueType};
 use crate::disjoint::DisjointBuffer;
+use crate::fastpath::{FastState, FrontierCtx};
 use crate::observe::{IterObserver, NullObserver};
 use crate::result::LpaResult;
 use nulpa_graph::{Csr, VertexId};
@@ -111,7 +112,23 @@ fn lpa_native_typed<V: HashValue>(
             flags
         }
     };
-    let buf_len = TableSlot::buffer_len(g.num_edges());
+    // Degree-bucketed fast path (default): dense per-thread counters and
+    // cache-blocked commits replace the per-vertex hashtables, so the
+    // 2|E| table buffers are only allocated for the legacy path.
+    let mut fast = config.buckets.map(|b| {
+        FastState::<V>::new(
+            n,
+            crate::config::resolve_threads(config.threads),
+            b,
+            nulpa_graph::blocks::DEFAULT_BLOCK_EDGES,
+            config.probe,
+        )
+    });
+    let buf_len = if fast.is_some() {
+        0
+    } else {
+        TableSlot::buffer_len(g.num_edges())
+    };
     let buf_k = DisjointBuffer::new(vec![EMPTY_KEY; buf_len]);
     let buf_v = DisjointBuffer::new(vec![V::zero(); buf_len]);
 
@@ -161,6 +178,19 @@ fn lpa_native_typed<V: HashValue>(
         // (see `seq::shuffle_candidates`).
         let (mut candidates, scanned) = if frontier {
             worklist.sort_unstable();
+            // In-queue invariant: the CAS on `queued` means a vertex can
+            // be enqueued at most once per iteration, and every entry
+            // still holds its flag at drain time.
+            debug_assert!(
+                worklist.windows(2).all(|w| w[0] != w[1]),
+                "duplicate enqueue in native frontier worklist"
+            );
+            debug_assert!(
+                worklist
+                    .iter()
+                    .all(|&v| queued[v as usize].load(Ordering::Relaxed) == 1),
+                "worklist entry without its queued flag set"
+            );
             let scanned = worklist.len();
             for &v in &worklist {
                 queued[v as usize].store(0, Ordering::Relaxed);
@@ -208,7 +238,24 @@ fn lpa_native_typed<V: HashValue>(
 
         // ΔN via parallel reduce — no shared counter contention.
         let mut changed: usize;
-        if frontier {
+        if let Some(fp) = fast.as_mut() {
+            changed = if frontier {
+                fp.run_iteration(
+                    g,
+                    &candidates,
+                    pick_less,
+                    &labels,
+                    &processed,
+                    Some(FrontierCtx {
+                        queued: &queued,
+                        worklist: &mut worklist,
+                        movers: &mut movers,
+                    }),
+                )
+            } else {
+                fp.run_iteration(g, &candidates, pick_less, &labels, &processed, None)
+            };
+        } else if frontier {
             let outcomes: Vec<(bool, Vec<VertexId>)> = candidates
                 .par_iter()
                 .map(|&v| {

@@ -99,6 +99,17 @@ pub fn lpa_seq_observed(
     for iter in 0..config.max_iterations {
         let (mut candidates, scanned) = if frontier {
             worklist.sort_unstable();
+            // In-queue invariant: the `queued` bitmap means a vertex can
+            // be enqueued at most once per iteration, and every entry
+            // still holds its flag at drain time.
+            debug_assert!(
+                worklist.windows(2).all(|w| w[0] != w[1]),
+                "duplicate enqueue in sequential frontier worklist"
+            );
+            debug_assert!(
+                worklist.iter().all(|&v| queued[v as usize]),
+                "worklist entry without its queued flag set"
+            );
             let scanned = worklist.len();
             for &v in &worklist {
                 queued[v as usize] = false;

@@ -1,0 +1,169 @@
+//! Cache-block boundaries over CSR adjacency.
+//!
+//! The host fast path processes vertices in *blocks* whose total adjacency
+//! volume fits the L2 cache, so the CSR `targets`/`weights` words a block
+//! touches stay resident while its vertices are scanned. Two partitioners
+//! are provided:
+//!
+//! * [`edge_blocks`] — contiguous vertex-id ranges over the whole graph,
+//!   each holding at most `target_edges` stored edges (a lone vertex whose
+//!   degree exceeds the budget gets a block of its own).
+//! * [`candidate_blocks`] — the same cut over an arbitrary *ordered
+//!   candidate list* (an LPA iteration's active set), returning index
+//!   ranges into that list.
+//!
+//! Both cuts depend only on the graph and the budget — never on thread
+//! count — which is what lets `nulpa-core`'s bucketed fast path commit
+//! label updates block-by-block while staying bit-identical at any
+//! `--threads N` (see DESIGN.md §10).
+
+use crate::csr::{Csr, VertexId};
+use std::ops::Range;
+
+/// Default per-block adjacency budget, in stored edges. Sized for a
+/// ~1 MiB L2 slice: each scanned edge touches a `u32` target, an `f32`
+/// weight, and a `u32` label word (12 B), plus the per-vertex counter
+/// scratch it hits — 32 Ki edges ≈ 384 KiB of streaming traffic, leaving
+/// headroom for the label-count scratch and the frontier bookkeeping.
+pub const DEFAULT_BLOCK_EDGES: usize = 32 * 1024;
+
+/// Split `0..|V|` into contiguous vertex ranges of at most `target_edges`
+/// stored edges each. Zero-degree runs are absorbed into their
+/// neighbouring block; every vertex appears in exactly one range.
+///
+/// # Panics
+/// Panics if `target_edges == 0`.
+pub fn edge_blocks(g: &Csr, target_edges: usize) -> Vec<Range<VertexId>> {
+    assert!(target_edges > 0, "block budget must be positive");
+    let n = g.num_vertices() as VertexId;
+    let mut blocks = Vec::new();
+    let mut start = 0 as VertexId;
+    while start < n {
+        let mut end = start;
+        let mut edges = 0usize;
+        while end < n {
+            let d = g.degree(end);
+            if end > start && edges + d > target_edges {
+                break;
+            }
+            edges += d;
+            end += 1;
+        }
+        blocks.push(start..end);
+        start = end;
+    }
+    blocks
+}
+
+/// Split an ordered candidate list into index ranges of at most
+/// `target_edges` total degree each. Order is preserved: concatenating
+/// the ranges reproduces `0..cands.len()`. A single candidate whose
+/// degree exceeds the budget still gets its own singleton range.
+///
+/// # Panics
+/// Panics if `target_edges == 0`.
+pub fn candidate_blocks(g: &Csr, cands: &[VertexId], target_edges: usize) -> Vec<Range<usize>> {
+    assert!(target_edges > 0, "block budget must be positive");
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    while start < cands.len() {
+        let mut end = start;
+        let mut edges = 0usize;
+        while end < cands.len() {
+            let d = g.degree(cands[end]);
+            if end > start && edges + d > target_edges {
+                break;
+            }
+            edges += d;
+            end += 1;
+        }
+        blocks.push(start..end);
+        start = end;
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::gen::{caveman_weighted, erdos_renyi, star};
+
+    #[test]
+    fn edge_blocks_tile_the_vertex_range() {
+        let g = erdos_renyi(200, 600, 3);
+        for budget in [1, 7, 64, 10_000] {
+            let blocks = edge_blocks(&g, budget);
+            let mut next = 0;
+            for b in &blocks {
+                assert_eq!(b.start, next, "blocks must tile contiguously");
+                assert!(b.end > b.start, "empty block");
+                next = b.end;
+            }
+            assert_eq!(next, g.num_vertices() as VertexId);
+        }
+    }
+
+    #[test]
+    fn edge_blocks_respect_budget_except_lone_hubs() {
+        let g = star(50); // hub degree 49 dwarfs any small budget
+        let blocks = edge_blocks(&g, 8);
+        for b in &blocks {
+            let edges: usize = (b.start..b.end).map(|v| g.degree(v)).sum();
+            let single = b.end - b.start == 1;
+            assert!(edges <= 8 || single, "block {b:?} holds {edges} edges");
+        }
+    }
+
+    #[test]
+    fn empty_graph_gets_one_block_per_budget_window() {
+        let g = Csr::empty(5);
+        let blocks = edge_blocks(&g, 4);
+        let total: usize = blocks.iter().map(|b| (b.end - b.start) as usize).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn candidate_blocks_preserve_order_and_cover() {
+        let g = caveman_weighted(6, 8, 0.5);
+        let cands: Vec<VertexId> = (0..g.num_vertices() as VertexId).rev().collect();
+        for budget in [1, 5, 33, 1_000_000] {
+            let blocks = candidate_blocks(&g, &cands, budget);
+            let mut next = 0usize;
+            for b in &blocks {
+                assert_eq!(b.start, next);
+                assert!(b.end > b.start);
+                next = b.end;
+            }
+            assert_eq!(next, cands.len());
+        }
+    }
+
+    #[test]
+    fn candidate_blocks_give_hubs_their_own_singleton() {
+        let g = GraphBuilder::new(6)
+            .add_undirected_edges([
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (0, 3, 1.0),
+                (0, 4, 1.0),
+                (0, 5, 1.0),
+            ])
+            .build();
+        let cands = vec![1, 0, 2]; // hub 0 (degree 5) in the middle
+        let blocks = candidate_blocks(&g, &cands, 2);
+        assert!(blocks.contains(&(1..2)), "hub must sit alone: {blocks:?}");
+    }
+
+    #[test]
+    fn empty_candidate_list_yields_no_blocks() {
+        let g = erdos_renyi(10, 20, 1);
+        assert!(candidate_blocks(&g, &[], 8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_rejected() {
+        edge_blocks(&erdos_renyi(4, 4, 1), 0);
+    }
+}

@@ -24,10 +24,16 @@ cargo test -q --workspace --all-features
 step "root tests (no default features)"
 cargo test -q --no-default-features
 
-# The sharded wave scheduler promises bit-identical results at any host
-# thread count; run the suite at both extremes to catch order leaks.
+# The sharded wave scheduler and the native fast path both promise
+# bit-identical results at any host thread count; run the suite at both
+# extremes plus an in-between count to catch order leaks (2 exercises
+# the speculative-pick/sequential-repair commit with exactly one
+# non-lead worker — the smallest configuration that can race).
 step "workspace tests (NULPA_THREADS=1)"
 NULPA_THREADS=1 cargo test -q --workspace
+
+step "workspace tests (NULPA_THREADS=2)"
+NULPA_THREADS=2 cargo test -q --workspace
 
 step "workspace tests (NULPA_THREADS=4)"
 NULPA_THREADS=4 cargo test -q --workspace

@@ -12,3 +12,14 @@
 
 step "perf gate: profiling backend matrix vs committed baseline"
 cargo run --release -p nulpa-bench --bin profile_baseline -- --check "$@"
+
+# Native multi-core scaling floor: on a host with >= 4 hardware threads
+# the degree-bucketed fast path must reach a 2x speedup at 4 threads
+# (the binary SKIPs — and passes — on smaller hosts, stamping
+# `degraded: true` into the JSON rows instead of publishing a
+# misleading ~1.0x as a regression).
+# The gate run uses --quick and a scratch output path so it never
+# clobbers the committed full-scale results/parallel_scaling.json.
+step "perf gate: native thread-scaling floor (parallel_scaling --check-scaling)"
+cargo run --release -p nulpa-bench --bin parallel_scaling -- \
+  --quick --check-scaling --json "${TMPDIR:-/tmp}/parallel_scaling_gate.json"

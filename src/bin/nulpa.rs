@@ -73,7 +73,7 @@ fn usage() {
     eprintln!(
         "nulpa — nu-LPA community detection (paper reproduction)\n\n\
          USAGE:\n  nulpa stats [graph] [--backend B] [--json] [--history FILE] [--check BASELINE]\n              [--write-baseline FILE] [--telemetry FILE]   convergence observatory\n  \
-         nulpa detect <graph> [--method M] [--threads N] [--frontier] [--output FILE] [--quality] [--trace FILE] [--telemetry FILE]\n  \
+         nulpa detect <graph> [--method M] [--threads N] [--frontier] [--bucket-thresholds L,M | --no-buckets]\n              [--output FILE] [--quality] [--trace FILE] [--telemetry FILE]\n  \
          nulpa partition <graph> -k N [--balance F] [--output FILE]\n  \
          nulpa coarsen <graph> --target N [--output FILE]\n  \
          nulpa inspect <graph> [--top N]\n  \
@@ -94,6 +94,10 @@ fn usage() {
          FRONTIER: --frontier switches nu-lpa / nu-lpa-sim to worklist\n  \
          (active-set) scheduling: only re-activated vertices are scanned\n  \
          and, on the simulator, launched. Deterministic at any thread count.\n\n\
+         BUCKETS: nu-lpa runs the degree-bucketed cache-blocked fast path\n  \
+         by default; --bucket-thresholds LOW,MID sets the low/mid degree\n  \
+         cutoffs (default 32,512) and --no-buckets falls back to the\n  \
+         legacy per-vertex hashtable path.\n\n\
          TRACING: --trace x.jsonl writes a JSONL event stream; any other\n  \
          extension writes a Chrome trace-event file (open in Perfetto).\n  \
          Only nu-lpa and nu-lpa-sim are instrumented.\n\n\
@@ -127,6 +131,15 @@ fn write_labels(labels: &[u32], output: Option<&str>) -> Result<(), String> {
             w.flush().map_err(|e| e.to_string())
         }
     }
+}
+
+/// Parse `--bucket-thresholds LOW,MID` (e.g. `32,512`).
+fn parse_bucket_thresholds(s: &str) -> Result<nu_lpa::core::BucketThresholds, String> {
+    let err = || format!("--bucket-thresholds: expected LOW,MID positive integers, got `{s}`");
+    let (low, mid) = s.split_once(',').ok_or_else(err)?;
+    let low_max = low.trim().parse::<u32>().map_err(|_| err())?;
+    let mid_max = mid.trim().parse::<u32>().map_err(|_| err())?;
+    Ok(nu_lpa::core::BucketThresholds { low_max, mid_max })
 }
 
 fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -305,6 +318,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     const BACKENDS: &[&str] = &[
         "seq",
         "nu-lpa",
+        "nu-lpa-nobuckets",
         "nu-lpa-sim",
         "seq-frontier",
         "nu-lpa-frontier",
@@ -434,6 +448,9 @@ fn run_observed(backend: &str, g: &Csr, cfg: &LpaConfig) -> Result<ObservedRun, 
     let result = match backend {
         "seq" => lpa_seq_observed(g, &cfg, &mut sink, &mut rec),
         "nu-lpa" => lpa_native_observed(g, &cfg, &mut sink, &mut rec),
+        // The legacy per-vertex hashtable path, kept in the observatory so
+        // the fast path's quality and footprint are pinned against it.
+        "nu-lpa-nobuckets" => lpa_native_observed(g, &cfg.with_buckets(None), &mut sink, &mut rec),
         "nu-lpa-sim" => lpa_gpu_observed(g, &cfg, &mut sink, &mut rec),
         other => return Err(format!("stats: unknown backend `{other}`")),
     };
@@ -657,9 +674,27 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
             "--frontier: method `{method}` has no frontier mode (use nu-lpa or nu-lpa-sim)"
         ));
     }
-    let cfg = LpaConfig::default()
+    let no_buckets = args.iter().any(|a| a == "--no-buckets");
+    let bucket_thresholds = opt_value(args, "--bucket-thresholds")
+        .map(parse_bucket_thresholds)
+        .transpose()?;
+    if (no_buckets || bucket_thresholds.is_some()) && method != "nu-lpa" {
+        return Err(format!(
+            "--bucket-thresholds/--no-buckets: method `{method}` has no host fast path (use nu-lpa)"
+        ));
+    }
+    if no_buckets && bucket_thresholds.is_some() {
+        return Err("--no-buckets conflicts with --bucket-thresholds".into());
+    }
+    let mut cfg = LpaConfig::default()
         .with_threads(threads)
         .with_frontier(frontier);
+    if no_buckets {
+        cfg = cfg.with_buckets(None);
+    } else if let Some(b) = bucket_thresholds {
+        cfg = cfg.with_buckets(Some(b));
+    }
+    cfg.validate()?;
     if trace_path.is_some() && !matches!(method, "nu-lpa" | "nu-lpa-sim") {
         return Err(format!(
             "--trace: method `{method}` is not instrumented (use nu-lpa or nu-lpa-sim)"

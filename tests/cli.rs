@@ -295,7 +295,11 @@ fn stats_json_reports_all_backends() {
     let text = String::from_utf8_lossy(&out.stdout);
     let doc = nu_lpa::obs::json::parse(text.trim()).expect("stats --json parses");
     let runs = doc.get("runs").unwrap().as_arr().unwrap();
-    assert_eq!(runs.len(), 18, "3 graphs x 6 backends (dense + frontier)");
+    assert_eq!(
+        runs.len(),
+        21,
+        "3 graphs x 7 backends (dense + frontier + no-bucket native)"
+    );
     for run in runs {
         assert!(!run.get("trajectory").unwrap().as_arr().unwrap().is_empty());
         assert!(run.get("modularity").unwrap().as_f64().is_some());

@@ -1,7 +1,9 @@
 //! Cross-crate property-based tests (proptest): invariants that must hold
 //! for *any* graph, not just the fixtures.
 
-use nu_lpa::core::{lpa_gpu, lpa_native, lpa_seq, LpaConfig, SwapMode};
+use nu_lpa::core::{
+    bucket_partition, lpa_gpu, lpa_native, lpa_seq, BucketThresholds, LpaConfig, SwapMode,
+};
 use nu_lpa::graph::components::connected_components;
 use nu_lpa::graph::permute::{random_permutation, relabel};
 use nu_lpa::graph::{GraphBuilder, VertexId};
@@ -176,6 +178,82 @@ proptest! {
             prop_assert!(
                 (modularity(&g, &fg.labels) - modularity(&g, &dg.labels)).abs() < 1e-9
             );
+        }
+    }
+
+    #[test]
+    fn bucket_partition_is_disjoint_cover_on_any_graph(
+        g in arb_graph(60, 150),
+        low in 1u32..8,
+        span in 1u32..16,
+    ) {
+        // Every candidate lands in exactly one degree bucket, each bucket
+        // respects its threshold band, and candidate order is preserved
+        // within a bucket — the invariants the fast path's chunked claim
+        // loops rely on.
+        let t = BucketThresholds { low_max: low, mid_max: low + span };
+        let cands: Vec<VertexId> = g.vertices().collect();
+        let buckets = bucket_partition(&g, &cands, t);
+        let mut seen = vec![false; cands.len()];
+        for (k, b) in buckets.iter().enumerate() {
+            prop_assert!(b.windows(2).all(|w| w[0] < w[1]), "bucket {} out of order", k);
+            for &i in b {
+                prop_assert!(!seen[i], "candidate index {} in two buckets", i);
+                seen[i] = true;
+                let d = g.degree(cands[i]) as u32;
+                match k {
+                    0 => prop_assert!(d <= t.low_max),
+                    1 => prop_assert!(d > t.low_max && d <= t.mid_max),
+                    _ => prop_assert!(d > t.mid_max),
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "bucket partition dropped a candidate");
+    }
+}
+
+proptest! {
+    // The thread × bucketing identity sweep runs many detections per
+    // case; keep the case count low so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn native_bit_identical_across_threads_and_bucketing(g in arb_graph(50, 120)) {
+        // The speculative-pick / sequential-repair commit promises the
+        // committed trajectory of the bucketed fast path equals the
+        // sequential asynchronous sweep — so labels must be bit-identical
+        // across any thread count, with bucketing on or off, in both
+        // scheduling modes, under every swap-mitigation mode.
+        for mode in [
+            SwapMode::Off,
+            SwapMode::CrossCheck { every: 2 },
+            SwapMode::PickLess { every: 1 },
+            SwapMode::Hybrid { cc_every: 2, pl_every: 3 },
+        ] {
+            for frontier in [false, true] {
+                let cfg = LpaConfig::default()
+                    .with_swap_mode(mode)
+                    .with_frontier(frontier);
+                let base = lpa_native(&g, &cfg.with_threads(1));
+                for threads in [2usize, 4, 8] {
+                    let r = lpa_native(&g, &cfg.with_threads(threads));
+                    prop_assert_eq!(
+                        &r.labels, &base.labels,
+                        "threads={} frontier={} {:?}", threads, frontier, mode
+                    );
+                    prop_assert_eq!(
+                        &r.changed_per_iter, &base.changed_per_iter,
+                        "trajectory: threads={} frontier={} {:?}", threads, frontier, mode
+                    );
+                }
+                // bucketing off (legacy per-vertex hashtable path) must
+                // walk the same trajectory as the bucketed fast path
+                let legacy = lpa_native(&g, &cfg.with_threads(1).with_buckets(None));
+                prop_assert_eq!(
+                    &legacy.labels, &base.labels,
+                    "legacy vs fastpath: frontier={} {:?}", frontier, mode
+                );
+            }
         }
     }
 }
