@@ -22,8 +22,9 @@
 //! prints a SKIP notice and passes.
 
 use nulpa_bench::{print_header, timing_stats, BenchArgs, Report, Table, TimingStats};
-use nulpa_core::{lpa_gpu, lpa_native, LpaConfig};
+use nulpa_core::{lpa_gpu, lpa_native, lpa_native_hostprof, LpaConfig};
 use nulpa_graph::datasets::figure_specs;
+use nulpa_telemetry::hostprof::summarize;
 
 // Meter the heap so the report's meta carries `alloc_peak_bytes`.
 nulpa_telemetry::install_counting_alloc!();
@@ -121,7 +122,10 @@ fn main() {
     // Degree-bucketed, cache-blocked host path (buckets on by default).
     // The speculative-pick/sequential-repair commit must keep labels
     // bit-identical to the single-thread run at every thread count.
-    let mut native_rows: Vec<(usize, f64, TimingStats)> = Vec::new();
+    // Each thread count also gets one *profiled* run (outside the timing
+    // loop, so recorder overhead never lands in the wall-clock columns)
+    // attributing imbalance (max/mean busy) and the repair rate.
+    let mut native_rows: Vec<(usize, f64, TimingStats, f64, f64)> = Vec::new();
     {
         let mut reference: Option<Vec<u32>> = None;
         for &threads in &THREAD_COUNTS {
@@ -134,7 +138,25 @@ fn main() {
                     "native labels diverged at {threads} threads"
                 ),
             }
-            native_rows.push((threads, stats.p50.as_secs_f64() * 1e3, stats));
+            let (pr, prof) = lpa_native_hostprof(g, &cfg);
+            assert_eq!(
+                &pr.labels,
+                reference.as_ref().unwrap(),
+                "profiled native labels diverged at {threads} threads"
+            );
+            let (imbalance, repair_rate) = prof
+                .map(|d| {
+                    let rep = summarize(spec.name, &d);
+                    (rep.imbalance, rep.repair_rate)
+                })
+                .unwrap_or((1.0, 0.0));
+            native_rows.push((
+                threads,
+                stats.p50.as_secs_f64() * 1e3,
+                stats,
+                imbalance,
+                repair_rate,
+            ));
         }
     }
 
@@ -143,29 +165,41 @@ fn main() {
         spec.name, hw_threads
     ));
     println!(
-        "{:<10} {:<8} {:>12} {:>12} {:>12} {:>10} {:>9}",
-        "mode", "threads", "min (ms)", "p50 (ms)", "p95 (ms)", "speedup", "degraded"
+        "{:<10} {:<8} {:>12} {:>12} {:>12} {:>10} {:>9} {:>10} {:>8}",
+        "mode",
+        "threads",
+        "min (ms)",
+        "p50 (ms)",
+        "p95 (ms)",
+        "speedup",
+        "degraded",
+        "imbalance",
+        "repair"
     );
     let base_ms = rows[0].2;
     for &(frontier, threads, ms, stats) in &rows {
         println!(
-            "{:<10} {threads:<8} {:>12.2} {ms:>12.2} {:>12.2} {:>9.2}x {:>9}",
+            "{:<10} {threads:<8} {:>12.2} {ms:>12.2} {:>12.2} {:>9.2}x {:>9} {:>10} {:>8}",
             if frontier { "frontier" } else { "dense" },
             stats.min.as_secs_f64() * 1e3,
             stats.p95.as_secs_f64() * 1e3,
             base_ms / ms.max(1e-9),
             if degraded(threads) { "yes" } else { "no" },
+            "-",
+            "-",
         );
     }
     let native_base_ms = native_rows[0].1;
-    for &(threads, ms, stats) in &native_rows {
+    for &(threads, ms, stats, imbalance, repair_rate) in &native_rows {
         println!(
-            "{:<10} {threads:<8} {:>12.2} {ms:>12.2} {:>12.2} {:>9.2}x {:>9}",
+            "{:<10} {threads:<8} {:>12.2} {ms:>12.2} {:>12.2} {:>9.2}x {:>9} {:>9.2}x {:>7.2}%",
             "native",
             stats.min.as_secs_f64() * 1e3,
             stats.p95.as_secs_f64() * 1e3,
             native_base_ms / ms.max(1e-9),
             if degraded(threads) { "yes" } else { "no" },
+            imbalance,
+            repair_rate * 100.0,
         );
     }
     println!(
@@ -222,9 +256,11 @@ fn main() {
             "speedup",
             "hw_threads",
             "degraded",
+            "imbalance",
+            "repair_rate",
         ],
     );
-    for &(threads, ms, stats) in &native_rows {
+    for &(threads, ms, stats, imbalance, repair_rate) in &native_rows {
         nt.row(
             &format!("native:threads={threads}"),
             &[
@@ -235,6 +271,8 @@ fn main() {
                 native_base_ms / ms.max(1e-9),
                 hw_threads as f64,
                 degraded(threads) as u8 as f64,
+                imbalance,
+                repair_rate,
             ],
         );
         report.record_timing(&format!("{}::native:threads={threads}", spec.name), stats);
@@ -254,7 +292,7 @@ fn main() {
     if check_scaling {
         let four = native_rows
             .iter()
-            .find(|(t, _, _)| *t == 4)
+            .find(|(t, ..)| *t == 4)
             .expect("thread ladder includes 4");
         let speedup = native_base_ms / four.1.max(1e-9);
         if hw_threads < 4 {

@@ -37,6 +37,7 @@
 //! parallel phase.
 
 use crate::config::BucketThresholds;
+use crate::hostprof::{HostProfData, RunProf, SpanKind, ThreadProf};
 use nulpa_graph::{blocks::candidate_blocks, Csr, VertexId};
 use nulpa_hashtab::{
     capacity_for_degree, probe_budget, secondary_prime, HashValue, ProbeSeq, ProbeStrategy,
@@ -146,6 +147,11 @@ pub(crate) struct FastState<V> {
     /// serial repair path.
     moved: Vec<u64>,
     block_stamp: u64,
+    /// Host-profiling recorders (zero-sized no-ops unless the `hostprof`
+    /// feature is on *and* the run asked for a profile): one per thread,
+    /// parallel to `scratch`, plus the run-level repair ledger.
+    prof: Vec<ThreadProf>,
+    runprof: RunProf,
 }
 
 /// Frontier-mode bookkeeping threaded through the commit phase; mirrors
@@ -164,8 +170,11 @@ impl<V: HashValue> FastState<V> {
         thresholds: BucketThresholds,
         block_edges: usize,
         probe: ProbeStrategy,
+        profile: bool,
     ) -> Self {
         let threads = threads.max(1);
+        let runprof = RunProf::new(profile);
+        let prof = runprof.thread_recorders(threads);
         FastState {
             threads,
             thresholds,
@@ -175,7 +184,15 @@ impl<V: HashValue> FastState<V> {
             scratch: (0..threads).map(|_| ScratchPad::new(n)).collect(),
             moved: vec![0; n],
             block_stamp: 0,
+            prof,
+            runprof,
         }
+    }
+
+    /// Hand over the recorded host profile (`None` when profiling was
+    /// off or compiled out). Call once, after the last iteration.
+    pub(crate) fn take_profile(&mut self) -> Option<HostProfData> {
+        self.runprof.collect(&mut self.prof)
     }
 
     /// Per-block adjacency budget for this active set: at most the L2
@@ -190,9 +207,11 @@ impl<V: HashValue> FastState<V> {
     /// sequential sweep in candidate order would; in frontier mode the
     /// worklist/movers in `fr` are extended in that same deterministic
     /// order.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_iteration(
         &mut self,
         g: &Csr,
+        iter: u32,
         candidates: &[VertexId],
         pick_less: bool,
         labels: &[AtomicU32],
@@ -219,19 +238,35 @@ impl<V: HashValue> FastState<V> {
         }
 
         let mut changed = 0usize;
+        let mut repaired = 0u64;
+        let mut repair_blocks = 0u32;
+        let mut commit_ns = 0u64;
         if self.threads == 1 {
             let (lead, _) = self.scratch.split_at_mut(1);
             let lead = &mut lead[0];
+            let tp = &mut self.prof[0];
             for (bi, block) in blocks.iter().enumerate() {
-                for idxs in &buckets[bi] {
+                tp.begin_span();
+                for (k, idxs) in buckets[bi].iter().enumerate() {
                     for &i in idxs {
                         let pick =
                             compute_pick(g, candidates[i], pick_less, self.probe, labels, lead);
                         self.picks[i].store(pick.unwrap_or(NO_MOVE), Ordering::Relaxed);
                     }
+                    // Single-threaded runs drain each bucket in one go —
+                    // attribute it as one chunk.
+                    if tp.enabled() && !idxs.is_empty() {
+                        let edges = idxs
+                            .iter()
+                            .map(|&i| g.degree(candidates[i]) as u64)
+                            .sum::<u64>();
+                        tp.count_chunk(k, idxs.len() as u64, edges);
+                    }
                 }
+                tp.end_span(SpanKind::Compute, iter, bi as u32);
                 self.block_stamp += 1;
-                changed += commit_block(
+                tp.begin_span();
+                let (c, rep) = commit_block(
                     g,
                     candidates,
                     block.clone(),
@@ -245,6 +280,10 @@ impl<V: HashValue> FastState<V> {
                     self.block_stamp,
                     &mut fr,
                 );
+                changed += c;
+                repaired += rep;
+                repair_blocks += (rep > 0) as u32;
+                commit_ns += tp.end_span(SpanKind::Commit, iter, bi as u32);
             }
         } else {
             let t = self.threads;
@@ -261,11 +300,14 @@ impl<V: HashValue> FastState<V> {
             let block_stamp = &mut self.block_stamp;
             let (lead, rest) = self.scratch.split_at_mut(1);
             let lead = &mut lead[0];
+            let (plead, prest) = self.prof.split_at_mut(1);
+            let plead = &mut plead[0];
             std::thread::scope(|s| {
-                for scratch in rest.iter_mut() {
+                for (scratch, tp) in rest.iter_mut().zip(prest.iter_mut()) {
                     s.spawn(move || {
                         for bi in 0..blocks.len() {
                             barrier.wait();
+                            tp.begin_span();
                             compute_block(
                                 g,
                                 candidates,
@@ -276,13 +318,16 @@ impl<V: HashValue> FastState<V> {
                                 probe,
                                 labels,
                                 scratch,
+                                tp,
                             );
+                            tp.end_span(SpanKind::Compute, iter, bi as u32);
                             barrier.wait();
                         }
                     });
                 }
                 for (bi, block) in blocks.iter().enumerate() {
                     barrier.wait();
+                    plead.begin_span();
                     compute_block(
                         g,
                         candidates,
@@ -293,13 +338,16 @@ impl<V: HashValue> FastState<V> {
                         probe,
                         labels,
                         lead,
+                        plead,
                     );
+                    plead.end_span(SpanKind::Compute, iter, bi as u32);
                     // Workers park at the next block's start barrier
                     // while the lead commits, so no thread reads labels
                     // concurrently with the sequential commit below.
                     barrier.wait();
                     *block_stamp += 1;
-                    changed += commit_block(
+                    plead.begin_span();
+                    let (c, rep) = commit_block(
                         g,
                         candidates,
                         block.clone(),
@@ -313,9 +361,22 @@ impl<V: HashValue> FastState<V> {
                         *block_stamp,
                         &mut fr,
                     );
+                    changed += c;
+                    repaired += rep;
+                    repair_blocks += (rep > 0) as u32;
+                    commit_ns += plead.end_span(SpanKind::Commit, iter, bi as u32);
                 }
             });
         }
+        self.runprof.record_iter(
+            iter,
+            blocks.len() as u32,
+            candidates.len() as u64,
+            repaired,
+            repair_blocks,
+            changed as u64,
+            commit_ns,
+        );
         changed
     }
 }
@@ -335,11 +396,12 @@ fn compute_block<V: HashValue>(
     probe: ProbeStrategy,
     labels: &[AtomicU32],
     scratch: &mut ScratchPad<V>,
+    tp: &mut ThreadProf,
 ) {
     for (k, idxs) in buckets.iter().enumerate() {
         let chunk = CHUNK_SIZES[k];
         loop {
-            let start = cursors[k].fetch_add(chunk, Ordering::Relaxed);
+            let start = tp.claim(&cursors[k], k, chunk, idxs.len());
             if start >= idxs.len() {
                 break;
             }
@@ -347,6 +409,13 @@ fn compute_block<V: HashValue>(
             for &i in &idxs[start..end] {
                 let pick = compute_pick(g, candidates[i], pick_less, probe, labels, scratch);
                 picks[i].store(pick.unwrap_or(NO_MOVE), Ordering::Relaxed);
+            }
+            if tp.enabled() {
+                let edges = idxs[start..end]
+                    .iter()
+                    .map(|&i| g.degree(candidates[i]) as u64)
+                    .sum::<u64>();
+                tp.count_chunk(k, (end - start) as u64, edges);
             }
         }
     }
@@ -496,6 +565,10 @@ fn slot_order_winner<V: HashValue>(
 /// recomputed against the live labels), and an adopted move stores the
 /// label, clears neighbour `processed` flags, and — in frontier mode —
 /// CAS-claims worklist pushes, just like the legacy path.
+///
+/// Returns `(ΔN, picks recomputed)`. The repair count depends only on
+/// the block partition and commit order — both deterministic — so it is
+/// identical at any thread count.
 #[allow(clippy::too_many_arguments)]
 fn commit_block<V: HashValue>(
     g: &Csr,
@@ -510,8 +583,9 @@ fn commit_block<V: HashValue>(
     moved: &mut [u64],
     block_stamp: u64,
     fr: &mut Option<FrontierCtx<'_>>,
-) -> usize {
+) -> (usize, u64) {
     let mut changed = 0usize;
+    let mut repaired = 0u64;
     for i in block {
         let v = candidates[i];
         processed[v as usize].store(1, Ordering::Relaxed);
@@ -520,6 +594,7 @@ fn commit_block<V: HashValue>(
             .iter()
             .any(|&j| moved[j as usize] == block_stamp);
         let pick = if stale {
+            repaired += 1;
             compute_pick(g, v, pick_less, probe, labels, scratch).unwrap_or(NO_MOVE)
         } else {
             picks[i].load(Ordering::Relaxed)
@@ -547,7 +622,7 @@ fn commit_block<V: HashValue>(
             }
         }
     }
-    changed
+    (changed, repaired)
 }
 
 #[cfg(test)]

@@ -43,6 +43,7 @@ pub mod effects;
 pub mod fastpath;
 #[allow(unsafe_code)]
 pub mod gpu;
+pub mod hostprof;
 pub mod linkpred;
 #[allow(unsafe_code)]
 pub mod native;
@@ -59,8 +60,13 @@ pub use dynamic::{apply_batch, frontier, lpa_dynamic, EdgeBatch};
 pub use effects::shipped_effects;
 pub use fastpath::bucket_partition;
 pub use gpu::{lpa_gpu, lpa_gpu_observed, lpa_gpu_traced};
+pub use hostprof::{
+    BucketCounters, HostProfData, IterRepairStats, SpanKind, SpanRec, ThreadProfData, BUCKET_NAMES,
+};
 pub use linkpred::{adamic_adar, community_adamic_adar, top_k_predictions};
-pub use native::{lpa_native, lpa_native_from_state, lpa_native_observed, lpa_native_traced};
+pub use native::{
+    lpa_native, lpa_native_from_state, lpa_native_hostprof, lpa_native_observed, lpa_native_traced,
+};
 pub use observe::{IterObserver, NullObserver};
 pub use partition::{partition_all, partition_candidates, KernelPartition};
 pub use pulp::{pulp_partition, pulp_partition_weighted, PulpConfig, PulpResult};

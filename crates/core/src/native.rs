@@ -21,6 +21,7 @@
 use crate::config::{LpaConfig, ValueType};
 use crate::disjoint::DisjointBuffer;
 use crate::fastpath::{FastState, FrontierCtx};
+use crate::hostprof::HostProfData;
 use crate::observe::{IterObserver, NullObserver};
 use crate::result::LpaResult;
 use nulpa_graph::{Csr, VertexId};
@@ -53,9 +54,46 @@ pub fn lpa_native_observed(
     config.validate().expect("invalid LPA config");
     let init = (0..g.num_vertices() as VertexId).collect();
     match config.value_type {
-        ValueType::F32 => lpa_native_typed::<f32>(g, config, init, None, sink, obs),
-        ValueType::F64 => lpa_native_typed::<f64>(g, config, init, None, sink, obs),
+        ValueType::F32 => lpa_native_typed::<f32>(g, config, init, None, sink, obs, None),
+        ValueType::F64 => lpa_native_typed::<f64>(g, config, init, None, sink, obs, None),
     }
+}
+
+/// [`lpa_native`] with the host-parallel execution profiler attached:
+/// per-thread compute/commit span timelines, per-bucket work and
+/// cursor-contention counters, and per-iteration repair statistics from
+/// the degree-bucketed fast path (see [`crate::hostprof`]).
+///
+/// The profiled run is bit-identical to [`lpa_native`] — the recorder
+/// only observes which thread did what, never what was computed. Returns
+/// `None` profile data when the fast path is disabled
+/// (`config.buckets == None`) or the `hostprof` cargo feature is
+/// compiled out.
+pub fn lpa_native_hostprof(g: &Csr, config: &LpaConfig) -> (LpaResult, Option<HostProfData>) {
+    config.validate().expect("invalid LPA config");
+    let init = (0..g.num_vertices() as VertexId).collect();
+    let mut prof = None;
+    let result = match config.value_type {
+        ValueType::F32 => lpa_native_typed::<f32>(
+            g,
+            config,
+            init,
+            None,
+            &mut NullSink,
+            &mut NullObserver,
+            Some(&mut prof),
+        ),
+        ValueType::F64 => lpa_native_typed::<f64>(
+            g,
+            config,
+            init,
+            None,
+            &mut NullSink,
+            &mut NullObserver,
+            Some(&mut prof),
+        ),
+    };
+    (result, prof)
 }
 
 /// Run the native port from existing state: `init_labels` seeds the
@@ -78,6 +116,7 @@ pub fn lpa_native_from_state(
             Some(unprocessed),
             &mut NullSink,
             &mut NullObserver,
+            None,
         ),
         ValueType::F64 => lpa_native_typed::<f64>(
             g,
@@ -86,6 +125,7 @@ pub fn lpa_native_from_state(
             Some(unprocessed),
             &mut NullSink,
             &mut NullObserver,
+            None,
         ),
     }
 }
@@ -97,6 +137,7 @@ fn lpa_native_typed<V: HashValue>(
     unprocessed: Option<&[VertexId]>,
     sink: &mut dyn TraceSink,
     obs: &mut dyn IterObserver,
+    hostprof: Option<&mut Option<HostProfData>>,
 ) -> LpaResult {
     let n = g.num_vertices();
     let labels: Vec<AtomicU32> = init_labels.into_iter().map(AtomicU32::new).collect();
@@ -122,6 +163,7 @@ fn lpa_native_typed<V: HashValue>(
             b,
             nulpa_graph::blocks::DEFAULT_BLOCK_EDGES,
             config.probe,
+            hostprof.is_some(),
         )
     });
     let buf_len = if fast.is_some() {
@@ -242,6 +284,7 @@ fn lpa_native_typed<V: HashValue>(
             changed = if frontier {
                 fp.run_iteration(
                     g,
+                    iter,
                     &candidates,
                     pick_less,
                     &labels,
@@ -253,7 +296,7 @@ fn lpa_native_typed<V: HashValue>(
                     }),
                 )
             } else {
-                fp.run_iteration(g, &candidates, pick_less, &labels, &processed, None)
+                fp.run_iteration(g, iter, &candidates, pick_less, &labels, &processed, None)
             };
         } else if frontier {
             let outcomes: Vec<(bool, Vec<VertexId>)> = candidates
@@ -364,6 +407,9 @@ fn lpa_native_typed<V: HashValue>(
         }
     }
 
+    if let Some(out) = hostprof {
+        *out = fast.as_mut().and_then(FastState::take_profile);
+    }
     LpaResult {
         labels: labels.into_iter().map(|l| l.into_inner()).collect(),
         iterations,

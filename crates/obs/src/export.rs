@@ -201,8 +201,20 @@ pub struct ChromeTraceSink<W: Write> {
 }
 
 impl<W: Write> ChromeTraceSink<W> {
-    /// Write a trace to `out`; emits the header and track metadata.
+    /// Write a trace to `out`; emits the header and the simulator's
+    /// standard track metadata (host / kernels / waves).
     pub fn new(out: W) -> Self {
+        Self::with_tracks(
+            out,
+            "nu-lpa (1 simulated cycle = 1 us)",
+            &[(0, "host"), (1, "kernels"), (2, "waves")],
+        )
+    }
+
+    /// Write a trace to `out` with caller-chosen process and track
+    /// (thread) names — the host profiler uses this to label one track
+    /// per worker thread instead of the simulator's fixed three.
+    pub fn with_tracks(out: W, process: &str, tracks: &[(u32, &str)]) -> Self {
         let mut sink = ChromeTraceSink {
             out,
             hists: BTreeMap::new(),
@@ -214,11 +226,12 @@ impl<W: Write> ChromeTraceSink<W> {
         if let Err(e) = writeln!(sink.out, "{{\"traceEvents\":[") {
             sink.error = Some(e);
         }
-        sink.write_event(
-            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
-             \"args\":{\"name\":\"nu-lpa (1 simulated cycle = 1 us)\"}}",
-        );
-        for (tid, label) in [(0u32, "host"), (1, "kernels"), (2, "waves")] {
+        sink.write_event(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{{\"name\":{}}}}}",
+            escape(process)
+        ));
+        for &(tid, label) in tracks {
             sink.write_event(&format!(
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
                  \"args\":{{\"name\":{}}}}}",

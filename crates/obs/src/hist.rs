@@ -23,6 +23,17 @@ pub struct Hist {
     pub max: u64,
 }
 
+/// `p50`/`p95`/`max` summary of a [`Hist`], from [`Hist::percentiles`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median estimate (bucket upper bound, capped at `max`).
+    pub p50: u64,
+    /// 95th-percentile estimate (bucket upper bound, capped at `max`).
+    pub p95: u64,
+    /// Exact largest recorded sample.
+    pub max: u64,
+}
+
 /// Bucket index for a value: 0 for 0, else `1 + floor(log2(v))`, clamped.
 #[inline]
 pub fn bucket_index(value: u64) -> usize {
@@ -100,6 +111,18 @@ impl Hist {
             }
         }
         self.max
+    }
+
+    /// The `p50`/`p95`/`max` summary used by tabular reports (host
+    /// profiler thread tables, bench timing rows). Quantiles carry the
+    /// same bucket-resolution caveat as [`Hist::quantile`]; `max` is the
+    /// exact largest sample. All zero when empty.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.quantile(0.5),
+            p95: self.quantile(0.95),
+            max: self.max,
+        }
     }
 
     /// Non-empty buckets as `(lo, hi, count)` triples.
@@ -226,6 +249,53 @@ mod tests {
         let mut capped = Hist::new();
         capped.record(1 << 35);
         assert_eq!(capped.quantile(0.99), 1 << 35);
+    }
+
+    #[test]
+    fn percentiles_empty_hist_is_all_zero() {
+        assert_eq!(Hist::new().percentiles(), Percentiles::default());
+    }
+
+    #[test]
+    fn percentiles_single_sample() {
+        let mut h = Hist::new();
+        h.record(7);
+        let p = h.percentiles();
+        // every quantile of a one-sample histogram is that sample's
+        // bucket estimate, capped at the exact max
+        assert_eq!(p.max, 7);
+        assert_eq!(p.p50, 7);
+        assert_eq!(p.p95, 7);
+
+        let mut z = Hist::new();
+        z.record(0);
+        assert_eq!(z.percentiles(), Percentiles::default());
+    }
+
+    #[test]
+    fn percentiles_saturating_top_bucket_cap_at_max() {
+        let mut h = Hist::new();
+        for v in [1u64 << 30, (1 << 40) + 3, 1 << 50] {
+            h.record(v);
+        }
+        let p = h.percentiles();
+        // the overflow bucket's upper bound is u64::MAX; estimates must
+        // cap at the recorded max instead
+        assert_eq!(p.p50, 1 << 50);
+        assert_eq!(p.p95, 1 << 50);
+        assert_eq!(p.max, 1 << 50);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let mut h = Hist::new();
+        for v in 0..10_000u64 {
+            h.record(v);
+        }
+        let p = h.percentiles();
+        assert!(p.p50 <= p.p95);
+        assert!(p.p95 <= p.max);
+        assert_eq!(p.max, 9_999);
     }
 
     #[test]

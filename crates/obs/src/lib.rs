@@ -25,6 +25,6 @@ pub mod sink;
 pub mod summary;
 
 pub use export::{ChromeTraceSink, JsonlSink};
-pub use hist::{bucket_bounds, bucket_index, Hist, HIST_BUCKETS};
+pub use hist::{bucket_bounds, bucket_index, Hist, Percentiles, HIST_BUCKETS};
 pub use sink::{track, MetricsEvent, NullSink, RecordingSink, TraceEvent, TraceSink, Value};
 pub use summary::{summarize, TraceSummary};

@@ -3,8 +3,9 @@
 //! The simulator-side observability layers (`nulpa-obs` traces,
 //! `nulpa-sancheck` hazards, `nulpa-prof` simulated cycles) answer "what
 //! did the modelled device do"; this crate answers "what did the *host*
-//! do": wall-clock phase timing, heap footprint, and per-iteration
-//! convergence quality. Four pieces:
+//! do": wall-clock phase timing, heap footprint, per-iteration
+//! convergence quality, and where the native fast path's multi-core
+//! time actually goes. Five pieces:
 //!
 //! * [`registry`] — a process-global registry of counters, gauges, and
 //!   log2 histograms. Registration takes a short lock; every update after
@@ -22,6 +23,11 @@
 //!   fraction, community count/entropy, and an incrementally maintained
 //!   modularity trajectory (Eq. 1 sums updated per label move, re-scored
 //!   with [`nulpa_metrics::modularity_from_sums`]).
+//! * [`hostprof`] — the host-parallel execution observatory over
+//!   `nulpa_core`'s fast-path profiler: per-thread utilization tables,
+//!   per-bucket work attribution, repair-rate trajectories, Chrome-trace
+//!   export of thread timelines, and the `results/hostprof_baseline.json`
+//!   regression gate (`nulpa profile --host`).
 //!
 //! [`export`] renders registry snapshots as Prometheus text exposition or
 //! JSONL; [`ledger`] appends provenance-stamped run records to the
@@ -43,6 +49,7 @@
 pub mod alloc;
 pub mod convergence;
 pub mod export;
+pub mod hostprof;
 pub mod ledger;
 pub mod registry;
 pub mod span;
@@ -50,6 +57,7 @@ pub mod span;
 pub use alloc::{alloc_snapshot, heap_stats, peak_rss_bytes, CountingAlloc, HeapStats};
 pub use convergence::{ConvergenceRecorder, IterationSample};
 pub use export::{render_jsonl, render_prometheus, write_snapshot};
+pub use hostprof::{HostRunReport, ThreadReport};
 pub use ledger::{append_history, PhaseSample, RunRecord};
 pub use registry::{global, Counter, Gauge, HistSnapshot, Histogram, MetricsSnapshot, Registry};
 pub use span::{timed_phase, PhaseSpan};

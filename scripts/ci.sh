@@ -61,6 +61,12 @@ cargo run --release --bin nulpa -- check
 step "sancheck (dynamic hazard checker)"
 cargo run --release --bin nulpa -- sancheck
 
+# Host-parallel observatory smoke: the profiled fast path must run the
+# trio ladder and emit a parseable JSON report (the regression gate
+# itself runs inside perf_gate.sh below).
+step "hostprof smoke (nulpa profile --host --json)"
+cargo run --release --bin nulpa -- profile --host --json > /dev/null
+
 step "perf gate (cycle-attribution baseline)"
 bash scripts/perf_gate.sh
 

@@ -23,3 +23,14 @@ cargo run --release -p nulpa-bench --bin profile_baseline -- --check "$@"
 step "perf gate: native thread-scaling floor (parallel_scaling --check-scaling)"
 cargo run --release -p nulpa-bench --bin parallel_scaling -- \
   --quick --check-scaling --json "${TMPDIR:-/tmp}/parallel_scaling_gate.json"
+
+# Host-parallel execution gate: profile the native fast path on the
+# built-in trio at a 1/2/4 thread ladder and compare against the
+# committed results/hostprof_baseline.json. Repair rate and iteration
+# count are deterministic (thread-count-invariant commit schedule), so
+# they gate tightly; imbalance only gates above a busy-time noise floor.
+# Refresh the baseline deliberately with:
+#   cargo run --release --bin nulpa -- profile --host --write-baseline results/hostprof_baseline.json
+step "perf gate: host-parallel repair-rate/imbalance vs committed baseline"
+cargo run --release --bin nulpa -- profile --host --check results/hostprof_baseline.json \
+  > /dev/null

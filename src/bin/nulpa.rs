@@ -82,7 +82,15 @@ fn usage() {
          nulpa trace <tracefile> [--top K] [--json]\n  \
          nulpa sancheck [graph] [--json]   run backends under the hazard checker\n  \
          nulpa check [--json] [--inject]   static kernel effect verifier + workspace linter\n  \
-         nulpa profile [graph] [--json] [--backend NAME] [--telemetry FILE]   cycle-attribution profile\n\n\
+         nulpa profile [graph] [--json] [--backend NAME] [--telemetry FILE]   cycle-attribution profile\n  \
+         nulpa profile --host [graph] [--json] [--trace FILE] [--check BASELINE]\n              [--write-baseline FILE] [--telemetry FILE]   host-parallel observatory\n\n\
+         HOST PROFILING: --host runs lpa_native's fast path at a 1/2/4\n  \
+         thread ladder with the host-parallel profiler: per-thread busy\n  \
+         time/utilization, per-bucket vertices/edges/chunks and cursor-CAS\n  \
+         retries, repair-rate trajectory, and max/mean busy imbalance.\n  \
+         --trace writes a Chrome/Perfetto trace of the last run's thread\n  \
+         timelines; --check gates repair rate and imbalance against a\n  \
+         committed baseline (results/hostprof_baseline.json).\n\n\
          STATS: runs the seq / nu-lpa / nu-lpa-sim backends with per-iteration\n  \
          convergence telemetry (dN, active fraction, entropy, modularity),\n  \
          wall-clock phase spans and heap accounting; --history appends run\n  \
@@ -975,14 +983,132 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `nulpa profile`: run the simulated-GPU backend matrix under the
-/// cycle-attribution profiler and print per-kernel component breakdowns,
-/// a roofline summary and the per-SM occupancy timeline. Without a graph
-/// argument the built-in trio is profiled; `--backend NAME` restricts the
-/// backend matrix; `--json` prints the machine-readable report the perf
-/// gate compares.
-#[cfg(feature = "prof")]
+/// `nulpa profile`: `--host` profiles the native fast path's host-parallel
+/// execution (per-thread/per-bucket attribution); otherwise the simulated
+/// GPU backends run under the cycle-attribution profiler.
 fn cmd_profile(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--host") {
+        cmd_profile_host(args)
+    } else {
+        cmd_profile_sim(args)
+    }
+}
+
+/// `nulpa profile --host`: the host-parallel execution observatory. Runs
+/// `lpa_native` with the fast-path profiler over the built-in trio (or one
+/// graph) at a 1/2/4 thread ladder, and reports per-thread utilization,
+/// per-bucket work (vertices/edges/chunks/CAS retries), the repair-rate
+/// trajectory, and the max/mean busy-time imbalance. `--trace` writes a
+/// Chrome/Perfetto trace of the last run's thread timelines;
+/// `--write-baseline`/`--check` drive the hostprof regression gate.
+#[cfg(feature = "telemetry")]
+fn cmd_profile_host(args: &[String]) -> Result<(), String> {
+    use nu_lpa::core::lpa_native_hostprof;
+    use nu_lpa::graph::gen::{caveman_weighted, erdos_renyi, two_cliques_light_bridge};
+    use nu_lpa::obs::meta::{meta_json, run_meta};
+    use nu_lpa::telemetry::hostprof as hp;
+
+    const VALUE_FLAGS: &[&str] = &["--trace", "--check", "--write-baseline", "--telemetry"];
+    const THREAD_LADDER: &[usize] = &[1, 2, 4];
+
+    let json = args.iter().any(|a| a == "--json");
+    let graphs: Vec<(String, Csr)> = match positional(args, VALUE_FLAGS) {
+        Some(p) => vec![(p.clone(), load_graph(p)?)],
+        None => vec![
+            ("two-cliques-s6".into(), two_cliques_light_bridge(6)),
+            ("caveman-4x8".into(), caveman_weighted(4, 8, 0.5)),
+            ("erdos-renyi-256".into(), erdos_renyi(256, 768, 42)),
+        ],
+    };
+
+    let mut reports = Vec::new();
+    let mut last_trace: Option<(String, nu_lpa::core::HostProfData)> = None;
+    for (gname, g) in &graphs {
+        for &threads in THREAD_LADDER {
+            let cfg = LpaConfig::default().with_threads(threads);
+            let (_result, prof) = lpa_native_hostprof(g, &cfg);
+            let Some(data) = prof else {
+                return Err(
+                    "profile --host: instrumentation compiled out (rebuild with the \
+                     default `telemetry` feature, which enables nulpa-core/hostprof)"
+                        .into(),
+                );
+            };
+            let report = hp::summarize(gname, &data);
+            hp::record_registry(&report);
+            reports.push(report);
+            last_trace = Some((gname.clone(), data));
+        }
+    }
+
+    let meta = run_meta(&[(
+        "hw_threads",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .to_string(),
+    )]);
+    if json {
+        print!("{}", hp::report_json(&meta_json(&meta), &reports));
+    } else {
+        print!("{}", hp::render_report(&reports));
+    }
+    if let Some(path) = opt_value(args, "--trace") {
+        let (gname, data) = last_trace.as_ref().expect("ladder ran at least once");
+        let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut w = hp::write_chrome_trace(BufWriter::new(f), gname, data)
+            .map_err(|e| format!("{path}: {e}"))?;
+        w.flush().map_err(|e| format!("{path}: {e}"))?;
+        if !json {
+            eprintln!("chrome trace of {gname} (last ladder run) written to {path}");
+        }
+    }
+    if let Some(path) = opt_value(args, "--write-baseline") {
+        std::fs::write(path, hp::baseline_json(&reports)).map_err(|e| format!("{path}: {e}"))?;
+        if !json {
+            eprintln!("hostprof baseline written to {path}");
+        }
+    }
+    if let Some(path) = opt_value(args, "--telemetry") {
+        nu_lpa::telemetry::write_snapshot(path, &nu_lpa::telemetry::global().snapshot())?;
+        if !json {
+            eprintln!("telemetry snapshot written to {path}");
+        }
+    }
+    if let Some(path) = opt_value(args, "--check") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        match hp::check_against_baseline(&text, &reports) {
+            Ok(matched) => eprintln!("hostprof gate: ok ({matched} rows within tolerance)"),
+            Err(failures) => {
+                return Err(format!(
+                    "hostprof gate: {} regressions:\n  {}",
+                    failures.len(),
+                    failures.join("\n  ")
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Stub when host telemetry is compiled out.
+#[cfg(not(feature = "telemetry"))]
+fn cmd_profile_host(_args: &[String]) -> Result<(), String> {
+    Err(
+        "profile --host: this binary was built without the `telemetry` feature \
+         (rebuild with default features)"
+            .into(),
+    )
+}
+
+/// `nulpa profile` (without `--host`): run the simulated-GPU backend
+/// matrix under the cycle-attribution profiler and print per-kernel
+/// component breakdowns, a roofline summary and the per-SM occupancy
+/// timeline. Without a graph argument the built-in trio is profiled;
+/// `--backend NAME` restricts the backend matrix; `--json` prints the
+/// machine-readable report the perf gate compares.
+#[cfg(feature = "prof")]
+fn cmd_profile_sim(args: &[String]) -> Result<(), String> {
     use nu_lpa::core::resolve_threads;
     use nu_lpa::graph::gen::{caveman_weighted, erdos_renyi, two_cliques_light_bridge};
     use nu_lpa::obs::meta::run_meta;
@@ -1074,9 +1200,9 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Stub when the profiler is compiled out.
+/// Stub when the simulated-cycle profiler is compiled out.
 #[cfg(not(feature = "prof"))]
-fn cmd_profile(_args: &[String]) -> Result<(), String> {
+fn cmd_profile_sim(_args: &[String]) -> Result<(), String> {
     Err("profile: this binary was built without the `prof` feature \
          (rebuild with default features)"
         .into())
